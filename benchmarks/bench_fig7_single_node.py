@@ -1,0 +1,104 @@
+"""Figure 7 — single-node training throughput.
+
+Regenerates the paper's 6-panel figure: every Table-3 model × {2, 4, 8}
+V100s × {Megatron-LM, Slapo-TP, DeepSpeed, Slapo-ZeRO3}.  Absolute numbers
+come from the simulator; the assertions check the paper's *shape* claims:
+
+* Slapo (best variant) matches or beats the best baseline on every model;
+* Slapo-TP ≥ ~1.0× Megatron-LM on the models Megatron supports, with BERT
+  showing the largest TP gain (paper: 1.02–1.46×, BERT up to 1.73×);
+* Slapo-ZeRO3 beats DeepSpeed by 1.0–1.8× (paper: 1.04–1.64×);
+* Megatron-LM supports only BERT/GPT/T5 (the "X" entries).
+"""
+
+import pytest
+
+from repro.baselines import EVALUATORS
+from repro.distributed import P3DN_NODE
+
+FAMILIES = ("BERT", "RoBERTa", "GPT", "OPT", "T5", "WideResNet")
+SYSTEMS = ("megatron", "slapo-tp", "deepspeed", "slapo-zero3")
+GPU_COUNTS = (2, 4, 8)
+
+_CACHE: dict = {}
+
+
+def evaluate(family: str, system: str, num_gpus: int):
+    key = (family, system, num_gpus)
+    if key not in _CACHE:
+        _CACHE[key] = EVALUATORS[system](family, P3DN_NODE, num_gpus)
+    return _CACHE[key]
+
+
+def _family_rows(family):
+    rows = {}
+    for n in GPU_COUNTS:
+        rows[n] = {system: evaluate(family, system, n)
+                   for system in SYSTEMS}
+    return rows
+
+
+def _print_panel(family, rows):
+    print(f"\nFig.7[{family}] throughput (samples/sec) on p3dn.24xlarge")
+    header = f"{'#GPUs':>6} " + " ".join(f"{s:>12}" for s in SYSTEMS)
+    print(header)
+    for n, row in rows.items():
+        cells = " ".join(f"{row[s].label:>12}" for s in SYSTEMS)
+        print(f"{n:>6} {cells}")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_fig7_panel(benchmark, family):
+    rows = benchmark.pedantic(_family_rows, args=(family,), rounds=1,
+                              iterations=1)
+    _print_panel(family, rows)
+    for n, row in rows.items():
+        slapo_best = max(row["slapo-tp"].throughput,
+                         row["slapo-zero3"].throughput)
+        baseline_best = max(
+            (row[s].throughput for s in ("megatron", "deepspeed")
+             if row[s].supported), default=0.0)
+        # Headline claim: Slapo aligns with or outperforms the best baseline.
+        assert slapo_best >= 0.95 * baseline_best, (
+            f"{family}@{n}: slapo {slapo_best:.1f} < "
+            f"baseline {baseline_best:.1f}")
+        # Slapo-ZeRO3 vs DeepSpeed: paper band 1.04-1.64 (we allow 0.98-1.9).
+        ratio = row["slapo-zero3"].throughput / row["deepspeed"].throughput
+        assert 0.98 <= ratio <= 1.9, f"{family}@{n}: zero3/ds = {ratio:.2f}"
+        if row["megatron"].supported:
+            tp_ratio = row["slapo-tp"].throughput / \
+                row["megatron"].throughput
+            assert tp_ratio >= 0.9, \
+                f"{family}@{n}: slapo-tp/megatron = {tp_ratio:.2f}"
+
+
+def test_fig7_megatron_model_coverage():
+    """The 'X' bars: Megatron-LM cannot run RoBERTa/OPT/WideResNet."""
+    for family in ("RoBERTa", "OPT", "WideResNet"):
+        assert not evaluate(family, "megatron", 8).supported
+    for family in ("BERT", "GPT", "T5"):
+        assert evaluate(family, "megatron", 8).supported
+
+
+def test_fig7_bert_shows_largest_tp_gain():
+    """BERT is where Slapo-TP shines over Megatron (paper: up to 1.73×)."""
+    gains = {}
+    for family in ("BERT", "GPT", "T5"):
+        best = 0.0
+        for n in GPU_COUNTS:
+            mg = evaluate(family, "megatron", n)
+            tp = evaluate(family, "slapo-tp", n)
+            if mg.supported and mg.throughput > 0:
+                best = max(best, tp.throughput / mg.throughput)
+        gains[family] = best
+    print(f"\nFig.7 max Slapo-TP/Megatron gains: "
+          f"{ {k: round(v, 2) for k, v in gains.items()} }")
+    assert gains["BERT"] >= gains["GPT"] - 0.05
+    assert gains["BERT"] >= 1.02
+
+
+def test_fig7_selective_checkpointing_uses_intermediate_ratios():
+    """Slapo's tuner may pick partial ratios; baselines cannot."""
+    ratios = {evaluate(f, "slapo-zero3", 8).ckpt_ratio for f in FAMILIES}
+    baseline = {evaluate(f, "deepspeed", 8).ckpt_ratio for f in FAMILIES}
+    assert baseline <= {0.0, 1.0}

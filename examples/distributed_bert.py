@@ -1,0 +1,68 @@
+"""Tensor-parallel BERT on a simulated 4-rank cluster, verified end to end.
+
+The Megatron-style sharding of paper Fig. 3(c) expressed as schedule
+primitives over the *unmodified* HuggingFace-like model, executed on a
+LocalCluster (one thread per rank with real collectives), and checked
+against the single-device model — the paper's §3.5 verifier in action.
+
+Run:  python examples/distributed_bert.py
+"""
+
+import numpy as np
+
+import repro.slapo as slapo
+from repro import framework as fw
+from repro.distributed import DeviceMesh, LocalCluster, ParallelConfig
+from repro.models import BERT_1B, BertLMHeadModel
+from repro.schedules import schedule_bert
+
+TP = 4
+
+
+def main():
+    config = BERT_1B.tiny(num_layers=2, hidden_size=16, num_heads=4,
+                          vocab_size=64)
+    fw.manual_seed(7)
+    ids = fw.randint(0, config.vocab_size, (2, 8))
+
+    fw.manual_seed(0)
+    reference = BertLMHeadModel(config)
+    reference.eval()
+    expected = reference(ids).numpy()
+    print(f"single-device logits: shape={tuple(expected.shape)}")
+
+    cluster = LocalCluster(TP)
+
+    def run_rank(ctx):
+        fw.manual_seed(0)  # every rank builds identical weights...
+        model = BertLMHeadModel(config)
+        model.eval()
+        mesh = DeviceMesh(ParallelConfig(tp=TP), ctx=ctx)
+        sch = slapo.create_schedule(model, mesh=mesh)
+        schedule_bert(sch, config)  # ...and shards its own slice
+        local_params = model.num_parameters()
+        out = model(ids)
+        return local_params, out.numpy()
+
+    results = cluster.run(run_rank)
+    full = reference.num_parameters()
+    for rank, (local, out) in enumerate(results):
+        err = float(np.max(np.abs(out - expected)))
+        print(f"rank {rank}: local params {local:,} "
+              f"({100 * local / full:.0f}% of {full:,}), "
+              f"max abs err {err:.2e}")
+        assert err < 5e-3
+    print("tensor-parallel outputs match the single-device model ✓")
+
+    # The same schedule under slapo.verify (differential testing).
+    slapo.verify(
+        model_factory=lambda: BertLMHeadModel(config),
+        schedule_fn=lambda sch: schedule_bert(sch, config),
+        inputs_factory=lambda: (ids,),
+        world_size=TP,
+    )
+    print("slapo.verify passed ✓")
+
+
+if __name__ == "__main__":
+    main()

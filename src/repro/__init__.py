@@ -1,0 +1,25 @@
+"""repro — reproduction of Slapo (ASPLOS 2024).
+
+Subpackages
+-----------
+``repro.framework``
+    numpy-backed mini deep-learning framework (tensors, autograd, modules).
+``repro.fx``
+    symbolic tracer and static-graph IR (the torch.fx substrate).
+``repro.distributed``
+    simulated multi-rank execution and collective communication.
+``repro.kernels``
+    efficient-kernel library and stand-in fusion compilers.
+``repro.slapo``
+    the paper's contribution: the schedule language, primitives, verifier,
+    auto-tuner, and framework dialects.
+``repro.models``
+    HuggingFace-style model zoo (BERT, RoBERTa, GPT, OPT, T5, WideResNet,
+    LLaMA).
+``repro.sim``
+    V100-cluster performance and memory simulator.
+``repro.baselines``
+    DeepSpeed-like (ZeRO-3) and Megatron-LM-like baseline systems.
+"""
+
+__version__ = "1.0.0"

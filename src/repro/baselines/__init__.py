@@ -1,0 +1,39 @@
+"""repro.baselines — the comparison systems of the paper's evaluation."""
+
+from .megatron import (
+    SUPPORTED_FAMILIES,
+    ColumnParallelLinear,
+    MegatronLanguageModel,
+    MegatronParallelAttention,
+    MegatronParallelMLP,
+    RowParallelLinear,
+    UnsupportedModelError,
+    VocabParallelEmbedding,
+    build_megatron_model,
+)
+from .pipeline_runtime import (
+    PipelineRuntime,
+    ScheduleTick,
+    gpipe_schedule,
+    one_f_one_b_schedule,
+)
+from .systems import (
+    EVALUATORS,
+    SystemResult,
+    evaluate_deepspeed,
+    evaluate_megatron,
+    evaluate_slapo_tp,
+    evaluate_slapo_zero3,
+)
+from .zero import ZeroOptimizer, zero3_partition
+
+__all__ = [
+    "build_megatron_model", "MegatronLanguageModel", "UnsupportedModelError",
+    "ColumnParallelLinear", "RowParallelLinear", "VocabParallelEmbedding",
+    "MegatronParallelAttention", "MegatronParallelMLP", "SUPPORTED_FAMILIES",
+    "ZeroOptimizer", "zero3_partition",
+    "PipelineRuntime", "ScheduleTick", "gpipe_schedule",
+    "one_f_one_b_schedule",
+    "SystemResult", "EVALUATORS", "evaluate_megatron", "evaluate_deepspeed",
+    "evaluate_slapo_tp", "evaluate_slapo_zero3",
+]

@@ -1,0 +1,201 @@
+"""System builders for the evaluation: the four contenders of Fig. 7/8.
+
+Every system goes through the same honest pipeline: build the (scheduled)
+model on the meta device with a SimGroup mesh, record its forward trace,
+and let the shared planner pick the best micro-batch (and, where the
+system supports it, checkpointing configuration) under the 32 GB budget.
+
+===============  ====================================================
+system           optimization envelope (as characterised in §5.1)
+===============  ====================================================
+megatron         manual TP models (BERT/GPT/T5 only), fused softmax +
+                 bias-GELU kernels, all-or-nothing layer checkpointing,
+                 **no** flash attention
+deepspeed        ZeRO-3 over the *unmodified* HF model, all-or-nothing
+                 HF layer checkpointing, no fused kernels
+slapo-tp         schedule: TP + flash attention + compiler fusion +
+                 selective checkpointing (auto-tuned ratio)
+slapo-zero3      schedule: kernels + selective ckpt, ZeRO-3 data
+                 parallelism
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro.slapo as slapo
+from repro.distributed import DeviceMesh, ParallelConfig
+from repro.distributed.topology import ClusterSpec
+from repro.models import MODEL_ZOO, data
+from repro.schedules import SCHEDULES
+from repro.sim import Plan, plan_micro_batch, trace_model
+from repro.sim.kernel_cost import cost_model_for
+
+from .megatron import SUPPORTED_FAMILIES as MEGATRON_FAMILIES
+from .megatron import UnsupportedModelError, build_megatron_model
+
+#: checkpoint ratios systems with *selective* checkpointing may tune
+SELECTIVE_RATIOS = (0.0, 0.25, 0.5, 1.0)
+#: all-or-nothing checkpointing (DeepSpeed / Megatron)
+FULL_OR_NOTHING = (0.0, 1.0)
+
+
+@dataclass
+class SystemResult:
+    system: str
+    family: str
+    num_gpus: int
+    supported: bool
+    throughput: float = 0.0
+    micro_batch: int = 0
+    ckpt_ratio: float = 0.0
+    num_micro_batches: int = 1
+    peak_memory_gb: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return "X" if not self.supported else f"{self.throughput:.1f}"
+
+
+def _example_inputs(family, config, device="meta"):
+    if family == "T5":
+        src, tgt, _ = data.seq2seq_batch(config, 1, device=device)
+        return (src, tgt)
+    if family == "WideResNet":
+        images, _ = data.image_batch(config, 1, device=device)
+        return (images,)
+    ids, _ = data.lm_batch(config, 1, device=device)
+    return (ids,)
+
+
+def _plan_over_ratios(build_fn, family, config, cluster, parallel,
+                      zero_stage, ratios, global_batch=None,
+                      framework: str = "hf") -> SystemResult:
+    """Build the model at each checkpoint ratio, keep the fastest plan."""
+    best: Plan | None = None
+    best_ratio = 0.0
+    cost = cost_model_for(framework, cluster.gpu)
+    for ratio in ratios:
+        model = build_fn(ratio)
+        trace = trace_model(model, *_example_inputs(family, config))
+        plan = plan_micro_batch(trace, model, cluster, parallel,
+                                zero_stage=zero_stage,
+                                global_batch=global_batch,
+                                cost_model=cost)
+        if plan is not None and (best is None
+                                 or plan.throughput > best.throughput):
+            best = plan
+            best_ratio = ratio
+    if best is None:
+        return SystemResult(system="?", family=family,
+                            num_gpus=parallel.world_size, supported=True,
+                            throughput=0.0)
+    return SystemResult(
+        system="?", family=family, num_gpus=parallel.world_size,
+        supported=True, throughput=best.throughput,
+        micro_batch=best.micro_batch, ckpt_ratio=best_ratio,
+        num_micro_batches=best.num_micro_batches,
+        peak_memory_gb=best.memory.total / 1e9,
+    )
+
+
+# --------------------------------------------------------------------- #
+# The four systems
+# --------------------------------------------------------------------- #
+def evaluate_megatron(family: str, cluster: ClusterSpec, num_gpus: int,
+                      parallel: ParallelConfig | None = None,
+                      global_batch: int | None = None) -> SystemResult:
+    parallel = parallel or ParallelConfig(tp=num_gpus)
+    if family not in MEGATRON_FAMILIES:
+        return SystemResult(system="megatron", family=family,
+                            num_gpus=num_gpus, supported=False)
+    _, config = MODEL_ZOO[family]
+
+    def build(ratio):
+        mesh = DeviceMesh(parallel, rank=0, sim=True)
+        model = build_megatron_model(family, config, mesh.tp_group,
+                                     device="meta")
+        model.set_checkpointing(ratio >= 1.0)
+        return model
+
+    result = _plan_over_ratios(build, family, config, cluster, parallel,
+                               zero_stage=0, ratios=FULL_OR_NOTHING,
+                               global_batch=global_batch,
+                               framework="megatron")
+    result.system = "megatron"
+    return result
+
+
+def evaluate_deepspeed(family: str, cluster: ClusterSpec, num_gpus: int,
+                       parallel: ParallelConfig | None = None,
+                       global_batch: int | None = None) -> SystemResult:
+    parallel = parallel or ParallelConfig(dp=num_gpus)
+    cls, config = MODEL_ZOO[family]
+
+    def build(ratio):
+        model = cls(config, device="meta")
+        if ratio >= 1.0:
+            # Vanilla HF layer checkpointing only: no kernels, no fusion.
+            kwargs = {"ckpt_ratio": 1.0, "use_tp": False}
+            if family != "WideResNet":
+                kwargs["use_flash"] = False
+            if family in ("BERT", "RoBERTa", "GPT", "OPT", "GPT-10B",
+                          "LLaMA-7B"):
+                kwargs["use_fusion"] = False
+            sch = slapo.create_schedule(model)
+            SCHEDULES[family](sch, config, **kwargs)
+        return model
+
+    result = _plan_over_ratios(build, family, config, cluster, parallel,
+                               zero_stage=3, ratios=FULL_OR_NOTHING,
+                               global_batch=global_batch, framework="hf")
+    result.system = "deepspeed"
+    return result
+
+
+def _slapo_scheduled_model(family, config, parallel, ratio, use_tp):
+    cls, _ = MODEL_ZOO[family]
+    model = cls(config, device="meta")
+    mesh = DeviceMesh(parallel, rank=0, sim=True)
+    sch = slapo.create_schedule(model, mesh=mesh)
+    SCHEDULES[family](sch, config, ckpt_ratio=ratio, use_tp=use_tp)
+    return slapo.build(sch).model
+
+
+def evaluate_slapo_tp(family: str, cluster: ClusterSpec, num_gpus: int,
+                      parallel: ParallelConfig | None = None,
+                      global_batch: int | None = None) -> SystemResult:
+    parallel = parallel or ParallelConfig(tp=num_gpus)
+    _, config = MODEL_ZOO[family]
+    result = _plan_over_ratios(
+        lambda ratio: _slapo_scheduled_model(family, config, parallel,
+                                             ratio, use_tp=True),
+        family, config, cluster, parallel, zero_stage=0,
+        ratios=SELECTIVE_RATIOS, global_batch=global_batch,
+        framework="slapo")
+    result.system = "slapo-tp"
+    return result
+
+
+def evaluate_slapo_zero3(family: str, cluster: ClusterSpec, num_gpus: int,
+                         parallel: ParallelConfig | None = None,
+                         global_batch: int | None = None) -> SystemResult:
+    parallel = parallel or ParallelConfig(dp=num_gpus)
+    _, config = MODEL_ZOO[family]
+    result = _plan_over_ratios(
+        lambda ratio: _slapo_scheduled_model(family, config, parallel,
+                                             ratio, use_tp=False),
+        family, config, cluster, parallel, zero_stage=3,
+        ratios=SELECTIVE_RATIOS, global_batch=global_batch,
+        framework="slapo")
+    result.system = "slapo-zero3"
+    return result
+
+
+EVALUATORS = {
+    "megatron": evaluate_megatron,
+    "deepspeed": evaluate_deepspeed,
+    "slapo-tp": evaluate_slapo_tp,
+    "slapo-zero3": evaluate_slapo_zero3,
+}

@@ -1,0 +1,107 @@
+"""ZeRO-powered data parallelism (Rajbhandari et al. 2020) — the DeepSpeed
+baseline's engine, implemented functionally.
+
+Stage semantics:
+
+* **stage 1** — optimizer states partitioned: every rank runs the full
+  forward/backward, gradients are all-reduced, but each rank *updates* only
+  its owned slice of the parameters and broadcasts the result.
+* **stage 2** — + gradients partitioned: gradients are reduce-scattered so
+  a rank only materialises its owned slice.
+* **stage 3** — + parameters partitioned: a rank stores only its owned
+  parameters and gathers the others on demand around forward/backward.
+
+The functional implementation partitions at whole-parameter granularity
+(owner = ``index % world``), which preserves the memory/communication
+*semantics* the performance model prices while staying testable: training a
+model under ZeRO on a LocalCluster must match single-device training
+step-for-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.group import BaseGroup
+from repro.framework.module import Module
+from repro.framework.optim import AdamW
+
+
+class ZeroOptimizer:
+    """AdamW with ZeRO-style partitioning over a data-parallel group."""
+
+    def __init__(self, model: Module, group: BaseGroup, stage: int = 1,
+                 lr: float = 1e-3, weight_decay: float = 0.01):
+        if stage not in (1, 2, 3):
+            raise ValueError(f"ZeRO stage must be 1, 2 or 3, got {stage}")
+        self.group = group
+        self.stage = stage
+        self.params = []
+        seen = set()
+        for param in model.parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                self.params.append(param)
+        self._my_index = group.ranks.index(group.rank) \
+            if group.size > 1 else 0
+        self._owned = [
+            p for i, p in enumerate(self.params)
+            if i % group.size == self._my_index
+        ]
+        self._inner = AdamW(self._owned, lr=lr, weight_decay=weight_decay) \
+            if self._owned else None
+
+    def owner_of(self, index: int) -> int:
+        return index % self.group.size
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        # Reduce gradients: stage >= 2 conceptually reduce-scatters; at
+        # whole-parameter granularity that is "reduce to the owner", which
+        # the all-reduce subsumes (non-owners then drop their copy).
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            reduced = self.group.all_reduce(param.grad.data) \
+                / float(self.group.size)
+            if self.stage >= 2 and self.owner_of(index) != self._my_index:
+                param.grad = None  # dropped: not materialised on this rank
+            else:
+                param.grad.data[...] = reduced.astype(param.grad.data.dtype)
+        if self._inner is not None:
+            self._inner.step()
+        # Non-owners receive updated parameters from the owner.
+        for index, param in enumerate(self.params):
+            updated = self.group.broadcast(param.data, self.owner_of(index))
+            param.data[...] = np.asarray(updated, param.data.dtype)
+
+    def state_bytes(self) -> int:
+        """Optimizer-state bytes held on this rank (partitioned)."""
+        return sum(p.numel() * 12 for p in self._owned)
+
+
+def zero3_partition(model: Module, group: BaseGroup) -> None:
+    """Stage-3 parameter placement: attach gather-on-demand hooks.
+
+    Each leaf module's parameters are broadcast from their owner before the
+    module runs (simulating the all-gather) — a functional stand-in that
+    keeps numerics identical while the memory model accounts the sharding.
+    """
+    params = [p for _, p in model.named_parameters()]
+    owner = {id(p): i % group.size for i, p in enumerate(params)}
+
+    def gather_hook(module, args):
+        for param in module._parameters.values():
+            if param is None:
+                continue
+            data = group.broadcast(param.data, owner[id(param)])
+            param.data[...] = np.asarray(data, param.data.dtype)
+        return None
+
+    for _, module in model.named_modules():
+        if module._parameters:
+            module.register_forward_pre_hook(gather_hook)
+    model._slapo_meta["zero_stage"] = 3

@@ -1,0 +1,19 @@
+"""repro.distributed — simulated multi-rank execution and collectives."""
+
+from .cluster import ClusterError, Communicator, LocalCluster
+from .group import (
+    BaseGroup,
+    RankContext,
+    SimGroup,
+    SingleGroup,
+    ThreadGroup,
+)
+from .mesh import DeviceMesh, ParallelConfig, single_device_mesh
+from .topology import P3DN_NODE, ClusterSpec, GPUSpec, p3dn_cluster
+
+__all__ = [
+    "LocalCluster", "Communicator", "ClusterError",
+    "BaseGroup", "SingleGroup", "ThreadGroup", "SimGroup", "RankContext",
+    "DeviceMesh", "ParallelConfig", "single_device_mesh",
+    "GPUSpec", "ClusterSpec", "P3DN_NODE", "p3dn_cluster",
+]

@@ -1,0 +1,157 @@
+"""LocalCluster: run N simulated ranks as lock-stepped threads.
+
+Every rank executes the same function (SPMD); collectives rendezvous through
+a shared :class:`Communicator`.  Reductions are performed in rank order by a
+single thread, so results are bit-identical across runs — which the
+differential-testing verifier (paper §3.5) depends on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+import numpy as np
+
+
+class ClusterError(RuntimeError):
+    """Raised on the caller when any rank fails."""
+
+
+class Communicator:
+    """Rendezvous point for one group of ranks."""
+
+    def __init__(self, ranks: tuple[int, ...]):
+        self.ranks = tuple(ranks)
+        self.size = len(ranks)
+        self._barrier = threading.Barrier(self.size)
+        self._slots: dict[int, np.ndarray] = {}
+        self._result = None
+        self._p2p: dict[tuple[int, int], queue.Queue] = {}
+        self._p2p_lock = threading.Lock()
+
+    def _local_index(self, rank: int) -> int:
+        return self.ranks.index(rank)
+
+    def _exchange(self, rank: int, value, combine: Callable):
+        """Generic gather → combine-on-first-rank → share."""
+        self._slots[rank] = value
+        self._barrier.wait()
+        if self._local_index(rank) == 0:
+            ordered = [self._slots[r] for r in self.ranks]
+            self._result = combine(ordered)
+        self._barrier.wait()
+        result = self._result
+        self._barrier.wait()  # ensure everyone read before next op reuses
+        return result
+
+    def all_reduce(self, rank: int, array: np.ndarray) -> np.ndarray:
+        def combine(arrays):
+            acc = arrays[0].astype(np.float32, copy=True)
+            for other in arrays[1:]:
+                acc += other
+            return acc
+
+        return self._exchange(rank, array, combine).astype(array.dtype)
+
+    def all_gather(self, rank: int, array: np.ndarray, axis: int
+                   ) -> np.ndarray:
+        return self._exchange(
+            rank, array, lambda arrays: np.concatenate(arrays, axis=axis)
+        ).copy()
+
+    def reduce_scatter(self, rank: int, array: np.ndarray, axis: int
+                       ) -> np.ndarray:
+        def combine(arrays):
+            acc = arrays[0].astype(np.float32, copy=True)
+            for other in arrays[1:]:
+                acc += other
+            return acc
+
+        summed = self._exchange(rank, array, combine)
+        shards = np.split(summed, self.size, axis=axis)
+        return shards[self._local_index(rank)].astype(array.dtype)
+
+    def broadcast(self, rank: int, array, src: int):
+        def combine(arrays):
+            return arrays[self._local_index(src)]
+
+        return self._exchange(rank, array, combine)
+
+    def barrier(self, rank: int) -> None:
+        self._barrier.wait()
+
+    # p2p ---------------------------------------------------------------- #
+    def _channel(self, src: int, dst: int) -> queue.Queue:
+        with self._p2p_lock:
+            key = (src, dst)
+            if key not in self._p2p:
+                self._p2p[key] = queue.Queue()
+            return self._p2p[key]
+
+    def send(self, src: int, dst: int, value) -> None:
+        self._channel(src, dst).put(value)
+
+    def recv(self, dst: int, src: int, timeout: float = 60.0):
+        return self._channel(src, dst).get(timeout=timeout)
+
+    def abort(self) -> None:
+        self._barrier.abort()
+
+
+class LocalCluster:
+    """Executes ``fn(ctx)`` on every rank in parallel threads."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self._world = Communicator(tuple(range(world_size)))
+        self._group_cache: dict[tuple[int, ...], Communicator] = {
+            tuple(range(world_size)): self._world
+        }
+        self._cache_lock = threading.Lock()
+
+    def communicator(self, ranks: tuple[int, ...]) -> Communicator:
+        ranks = tuple(sorted(ranks))
+        with self._cache_lock:
+            if ranks not in self._group_cache:
+                self._group_cache[ranks] = Communicator(ranks)
+            return self._group_cache[ranks]
+
+    def run(self, fn: Callable, timeout: float = 120.0) -> list:
+        """Run ``fn(rank_context)`` on all ranks; returns per-rank results."""
+        from .group import RankContext
+
+        results: list = [None] * self.world_size
+        errors: list = [None] * self.world_size
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = fn(RankContext(rank, self))
+            except Exception as exc:  # noqa: BLE001 - propagate to caller
+                errors[rank] = exc
+                for comm in list(self._group_cache.values()):
+                    comm.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), daemon=True)
+            for rank in range(self.world_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                for comm in list(self._group_cache.values()):
+                    comm.abort()
+                raise ClusterError("cluster run timed out (deadlock?)")
+        failures = [(r, e) for r, e in enumerate(errors) if e is not None]
+        if failures:
+            # Prefer the root cause over secondary broken-barrier fallout.
+            root = [(r, e) for r, e in failures
+                    if not isinstance(e, threading.BrokenBarrierError)]
+            rank, error = (root or failures)[0]
+            raise ClusterError(f"rank {rank} failed: {error!r}") from error
+        return results

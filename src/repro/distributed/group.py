@@ -1,0 +1,251 @@
+"""Process groups: the communication handles Slapo's sync primitives use.
+
+Three implementations share one interface:
+
+* :class:`ThreadGroup` — real data movement between LocalCluster threads
+  (functional testing, the verifier).
+* :class:`SimGroup` — meta-device execution; collectives only record
+  communication events for the performance simulator.
+* :class:`SingleGroup` — world size 1; every collective is the identity.
+
+All collectives accept framework Tensors (with autograd: e.g. the backward
+of a forward all-reduce is the identity, exactly as in Megatron-LM's
+``_ReduceFromModelParallelRegion``) and raw numpy arrays (as used inside
+backward hooks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import events
+from repro.framework.autograd import GradNode, is_grad_enabled
+from repro.framework.tensor import Tensor
+
+
+class RankContext:
+    """Per-thread handle inside a LocalCluster run."""
+
+    def __init__(self, rank: int, cluster):
+        self.rank = rank
+        self.cluster = cluster
+        self.world_size = cluster.world_size
+
+    def group(self, ranks=None, tag: str = "world") -> "ThreadGroup":
+        ranks = tuple(ranks) if ranks is not None \
+            else tuple(range(self.world_size))
+        return ThreadGroup(self.rank, ranks, self.cluster.communicator(ranks),
+                           tag=tag)
+
+    def world_group(self) -> "ThreadGroup":
+        return self.group()
+
+
+class BaseGroup:
+    """Common surface; see module docstring."""
+
+    tag: str = "world"
+    size: int = 1
+    rank: int = 0
+    ranks: tuple[int, ...] = (0,)
+
+    # Subclasses implement the raw numpy-level primitives. ------------- #
+    def _all_reduce_array(self, array: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _all_gather_array(self, array: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def _reduce_scatter_array(self, array: np.ndarray, axis: int
+                              ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _broadcast_array(self, array, src: int):
+        raise NotImplementedError
+
+    def _record(self, kind: str, nbytes: int) -> None:
+        events.record_comm(kind, nbytes, self.size,
+                           meta={"tag": self.tag, "ranks": self.ranks})
+
+    # Tensor-level collectives with autograd. --------------------------- #
+    def all_reduce(self, value):
+        """Sum across the group. Backward: identity."""
+        if isinstance(value, np.ndarray):
+            self._record("all_reduce", value.nbytes)
+            return self._all_reduce_array(value)
+        tensor: Tensor = value
+        self._record("all_reduce", tensor.nbytes)
+        if tensor.is_meta:
+            return tensor
+        out = Tensor(self._all_reduce_array(tensor.data), dtype=tensor.dtype)
+        if is_grad_enabled() and (tensor.requires_grad or tensor.grad_fn):
+            out.grad_fn = GradNode("all_reduce", (tensor,), lambda g: (g,))
+            out.requires_grad = True
+        return out
+
+    def all_gather(self, value, axis: int = -1):
+        """Concatenate shards along ``axis``. Backward: take own slice."""
+        if isinstance(value, np.ndarray):
+            self._record("all_gather", value.nbytes * self.size)
+            return self._all_gather_array(value, axis)
+        tensor: Tensor = value
+        self._record("all_gather", tensor.nbytes * self.size)
+        if tensor.is_meta:
+            shape = list(tensor.shape)
+            shape[axis] *= self.size
+            return Tensor.meta(tuple(shape), tensor.dtype)
+        out_data = self._all_gather_array(tensor.data, axis)
+        out = Tensor(out_data, dtype=tensor.dtype)
+        if is_grad_enabled() and (tensor.requires_grad or tensor.grad_fn):
+            local = self.ranks.index(self.rank) if self.rank in self.ranks \
+                else 0
+            shard = tensor.shape[axis]
+
+            def backward(grad):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(local * shard, (local + 1) * shard)
+                return (grad[tuple(index)],)
+
+            out.grad_fn = GradNode("all_gather", (tensor,), backward)
+            out.requires_grad = True
+        return out
+
+    def reduce_scatter(self, value, axis: int = -1):
+        """Sum then split along ``axis``; each rank keeps one shard."""
+        if isinstance(value, np.ndarray):
+            self._record("reduce_scatter", value.nbytes)
+            return self._reduce_scatter_array(value, axis)
+        tensor: Tensor = value
+        self._record("reduce_scatter", tensor.nbytes)
+        if tensor.is_meta:
+            shape = list(tensor.shape)
+            shape[axis] //= self.size
+            return Tensor.meta(tuple(shape), tensor.dtype)
+        out = Tensor(self._reduce_scatter_array(tensor.data, axis),
+                     dtype=tensor.dtype)
+        if is_grad_enabled() and (tensor.requires_grad or tensor.grad_fn):
+            def backward(grad):
+                return (self._all_gather_array(grad, axis),)
+
+            out.grad_fn = GradNode("reduce_scatter", (tensor,), backward)
+            out.requires_grad = True
+        return out
+
+    def broadcast(self, value, src: int = 0):
+        if isinstance(value, np.ndarray):
+            self._record("broadcast", value.nbytes)
+            return self._broadcast_array(value, src)
+        tensor: Tensor = value
+        self._record("broadcast", tensor.nbytes)
+        if tensor.is_meta:
+            return tensor
+        return Tensor(np.array(self._broadcast_array(tensor.data, src)),
+                      dtype=tensor.dtype)
+
+    def copy_to_group(self, value):
+        """Identity forward, all-reduce backward.
+
+        Placed at the *input* of a tensor-parallel region (Megatron's
+        ``_CopyToModelParallelRegion``).
+        """
+        tensor: Tensor = value
+        if tensor.is_meta or not isinstance(tensor, Tensor):
+            return tensor
+        out = Tensor(tensor.data, dtype=tensor.dtype)
+        if is_grad_enabled() and (tensor.requires_grad or tensor.grad_fn):
+            def backward(grad):
+                self._record("all_reduce", grad.nbytes)
+                return (self._all_reduce_array(grad),)
+
+            out.grad_fn = GradNode("copy_to_group", (tensor,), backward)
+            out.requires_grad = True
+        return out
+
+    def barrier(self) -> None:
+        pass
+
+
+class SingleGroup(BaseGroup):
+    """World of one: all collectives are identities."""
+
+    def __init__(self, tag: str = "world"):
+        self.tag = tag
+        self.size = 1
+        self.rank = 0
+        self.ranks = (0,)
+
+    def _all_reduce_array(self, array):
+        return array
+
+    def _all_gather_array(self, array, axis):
+        return array
+
+    def _reduce_scatter_array(self, array, axis):
+        return array
+
+    def _broadcast_array(self, array, src):
+        return array
+
+    def _record(self, kind, nbytes):
+        pass  # no communication happens in a world of one
+
+
+class ThreadGroup(BaseGroup):
+    """Real rendezvous collectives between LocalCluster threads."""
+
+    def __init__(self, rank: int, ranks: tuple[int, ...], communicator,
+                 tag: str = "group"):
+        self.rank = rank
+        self.ranks = tuple(ranks)
+        self.size = len(self.ranks)
+        self.tag = tag
+        self._comm = communicator
+
+    def _all_reduce_array(self, array):
+        return self._comm.all_reduce(self.rank, array)
+
+    def _all_gather_array(self, array, axis):
+        return self._comm.all_gather(self.rank, array, axis)
+
+    def _reduce_scatter_array(self, array, axis):
+        return self._comm.reduce_scatter(self.rank, array, axis)
+
+    def _broadcast_array(self, array, src):
+        return self._comm.broadcast(self.rank, array, src)
+
+    def barrier(self) -> None:
+        self._comm.barrier(self.rank)
+
+    def send(self, dst: int, value) -> None:
+        self._comm.send(self.rank, dst, value)
+
+    def recv(self, src: int):
+        return self._comm.recv(self.rank, src)
+
+
+class SimGroup(BaseGroup):
+    """Meta-device group: no data motion, only cost events.
+
+    Acts as rank 0 of the group; tensors passing through keep (or reshape)
+    their meta shapes so downstream shape inference stays correct.
+    """
+
+    def __init__(self, ranks: tuple[int, ...], tag: str = "group"):
+        self.ranks = tuple(ranks)
+        self.size = len(self.ranks)
+        self.rank = self.ranks[0]
+        self.tag = tag
+
+    def _all_reduce_array(self, array):
+        return array
+
+    def _all_gather_array(self, array, axis):
+        reps = [1] * array.ndim
+        reps[axis] = self.size
+        return np.tile(array, reps)
+
+    def _reduce_scatter_array(self, array, axis):
+        return np.split(array, self.size, axis=axis)[0]
+
+    def _broadcast_array(self, array, src):
+        return array

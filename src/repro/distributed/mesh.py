@@ -1,0 +1,109 @@
+"""Device meshes: factor a world of ranks into tp × dp × pp axes.
+
+Follows the Megatron-LM convention: tensor-parallel groups are innermost
+(consecutive ranks, so TP traffic stays on NVLink), then data parallel, then
+pipeline parallel outermost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .group import BaseGroup, RankContext, SimGroup, SingleGroup
+from .topology import ClusterSpec
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a world of GPUs is carved into parallel dimensions."""
+
+    tp: int = 1
+    dp: int = 1
+    pp: int = 1
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.dp * self.pp
+
+    def validate(self, world_size: int) -> None:
+        if self.world_size != world_size:
+            raise ValueError(
+                f"tp*dp*pp = {self.world_size} != world size {world_size}"
+            )
+
+
+def _axis_ranks(rank: int, config: ParallelConfig) -> dict[str, tuple[int, ...]]:
+    """Ranks sharing each axis group with ``rank``."""
+    tp, dp, pp = config.tp, config.dp, config.pp
+    tp_idx = rank % tp
+    dp_idx = (rank // tp) % dp
+    pp_idx = rank // (tp * dp)
+    tp_group = tuple(pp_idx * tp * dp + dp_idx * tp + i for i in range(tp))
+    dp_group = tuple(pp_idx * tp * dp + j * tp + tp_idx for j in range(dp))
+    pp_group = tuple(k * tp * dp + dp_idx * tp + tp_idx for k in range(pp))
+    return {"tp": tp_group, "dp": dp_group, "pp": pp_group}
+
+
+class DeviceMesh:
+    """Per-rank view of the parallel groups.
+
+    For simulation, construct with ``sim=True`` (no cluster needed): groups
+    are :class:`SimGroup` objects that only record communication events.
+    For functional runs inside a LocalCluster, pass the rank context.
+    """
+
+    def __init__(self, config: ParallelConfig,
+                 ctx: RankContext | None = None,
+                 cluster_spec: ClusterSpec | None = None,
+                 rank: int = 0, sim: bool = False):
+        self.config = config
+        self.cluster_spec = cluster_spec
+        self.rank = ctx.rank if ctx is not None else rank
+        axis = _axis_ranks(self.rank, config)
+        if ctx is not None:
+            config.validate(ctx.world_size)
+            self._groups = {
+                name: ctx.group(ranks, tag=name)
+                for name, ranks in axis.items()
+            }
+        elif sim:
+            self._groups = {
+                name: SimGroup(ranks, tag=name) if len(ranks) > 1
+                else SingleGroup(tag=name)
+                for name, ranks in axis.items()
+            }
+        else:
+            if config.world_size != 1:
+                raise ValueError(
+                    "a multi-rank mesh needs a RankContext or sim=True"
+                )
+            self._groups = {name: SingleGroup(tag=name)
+                            for name in ("tp", "dp", "pp")}
+
+    @property
+    def tp_group(self) -> BaseGroup:
+        return self._groups["tp"]
+
+    @property
+    def dp_group(self) -> BaseGroup:
+        return self._groups["dp"]
+
+    @property
+    def pp_group(self) -> BaseGroup:
+        return self._groups["pp"]
+
+    def group(self, name: str) -> BaseGroup:
+        return self._groups[name]
+
+    @property
+    def pp_stage(self) -> int:
+        return self.rank // (self.config.tp * self.config.dp)
+
+    def __repr__(self) -> str:
+        c = self.config
+        return f"DeviceMesh(rank={self.rank}, tp={c.tp}, dp={c.dp}, pp={c.pp})"
+
+
+def single_device_mesh() -> DeviceMesh:
+    """The default mesh: one device, all groups trivial."""
+    return DeviceMesh(ParallelConfig(1, 1, 1))

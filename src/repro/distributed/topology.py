@@ -1,0 +1,138 @@
+"""Hardware topology: the paper's testbed, described analytically.
+
+The evaluation machines are Amazon EC2 p3dn.24xlarge instances: 8 NVIDIA
+V100-SXM2-32GB GPUs per node connected by NVLink (300 GB/s aggregate per
+GPU), and 100 Gbps (EFA) networking between nodes.  The constants below come
+from public hardware specifications, not from fitting the paper's charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single accelerator."""
+
+    name: str = "V100-SXM2-32GB"
+    #: peak tensor-core throughput for fp16 GEMMs (FLOP/s)
+    peak_fp16_flops: float = 125e12
+    #: peak fp32 throughput (FLOP/s)
+    peak_fp32_flops: float = 15.7e12
+    #: HBM2 bandwidth (bytes/s)
+    memory_bandwidth: float = 900e9
+    #: device memory (bytes)
+    memory_capacity: float = 32e9
+    #: memory the allocator/runtime reserves (fragmentation, cudnn, nccl)
+    memory_reserved: float = 2.5e9
+    #: fixed cost of launching one kernel (seconds)
+    kernel_launch_overhead: float = 8e-6
+
+    @property
+    def usable_memory(self) -> float:
+        return self.memory_capacity - self.memory_reserved
+
+    def peak_flops(self, dtype_name: str) -> float:
+        return self.peak_fp16_flops if dtype_name == "float16" \
+            else self.peak_fp32_flops
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of multi-GPU nodes."""
+
+    num_nodes: int = 1
+    gpus_per_node: int = 8
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    #: effective per-GPU NVLink bus bandwidth for ring collectives (bytes/s)
+    intra_node_bandwidth: float = 130e9
+    #: node-to-node network bandwidth (bytes/s); 100 Gbps EFA
+    inter_node_bandwidth: float = 100e9 / 8
+    #: per-hop collective latency (seconds)
+    link_latency: float = 5e-6
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.gpus_per_node
+
+    def spans_nodes(self, ranks: tuple[int, ...]) -> bool:
+        return len({self.node_of(r) for r in ranks}) > 1
+
+    # ------------------------------------------------------------------ #
+    # α-β cost model for ring collectives
+    # ------------------------------------------------------------------ #
+    def _ring_bandwidth(self, ranks: tuple[int, ...]) -> float:
+        """Bottleneck bandwidth of a ring over ``ranks``.
+
+        A ring crossing node boundaries is limited by the node NIC.  One
+        world-spanning ring uses the full NIC; when a group places only a
+        few ranks per node (e.g. data-parallel groups of tensor-sharded
+        ranks), its sibling groups run the same collective concurrently and
+        share the NIC, so each ring gets a proportional slice.
+        """
+        if not self.spans_nodes(ranks):
+            return self.intra_node_bandwidth
+        nodes: dict[int, int] = {}
+        for r in ranks:
+            nodes[self.node_of(r)] = nodes.get(self.node_of(r), 0) + 1
+        ranks_per_node = max(nodes.values())
+        concurrent_rings = max(self.gpus_per_node // ranks_per_node, 1)
+        return self.inter_node_bandwidth / concurrent_rings
+
+    def all_reduce_time(self, nbytes: float, ranks: tuple[int, ...]) -> float:
+        n = len(ranks)
+        if n <= 1 or nbytes == 0:
+            return 0.0
+        bw = self._ring_bandwidth(ranks)
+        return 2 * (n - 1) / n * nbytes / bw + 2 * (n - 1) * self.link_latency
+
+    def all_gather_time(self, nbytes: float, ranks: tuple[int, ...]) -> float:
+        """``nbytes`` is the size of the *gathered* (full) tensor."""
+        n = len(ranks)
+        if n <= 1 or nbytes == 0:
+            return 0.0
+        bw = self._ring_bandwidth(ranks)
+        return (n - 1) / n * nbytes / bw + (n - 1) * self.link_latency
+
+    reduce_scatter_time = all_gather_time
+
+    def broadcast_time(self, nbytes: float, ranks: tuple[int, ...]) -> float:
+        n = len(ranks)
+        if n <= 1 or nbytes == 0:
+            return 0.0
+        bw = self._ring_bandwidth(ranks)
+        return nbytes / bw + (n - 1) * self.link_latency
+
+    def p2p_time(self, nbytes: float, src: int, dst: int) -> float:
+        if nbytes == 0 or src == dst:
+            return 0.0
+        bw = self.intra_node_bandwidth \
+            if self.node_of(src) == self.node_of(dst) \
+            else self.inter_node_bandwidth
+        return nbytes / bw + self.link_latency
+
+    def collective_time(self, kind: str, nbytes: float,
+                        ranks: tuple[int, ...]) -> float:
+        dispatch = {
+            "all_reduce": self.all_reduce_time,
+            "all_gather": self.all_gather_time,
+            "reduce_scatter": self.reduce_scatter_time,
+            "broadcast": self.broadcast_time,
+        }
+        try:
+            return dispatch[kind](nbytes, ranks)
+        except KeyError:
+            raise ValueError(f"unknown collective kind: {kind}") from None
+
+
+#: the paper's single-node testbed
+P3DN_NODE = ClusterSpec(num_nodes=1, gpus_per_node=8)
+
+
+def p3dn_cluster(num_nodes: int) -> ClusterSpec:
+    """A cluster of p3dn.24xlarge nodes (the paper's multi-node testbed)."""
+    return ClusterSpec(num_nodes=num_nodes, gpus_per_node=8)

@@ -1,0 +1,79 @@
+"""Data types for the mini framework.
+
+The framework simulates mixed-precision training: ``float16`` tensors use
+``numpy.float16`` storage so numerical behaviour (rounding, overflow to inf)
+is representative of real fp16 hardware, while optimizers keep fp32 master
+weights exactly like Apex/Megatron mixed precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DType:
+    """A framework dtype: a named wrapper around a numpy dtype."""
+
+    _registry: dict[str, "DType"] = {}
+
+    def __init__(self, name: str, np_dtype: np.dtype, is_floating: bool):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.is_floating = is_floating
+        DType._registry[name] = self
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.np_dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"repro.{self.name}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    @staticmethod
+    def from_numpy(np_dtype) -> "DType":
+        """Map a numpy dtype to the corresponding framework dtype."""
+        key = np.dtype(np_dtype)
+        for dt in DType._registry.values():
+            if dt.np_dtype == key:
+                return dt
+        raise TypeError(f"unsupported numpy dtype: {np_dtype}")
+
+    @staticmethod
+    def from_name(name: str) -> "DType":
+        try:
+            return DType._registry[name]
+        except KeyError:
+            raise TypeError(f"unknown dtype name: {name}") from None
+
+
+float16 = DType("float16", np.float16, is_floating=True)
+float32 = DType("float32", np.float32, is_floating=True)
+float64 = DType("float64", np.float64, is_floating=True)
+int32 = DType("int32", np.int32, is_floating=False)
+int64 = DType("int64", np.int64, is_floating=False)
+bool_ = DType("bool", np.bool_, is_floating=False)
+
+# Promotion order for binary ops mixing dtypes (higher wins).
+_PROMOTION_RANK = {
+    "bool": 0,
+    "int32": 1,
+    "int64": 2,
+    "float16": 3,
+    "float32": 4,
+    "float64": 5,
+}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Return the result dtype of a binary op between dtypes ``a`` and ``b``."""
+    if a == b:
+        return a
+    ra, rb = _PROMOTION_RANK[a.name], _PROMOTION_RANK[b.name]
+    return a if ra >= rb else b

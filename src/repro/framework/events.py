@@ -1,0 +1,76 @@
+"""Hook point between the framework and the performance simulator.
+
+The simulator installs a recorder; every functional op then reports a kernel
+event (name, shapes, flops, bytes moved).  When no recorder is installed the
+hooks are near-zero-cost no-ops, so ordinary eager execution is unaffected.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_RECORDER = None
+
+
+def set_recorder(recorder) -> None:
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def get_recorder():
+    return _RECORDER
+
+
+@contextmanager
+def recording(recorder):
+    """Install ``recorder`` for the duration of the block."""
+    global _RECORDER
+    prev = _RECORDER
+    _RECORDER = recorder
+    try:
+        yield recorder
+    finally:
+        _RECORDER = prev
+
+
+def record_op(name, out_shape, dtype, flops=0, bytes_moved=0, meta=None):
+    """Report one kernel launch to the active recorder, if any."""
+    if _RECORDER is not None:
+        _RECORDER.record_op(name, out_shape, dtype, flops, bytes_moved, meta)
+
+
+def record_comm(kind, bytes_, group_size, meta=None):
+    """Report one collective to the active recorder, if any."""
+    if _RECORDER is not None:
+        _RECORDER.record_comm(kind, bytes_, group_size, meta)
+
+
+@contextmanager
+def fused_region(name, backend="custom"):
+    """Mark all ops inside the block as a single fused kernel.
+
+    Recorders that understand fusion merge the enclosed op events into one
+    launch and drop intermediate memory round-trips; recorders that do not
+    (or no recorder at all) see ordinary execution.
+    """
+    if _RECORDER is None or not hasattr(_RECORDER, "begin_fused"):
+        yield
+        return
+    _RECORDER.begin_fused(name, backend)
+    try:
+        yield
+    finally:
+        _RECORDER.end_fused()
+
+
+@contextmanager
+def checkpoint_region():
+    """Mark the ops inside as running under activation checkpointing."""
+    if _RECORDER is None or not hasattr(_RECORDER, "begin_checkpoint"):
+        yield
+        return
+    _RECORDER.begin_checkpoint()
+    try:
+        yield
+    finally:
+        _RECORDER.end_checkpoint()

@@ -1,0 +1,55 @@
+"""Weight initializers (seeded through the global framework RNG)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import random as frandom
+from .dtype import DType, float32
+from .tensor import Tensor
+
+
+def _make(shape, dtype: DType, device: str, sampler) -> Tensor:
+    if device == "meta":
+        return Tensor.meta(shape, dtype)
+    data = sampler(frandom.generator()).astype(dtype.np_dtype)
+    return Tensor(data, dtype=dtype)
+
+
+def normal(shape, std: float = 0.02, dtype: DType = float32,
+           device: str = "cpu") -> Tensor:
+    return _make(shape, dtype, device,
+                 lambda rng: rng.normal(0.0, std, shape))
+
+
+def uniform(shape, low: float, high: float, dtype: DType = float32,
+            device: str = "cpu") -> Tensor:
+    return _make(shape, dtype, device,
+                 lambda rng: rng.uniform(low, high, shape))
+
+
+def zeros(shape, dtype: DType = float32, device: str = "cpu") -> Tensor:
+    if device == "meta":
+        return Tensor.meta(shape, dtype)
+    return Tensor(np.zeros(shape, dtype.np_dtype), dtype=dtype)
+
+
+def ones(shape, dtype: DType = float32, device: str = "cpu") -> Tensor:
+    if device == "meta":
+        return Tensor.meta(shape, dtype)
+    return Tensor(np.ones(shape, dtype.np_dtype), dtype=dtype)
+
+
+def kaiming_uniform(shape, fan_in: int, dtype: DType = float32,
+                    device: str = "cpu") -> Tensor:
+    """He-uniform, matching ``torch.nn.Linear``'s default reset."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return uniform(shape, -bound, bound, dtype, device)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, dtype: DType = float32,
+                   device: str = "cpu") -> Tensor:
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, dtype, device)

@@ -1,0 +1,289 @@
+"""Built-in layer modules (the framework's ``nn`` namespace).
+
+All layers support construction on ``device="meta"``: parameters then carry
+shapes only, which is how billion-parameter models are instantiated for the
+performance simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Iterable
+
+import numpy as np
+
+from . import dtype as dtypes, functional as F, init
+from .dtype import DType
+from .module import Module
+from .parameter import Parameter
+from .tensor import Tensor
+
+
+def _param(tensor: Tensor) -> Parameter:
+    return Parameter.from_tensor(tensor)
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x
+
+
+class Linear(Module):
+    """Affine layer with torch's (out_features, in_features) weight layout.
+
+    The layout matters to Slapo schedules: ``.shard("weight", axis=0)``
+    partitions the *output* dimension (column parallel in Megatron terms)
+    and ``axis=1`` partitions the input dimension (row parallel).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = _param(init.kaiming_uniform(
+            (out_features, in_features), fan_in=in_features,
+            dtype=dtype, device=device))
+        if bias:
+            self.bias = _param(init.kaiming_uniform(
+                (out_features,), fan_in=in_features, dtype=dtype,
+                device=device))
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self._parameters.get("bias"))
+
+    def extra_repr(self) -> str:
+        return (f"in_features={self.in_features}, "
+                f"out_features={self.out_features}, "
+                f"bias={self._parameters.get('bias') is not None}")
+
+
+class LayerNorm(Module):
+    def __init__(self, normalized_shape, eps: float = 1e-5,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.weight = _param(init.ones(self.normalized_shape, dtype, device))
+        self.bias = _param(init.zeros(self.normalized_shape, dtype, device))
+
+    def forward(self, x):
+        return F.layer_norm(x, self.normalized_shape, self.weight, self.bias,
+                            self.eps)
+
+    def extra_repr(self) -> str:
+        return f"{self.normalized_shape}, eps={self.eps}"
+
+
+class RMSNorm(Module):
+    """LLaMA-style RMS normalisation."""
+
+    def __init__(self, hidden_size: int, eps: float = 1e-6,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        self.eps = eps
+        self.weight = _param(init.ones((hidden_size,), dtype, device))
+
+    def forward(self, x):
+        return F.rms_norm(x, self.weight, self.eps)
+
+
+class Embedding(Module):
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 padding_idx: int | None = None,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        self.weight = _param(init.normal(
+            (num_embeddings, embedding_dim), std=0.02, dtype=dtype,
+            device=device))
+
+    def forward(self, indices):
+        return F.embedding(indices, self.weight, self.padding_idx)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_embeddings}, {self.embedding_dim}"
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1): {p}")
+        self.p = p
+
+    def forward(self, x):
+        return F.dropout(x, self.p, self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class GELU(Module):
+    def forward(self, x):
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return F.relu(x)
+
+
+class SiLU(Module):
+    def forward(self, x):
+        return F.silu(x)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return F.tanh(x)
+
+
+class Softmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x):
+        return F.softmax(x, self.dim)
+
+
+class Conv2d(Module):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = _param(init.kaiming_uniform(
+            (out_channels, in_channels, kernel_size, kernel_size),
+            fan_in=fan_in, dtype=dtype, device=device))
+        if bias:
+            self.bias = _param(init.kaiming_uniform(
+                (out_channels,), fan_in=fan_in, dtype=dtype, device=device))
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.conv2d(x, self.weight, self._parameters.get("bias"),
+                        self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding}")
+
+
+class BatchNorm2d(Module):
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1, dtype: DType = dtypes.float32,
+                 device: str = "cpu"):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = _param(init.ones((num_features,), dtype, device))
+        self.bias = _param(init.zeros((num_features,), dtype, device))
+        self.register_buffer("running_mean",
+                             init.zeros((num_features,), dtypes.float32, device))
+        self.register_buffer("running_var",
+                             init.ones((num_features,), dtypes.float32, device))
+
+    def forward(self, x):
+        return F.batch_norm(x, self._buffers["running_mean"],
+                            self._buffers["running_var"], self.weight,
+                            self.bias, self.training, self.momentum, self.eps)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None,
+                 padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: int = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x):
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Sequential(Module):
+    """Chain of modules executed in insertion order."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], OrderedDict):
+            for name, module in modules[0].items():
+                self.add_module(name, module)
+        else:
+            for idx, module in enumerate(modules):
+                self.add_module(str(idx), module)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """Indexed list of submodules (no forward of its own)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for idx, module in enumerate(modules):
+            self.add_module(str(idx), module)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return list(self._modules.values())[idx]
+        if idx < 0:
+            idx += len(self._modules)
+        return self._modules[str(idx)]
+
+    def __setitem__(self, idx: int, module: Module) -> None:
+        if idx < 0:
+            idx += len(self._modules)
+        self._modules[str(idx)] = module
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self

@@ -1,0 +1,122 @@
+"""Optimizers: SGD and AdamW with fp32 master weights for fp16 params.
+
+AdamW keeps, per parameter, the fp32 master copy plus two fp32 moments —
+the 16-bytes-per-parameter optimizer state that dominates large-model memory
+and that ZeRO partitions.  The memory model in :mod:`repro.sim` mirrors this
+layout exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from . import dtype as dtypes
+from .parameter import Parameter
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Parameter], defaults: dict):
+        deduped: list[Parameter] = []
+        seen: set[int] = set()
+        for param in params:
+            if id(param) not in seen:  # tied weights must update once
+                seen.add(id(param))
+                deduped.append(param)
+        self.param_groups = [{"params": deduped, **defaults}]
+        if not self.param_groups[0]["params"]:
+            raise ValueError("optimizer got an empty parameter list")
+        self.state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def state_bytes_per_param(self) -> int:
+        """Optimizer-state bytes per scalar parameter (for the memory model)."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, {"lr": lr, "momentum": momentum,
+                                  "weight_decay": weight_decay})
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad.data.astype(np.float32)
+                if weight_decay:
+                    grad = grad + weight_decay * param.data.astype(np.float32)
+                if momentum:
+                    state = self.state.setdefault(id(param), {})
+                    buf = state.get("momentum")
+                    buf = grad if buf is None else momentum * buf + grad
+                    state["momentum"] = buf
+                    grad = buf
+                param.data -= (lr * grad).astype(param.data.dtype)
+
+    def state_bytes_per_param(self) -> int:
+        return 4 if self.param_groups[0]["momentum"] else 0
+
+
+class AdamW(Optimizer):
+    """Decoupled weight decay Adam (Loshchilov & Hutter)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(params, {"lr": lr, "betas": betas, "eps": eps,
+                                  "weight_decay": weight_decay})
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                state = self.state.setdefault(id(param), {})
+                if not state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros(param.shape, np.float32)
+                    state["exp_avg_sq"] = np.zeros(param.shape, np.float32)
+                    if param.dtype == dtypes.float16:
+                        state["master"] = param.data.astype(np.float32)
+                state["step"] += 1
+                step = state["step"]
+                grad = param.grad.data.astype(np.float32)
+                master = state.get("master")
+                target = master if master is not None \
+                    else param.data.astype(np.float32)
+                # Decoupled weight decay.
+                target = target * (1.0 - lr * weight_decay)
+                state["exp_avg"] = beta1 * state["exp_avg"] + (1 - beta1) * grad
+                state["exp_avg_sq"] = (beta2 * state["exp_avg_sq"]
+                                       + (1 - beta2) * grad * grad)
+                bias1 = 1 - beta1 ** step
+                bias2 = 1 - beta2 ** step
+                step_size = lr / bias1
+                denom = np.sqrt(state["exp_avg_sq"] / bias2) + eps
+                target = target - step_size * state["exp_avg"] / denom
+                if master is not None:
+                    state["master"] = target
+                    param.data[...] = target.astype(np.float16)
+                else:
+                    param.data[...] = target.astype(param.data.dtype)
+
+    def state_bytes_per_param(self) -> int:
+        # fp32 exp_avg + exp_avg_sq + master copy.
+        return 12

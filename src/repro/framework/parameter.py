@@ -1,0 +1,47 @@
+"""Learnable parameter: a Tensor that modules register automatically."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import dtype as dtypes
+from .dtype import DType
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor flagged as a module parameter (requires grad by default)."""
+
+    def __init__(self, data, dtype: DType | None = None,
+                 requires_grad: bool = True):
+        super().__init__(data, dtype=dtype, requires_grad=requires_grad)
+        # Sharding metadata filled in by slapo's .shard() primitive.
+        self.shard_spec = None
+
+    @staticmethod
+    def meta(shape, dtype: DType = dtypes.float32,
+             requires_grad: bool = True) -> "Parameter":
+        p = Parameter.__new__(Parameter)
+        Tensor_meta = Tensor.meta(shape, dtype, requires_grad)
+        p.__dict__.update(Tensor_meta.__dict__)
+        p.data = None
+        p._meta_shape = tuple(int(s) for s in shape)
+        p._dtype = dtype
+        p.device = "meta"
+        p.requires_grad = requires_grad and dtype.is_floating
+        p.grad = None
+        p.grad_fn = None
+        p.shard_spec = None
+        return p
+
+    @staticmethod
+    def from_tensor(t: Tensor, requires_grad: bool = True) -> "Parameter":
+        if t.is_meta:
+            return Parameter.meta(tuple(t.shape), t.dtype, requires_grad)
+        return Parameter(t.data, dtype=t.dtype, requires_grad=requires_grad)
+
+    def __repr__(self) -> str:
+        if self.is_meta:
+            return (f"Parameter(meta, shape={tuple(self.shape)}, "
+                    f"dtype={self.dtype.name})")
+        return f"Parameter(shape={tuple(self.shape)}, dtype={self.dtype.name})"

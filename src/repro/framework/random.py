@@ -1,0 +1,49 @@
+"""Seeded random-number streams.
+
+One generator per thread (like ``torch.manual_seed``'s per-device streams):
+LocalCluster runs every simulated rank on its own thread, and each rank must
+be able to seed and draw deterministically without interleaving with its
+peers.  The state can be snapshotted and restored, which activation
+checkpointing uses to replay identical dropout masks during recomputation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_LOCAL = threading.local()
+
+
+def _state() -> np.random.Generator:
+    generator = getattr(_LOCAL, "generator", None)
+    if generator is None:
+        generator = np.random.default_rng(0)
+        _LOCAL.generator = generator
+    return generator
+
+
+def manual_seed(seed: int) -> None:
+    """Reset this thread's generator to a deterministic state."""
+    _LOCAL.generator = np.random.default_rng(seed)
+
+
+def generator() -> np.random.Generator:
+    """Return this thread's generator."""
+    return _state()
+
+
+def get_rng_state():
+    """Snapshot the generator state (opaque, for later restore)."""
+    return _state().bit_generator.state
+
+
+def set_rng_state(state) -> None:
+    """Restore a state captured by :func:`get_rng_state`."""
+    _state().bit_generator.state = state
+
+
+def fork_rng(seed: int) -> np.random.Generator:
+    """Return a fresh generator without disturbing the thread's stream."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,33 @@
+"""repro.fx — symbolic tracing and static-graph IR (torch.fx substrate)."""
+
+from .graph import Graph
+from .graph_module import GraphModule
+from .interpreter import Interpreter, ShapeProp
+from .matcher import (
+    Match,
+    ModulePattern,
+    SubgraphMatcher,
+    find_matches,
+    find_nodes_by_regex,
+    trace_pattern,
+)
+from .node import Node, iter_nodes, map_arg
+from .proxy import Proxy, TraceError
+from .rewriter import (
+    extract_match_as_module,
+    replace_match_with_module,
+    replace_node_with_function,
+    split_graph_module,
+)
+from .tracer import DEFAULT_LEAF_TYPES, Tracer, symbolic_trace
+
+__all__ = [
+    "Graph", "GraphModule", "Node", "Proxy", "TraceError", "Tracer",
+    "symbolic_trace", "DEFAULT_LEAF_TYPES",
+    "Interpreter", "ShapeProp",
+    "Match", "ModulePattern", "SubgraphMatcher", "find_matches",
+    "find_nodes_by_regex", "trace_pattern",
+    "extract_match_as_module", "replace_match_with_module",
+    "replace_node_with_function", "split_graph_module",
+    "iter_nodes", "map_arg",
+]

@@ -1,0 +1,152 @@
+"""GraphModule: a Module whose forward interprets a static Graph.
+
+The GraphModule *shares* the submodules and parameters of the module it was
+traced from — scheduling primitives mutate the graph (fuse, replace,
+pipeline-split) while parameter identity is preserved, which is what lets
+Slapo keep optimizer state and sharding metadata intact across transforms.
+"""
+
+from __future__ import annotations
+
+from repro.framework.module import Module
+from repro.framework.parameter import Parameter
+
+from .graph import Graph
+from .node import Node, map_arg
+
+
+class GraphModule(Module):
+    def __init__(self, root: Module, graph: Graph, class_name: str = "GraphModule"):
+        super().__init__()
+        self._class_name = class_name
+        self.graph = graph
+        self._copy_referenced_attrs(root)
+        # Keep original annotations (checkpointing flags etc).
+        self._slapo_meta.update(root._slapo_meta)
+
+    # ------------------------------------------------------------------ #
+    def _copy_referenced_attrs(self, root: Module) -> None:
+        for node in self.graph:
+            if node.op == "call_module":
+                if not self._has_path(node.target):
+                    self._link_submodule(root, node.target)
+            elif node.op == "get_attr":
+                if not self._has_path(node.target):
+                    self._link_attr(root, node.target)
+
+    def _has_path(self, target: str) -> bool:
+        try:
+            self.get_submodule(target)
+            return True
+        except AttributeError:
+            pass
+        try:
+            self.get_parameter(target)
+            return True
+        except AttributeError:
+            return False
+
+    def _link_submodule(self, root: Module, target: str) -> None:
+        """Mount root's submodule at the same dotted path on self."""
+        source = root.get_submodule(target)
+        parts = target.split(".")
+        parent: Module = self
+        root_cursor: Module = root
+        for atom in parts[:-1]:
+            root_cursor = root_cursor.get_submodule(atom)
+            if atom not in parent._modules:
+                shell = Module()
+                parent.add_module(atom, shell)
+            parent = parent._modules[atom]
+        parent.add_module(parts[-1], source)
+
+    def _link_attr(self, root: Module, target: str) -> None:
+        module_path, _, name = target.rpartition(".")
+        source_module = root.get_submodule(module_path)
+        parts = module_path.split(".") if module_path else []
+        parent: Module = self
+        for atom in parts:
+            if atom not in parent._modules:
+                parent.add_module(atom, Module())
+            parent = parent._modules[atom]
+        if name in source_module._parameters:
+            parent.register_parameter(name, source_module._parameters[name])
+        elif name in source_module._buffers:
+            parent.register_buffer(name, source_module._buffers[name])
+        else:
+            parent.__setattr__(name, getattr(source_module, name))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        env: dict[Node, object] = {}
+        placeholders = self.graph.placeholders()
+        if len(args) > len(placeholders):
+            raise TypeError(
+                f"{self._class_name} takes {len(placeholders)} inputs, "
+                f"got {len(args)}"
+            )
+        for node, value in zip(placeholders, args):
+            env[node] = value
+        for node in placeholders[len(args):]:
+            if node.name in kwargs:
+                env[node] = kwargs[node.name]
+            elif "default" in node.meta:
+                env[node] = node.meta["default"]
+            else:
+                raise TypeError(f"missing input {node.name!r}")
+
+        def lookup(n: Node):
+            return env[n]
+
+        result = None
+        for node in self.graph:
+            if node.op == "placeholder":
+                continue
+            call_args = map_arg(node.args, lookup)
+            call_kwargs = map_arg(node.kwargs, lookup)
+            if node.op == "get_attr":
+                value = self._resolve_attr(node.target)
+            elif node.op == "call_function":
+                value = node.target(*call_args, **call_kwargs)
+            elif node.op == "call_method":
+                obj, *rest = call_args
+                value = getattr(obj, node.target)(*rest, **call_kwargs)
+            elif node.op == "call_module":
+                value = self.get_submodule(node.target)(*call_args,
+                                                        **call_kwargs)
+            elif node.op == "output":
+                result = call_args[0]
+                break
+            else:
+                raise RuntimeError(f"unknown opcode {node.op}")
+            env[node] = value
+        return result
+
+    def _resolve_attr(self, target: str):
+        module_path, _, name = target.rpartition(".")
+        module = self.get_submodule(module_path)
+        if name in module._parameters:
+            return module._parameters[name]
+        if name in module._buffers:
+            return module._buffers[name]
+        return getattr(module, name)
+
+    def add_submodule(self, name: str, module: Module) -> str:
+        """Register a module under a fresh (deduplicated) top-level name."""
+        candidate = name
+        suffix = 0
+        while candidate in self._modules:
+            suffix += 1
+            candidate = f"{name}_{suffix}"
+        self.add_module(candidate, module)
+        return candidate
+
+    def recompile(self) -> None:
+        """Validate the graph after mutation (interpretation needs no codegen)."""
+        self.graph.lint()
+
+    def extra_repr(self) -> str:
+        return f"traced_from={self._class_name}, nodes={len(self.graph)}"
+
+    def print_readable(self) -> str:
+        return str(self.graph)

@@ -1,0 +1,112 @@
+"""Proxies: symbolic values that record operations during tracing.
+
+A Proxy stands in for a tensor while ``Tracer.trace`` runs a ``forward``
+method.  Arithmetic and method calls on a Proxy append nodes to the graph
+instead of computing.  Data-dependent Python control flow (``if proxy:``,
+``for x in proxy:``) raises :class:`TraceError` — the same restriction as
+``torch.fx``, which the paper's "trace by need" design works around by
+letting users choose *what* to trace.
+"""
+
+from __future__ import annotations
+
+from repro.framework import functional as F
+
+
+class TraceError(RuntimeError):
+    """Raised when model code is not symbolically traceable."""
+
+
+class Proxy:
+    is_fx_proxy = True
+
+    def __init__(self, node, tracer):
+        self.node = node
+        self.tracer = tracer
+
+    def __repr__(self) -> str:
+        return f"Proxy({self.node.name})"
+
+    # -- structural escapes that tracing cannot support ------------------ #
+    def __bool__(self) -> bool:
+        raise TraceError(
+            "symbolically traced variables cannot be used in control flow "
+            "(attempted bool() on a Proxy); mark this module as a leaf or "
+            "do not trace it"
+        )
+
+    def __iter__(self):
+        raise TraceError(
+            "cannot iterate over a Proxy; index it with constant subscripts "
+            "instead (e.g. x[0])"
+        )
+
+    def __len__(self) -> int:
+        raise TraceError("len() of a Proxy is not statically known")
+
+    # -- operator overloads → call_function nodes ------------------------ #
+    def __add__(self, other):
+        return F.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return F.sub(self, other)
+
+    def __rsub__(self, other):
+        return F.sub(other, self)
+
+    def __mul__(self, other):
+        return F.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return F.div(self, other)
+
+    def __rtruediv__(self, other):
+        return F.div(other, self)
+
+    def __matmul__(self, other):
+        return F.matmul(self, other)
+
+    def __neg__(self):
+        return F.neg(self)
+
+    def __pow__(self, exponent):
+        return F.pow(self, exponent)
+
+    def __getitem__(self, index):
+        return F.getitem(self, index)
+
+    # -- method calls → call_method nodes -------------------------------- #
+    _TENSOR_METHODS = frozenset({
+        "view", "reshape", "flatten", "transpose", "permute", "contiguous",
+        "split", "chunk", "unsqueeze", "squeeze", "expand", "sum", "mean",
+        "max", "exp", "sqrt", "tanh", "masked_fill", "float", "half", "to",
+        "matmul", "detach", "clone", "T",
+    })
+
+    def __getattr__(self, name: str):
+        if name == "T":
+            return self.tracer.create_proxy(
+                "call_method", "transpose", (self, -2, -1), {})
+        if name in self._TENSOR_METHODS:
+            return _MethodProxy(self, name)
+        raise TraceError(
+            f"attribute {name!r} of a Proxy is not statically known"
+        )
+
+
+class _MethodProxy:
+    """Bound-method stand-in: calling it records a call_method node."""
+
+    def __init__(self, owner: Proxy, method_name: str):
+        self._owner = owner
+        self._method_name = method_name
+
+    def __call__(self, *args, **kwargs):
+        return self._owner.tracer.create_proxy(
+            "call_method", self._method_name,
+            (self._owner, *args), kwargs,
+        )

@@ -1,0 +1,170 @@
+"""Symbolic tracer.
+
+``Tracer.trace(module, leaves=...)`` runs the module's ``forward`` with
+Proxy arguments and records every framework op into a :class:`Graph`.
+
+Leaf control is the heart of the paper's "trace by need": submodules listed
+in ``leaves`` (or that are framework built-ins, the default) become opaque
+``call_module`` nodes, while other submodules are inlined (flattened) into
+the parent graph.  Untraceable code inside a leaf never runs, so partial
+tracing succeeds where whole-model tracing would fail.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.framework import layers as fw_layers
+from repro.framework.module import Module
+
+from .graph import Graph
+from .node import Node
+from .proxy import Proxy, TraceError
+
+#: Module types that are never traced into (framework primitives).
+DEFAULT_LEAF_TYPES = (
+    fw_layers.Linear,
+    fw_layers.LayerNorm,
+    fw_layers.RMSNorm,
+    fw_layers.Embedding,
+    fw_layers.Dropout,
+    fw_layers.GELU,
+    fw_layers.ReLU,
+    fw_layers.SiLU,
+    fw_layers.Tanh,
+    fw_layers.Softmax,
+    fw_layers.Conv2d,
+    fw_layers.BatchNorm2d,
+    fw_layers.MaxPool2d,
+    fw_layers.AdaptiveAvgPool2d,
+    fw_layers.Identity,
+)
+
+
+_ACTIVE_TRACER: "Tracer | None" = None
+
+
+def active_tracer() -> "Tracer | None":
+    """The tracer currently executing a forward, if any."""
+    return _ACTIVE_TRACER
+
+
+class Tracer:
+    def __init__(self, leaves: tuple = (), leaf_types: tuple | None = None):
+        """``leaves``: qualified names (relative to the traced root) that stay
+        opaque.  ``leaf_types``: module classes that stay opaque (defaults to
+        all framework built-ins)."""
+        self.leaf_names = set(leaves)
+        self.leaf_types = DEFAULT_LEAF_TYPES if leaf_types is None \
+            else tuple(leaf_types)
+        self.graph: Graph | None = None
+        self._module_paths: dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def is_leaf_module(self, module: Module, path: str) -> bool:
+        if path in self.leaf_names:
+            return True
+        # GraphModules are opaque by default (they were already scheduled).
+        from .graph_module import GraphModule
+
+        if isinstance(module, GraphModule):
+            return True
+        if isinstance(module, self.leaf_types):
+            return True
+        return bool(module._slapo_meta.get("is_leaf", False))
+
+    def trace(self, root: Module, concrete_args: dict | None = None,
+              include_defaults: tuple = ()) -> Graph:
+        global _ACTIVE_TRACER
+
+        self.graph = Graph()
+        self.root = root
+        self._get_attr_cache: dict[str, Proxy] = {}
+        self._module_paths = {
+            id(mod): path for path, mod in root.named_modules()
+        }
+        signature = inspect.signature(root.forward)
+        proxies = []
+        kwproxies = {}
+        concrete_args = concrete_args or {}
+        for name, param in signature.parameters.items():
+            if name in concrete_args:
+                kwproxies[name] = concrete_args[name]
+                continue
+            if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                continue
+            if param.default is not inspect.Parameter.empty \
+                    and name not in include_defaults:
+                # Optional args keep their default unless explicitly traced
+                # (torch.fx's concrete_args behaviour).
+                continue
+            node = self.graph.placeholder(name)
+            if param.default is not inspect.Parameter.empty:
+                node.meta["default"] = param.default
+            proxies.append(Proxy(node, self))
+        previous = _ACTIVE_TRACER
+        _ACTIVE_TRACER = self
+        try:
+            output = root.forward(*proxies, **kwproxies)
+        finally:
+            _ACTIVE_TRACER = previous
+        self.graph.output(self._unwrap(output))
+        return self.graph
+
+    def get_attr_proxy(self, module: Module, name: str) -> Proxy | None:
+        """Turn a parameter/buffer read inside traced code into get_attr."""
+        path = self._module_paths.get(id(module))
+        if path is None:
+            return None  # module outside the trace root: raw access
+        qualname = f"{path}.{name}" if path else name
+        if qualname not in self._get_attr_cache:
+            self._get_attr_cache[qualname] = self.create_proxy(
+                "get_attr", qualname, (), {})
+        return self._get_attr_cache[qualname]
+
+    # ------------------------------------------------------------------ #
+    def _unwrap(self, value):
+        if isinstance(value, Proxy):
+            return value.node
+        if isinstance(value, tuple):
+            return tuple(self._unwrap(v) for v in value)
+        if isinstance(value, list):
+            return [self._unwrap(v) for v in value]
+        if isinstance(value, dict):
+            return {k: self._unwrap(v) for k, v in value.items()}
+        if isinstance(value, slice):
+            return slice(self._unwrap(value.start), self._unwrap(value.stop),
+                         self._unwrap(value.step))
+        return value
+
+    def create_proxy(self, op: str, target, args, kwargs) -> Proxy:
+        node = self.graph.create_node(
+            op, target, self._unwrap(tuple(args)), self._unwrap(dict(kwargs))
+        )
+        return Proxy(node, self)
+
+    def call_module_proxy(self, module: Module, args, kwargs) -> Proxy:
+        """Invoked by ``Module.__call__`` when an argument is a Proxy."""
+        path = self._module_paths.get(id(module))
+        if path is None:
+            raise TraceError(
+                f"module {type(module).__name__} called during tracing is "
+                f"not a submodule of the traced root"
+            )
+        if self.is_leaf_module(module, path):
+            return self.create_proxy("call_module", path, args, kwargs)
+        # Inline (flatten) the submodule's forward into this graph.
+        return module.forward(*args, **kwargs)
+
+
+def symbolic_trace(module: Module, leaves: tuple = (),
+                   concrete_args: dict | None = None,
+                   leaf_types: tuple | None = None,
+                   include_defaults: tuple = ()):
+    """Trace ``module`` and return an executable :class:`GraphModule`."""
+    from .graph_module import GraphModule
+
+    tracer = Tracer(leaves=leaves, leaf_types=leaf_types)
+    graph = tracer.trace(module, concrete_args=concrete_args,
+                         include_defaults=include_defaults)
+    return GraphModule(module, graph, class_name=type(module).__name__)

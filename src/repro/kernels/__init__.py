@@ -1,0 +1,24 @@
+"""repro.kernels — efficient kernels and stand-in fusion compilers."""
+
+from .compilers import (
+    SUPPORTED_COMPILERS,
+    CompilerNotSupportedError,
+    FusedKernel,
+    compile_subgraph,
+)
+from .flash_attention import FlashAttention, flash_attention
+from .fused_ops import (
+    BiasOnly,
+    FusedBiasDropoutResidualLayerNorm,
+    FusedBiasGELU,
+    FusedDropoutAdd,
+    FusedQKV,
+)
+
+__all__ = [
+    "FlashAttention", "flash_attention",
+    "FusedQKV", "FusedBiasGELU", "FusedBiasDropoutResidualLayerNorm",
+    "FusedDropoutAdd", "BiasOnly",
+    "FusedKernel", "compile_subgraph", "SUPPORTED_COMPILERS",
+    "CompilerNotSupportedError",
+]

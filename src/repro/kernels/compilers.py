@@ -1,0 +1,56 @@
+"""Stand-in DL compilers for ``.fuse(subgraph, compiler=...)``.
+
+The paper hands matched subgraphs to TorchScript or TorchInductor to
+generate a fused kernel.  Here, a "compiled" subgraph is the extracted
+GraphModule executed inside a fused-region marker: numerics are identical
+to the unfused code, while the simulator sees one kernel launch with no
+intermediate HBM traffic.  Backends differ only in the efficiency tag the
+cost model reads (Inductor generates slightly better code than TorchScript
+on elementwise chains, per the paper's TorchInductor adoption).
+"""
+
+from __future__ import annotations
+
+from repro.framework import events
+from repro.framework.module import Module
+from repro.fx.graph_module import GraphModule
+
+#: backend name -> relative efficiency of the generated fused kernel
+SUPPORTED_COMPILERS = {
+    "TorchScript": 1.0,
+    "TorchInductor": 1.15,
+}
+
+
+class CompilerNotSupportedError(ValueError):
+    """Raised when ``.fuse`` names an unknown compiler backend."""
+
+
+class FusedKernel(Module):
+    """A compiled subgraph: one logical kernel wrapping a GraphModule."""
+
+    def __init__(self, subgraph: GraphModule, name: str, backend: str):
+        super().__init__()
+        if backend not in SUPPORTED_COMPILERS:
+            raise CompilerNotSupportedError(
+                f"unknown compiler {backend!r}; supported: "
+                f"{sorted(SUPPORTED_COMPILERS)}"
+            )
+        self.body = subgraph
+        self.kernel_name = name
+        self.backend = backend
+        self._slapo_meta["is_leaf"] = True  # opaque to further tracing
+        self._slapo_meta["fused_backend"] = backend
+
+    def forward(self, *args):
+        with events.fused_region(self.kernel_name, backend=self.backend):
+            return self.body(*args)
+
+    def extra_repr(self) -> str:
+        return f"name={self.kernel_name}, backend={self.backend}"
+
+
+def compile_subgraph(subgraph: GraphModule, name: str,
+                     backend: str = "TorchScript") -> FusedKernel:
+    """Compile an extracted subgraph into a fused kernel module."""
+    return FusedKernel(subgraph, name=name, backend=backend)

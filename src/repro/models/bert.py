@@ -1,0 +1,188 @@
+"""HuggingFace-style BERT (Devlin et al. 2018).
+
+Module paths replicate ``transformers.BertLMHeadModel`` so the paper's
+schedules apply verbatim::
+
+    bert.embeddings.word_embeddings
+    bert.encoder.layer.{i}.attention.self.{query,key,value}
+    bert.encoder.layer.{i}.attention.output.{dense,LayerNorm,dropout}
+    bert.encoder.layer.{i}.intermediate.dense
+    bert.encoder.layer.{i}.output.{dense,LayerNorm,dropout}
+    bert.pooler / cls
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+from .configs import TransformerConfig
+
+
+class BertSelfAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.num_attention_heads = config.num_heads
+        self.attention_head_size = config.head_dim
+        self.query = fw.Linear(h, h, dtype=dtype, device=device)
+        self.key = fw.Linear(h, h, dtype=dtype, device=device)
+        self.value = fw.Linear(h, h, dtype=dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, hidden_states):
+        q = F.split_heads(self.query(hidden_states),
+                          self.num_attention_heads)
+        k = F.split_heads(self.key(hidden_states), self.num_attention_heads)
+        v = F.split_heads(self.value(hidden_states),
+                          self.num_attention_heads)
+        scores = q @ k.transpose(-2, -1)
+        scores = scores / (self.attention_head_size ** 0.5)
+        probs = self.dropout(F.softmax(scores, dim=-1))
+        context = probs @ v
+        return F.merge_heads(context)
+
+
+class BertSelfOutput(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.dense = fw.Linear(h, h, dtype=dtype, device=device)
+        self.LayerNorm = fw.LayerNorm(h, eps=config.layer_norm_eps,
+                                      dtype=dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, hidden_states, input_tensor):
+        hidden_states = self.dropout(self.dense(hidden_states))
+        return self.LayerNorm(hidden_states + input_tensor)
+
+
+class BertAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.self = BertSelfAttention(config, device)
+        self.output = BertSelfOutput(config, device)
+
+    def forward(self, hidden_states):
+        attn = self.self(hidden_states)
+        return self.output(attn, hidden_states)
+
+
+class BertIntermediate(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.dense = fw.Linear(config.hidden_size, config.intermediate_size,
+                               dtype=config.dtype, device=device)
+
+    def forward(self, hidden_states):
+        return F.gelu(self.dense(hidden_states))
+
+
+class BertOutput(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.dense = fw.Linear(config.intermediate_size, config.hidden_size,
+                               dtype=config.dtype, device=device)
+        self.LayerNorm = fw.LayerNorm(config.hidden_size,
+                                      eps=config.layer_norm_eps,
+                                      dtype=config.dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, hidden_states, input_tensor):
+        hidden_states = self.dropout(self.dense(hidden_states))
+        return self.LayerNorm(hidden_states + input_tensor)
+
+
+class BertLayer(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.attention = BertAttention(config, device)
+        self.intermediate = BertIntermediate(config, device)
+        self.output = BertOutput(config, device)
+
+    def forward(self, hidden_states):
+        attn_out = self.attention(hidden_states)
+        inter = self.intermediate(attn_out)
+        return self.output(inter, attn_out)
+
+
+class BertEmbeddings(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.word_embeddings = fw.Embedding(config.vocab_size, h,
+                                            dtype=dtype, device=device)
+        self.position_embeddings = fw.Embedding(config.max_seq_len, h,
+                                                dtype=dtype, device=device)
+        self.LayerNorm = fw.LayerNorm(h, eps=config.layer_norm_eps,
+                                      dtype=dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, input_ids):
+        seq_len = input_ids.shape[-1]
+        positions = fw.arange(seq_len)
+        embeddings = self.word_embeddings(input_ids) \
+            + self.position_embeddings(positions)
+        return self.dropout(self.LayerNorm(embeddings))
+
+
+class BertEncoder(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.layer = fw.ModuleList([
+            BertLayer(config, device) for _ in range(config.num_layers)
+        ])
+
+    def forward(self, hidden_states):
+        for layer in self.layer:
+            hidden_states = layer(hidden_states)
+        return hidden_states
+
+
+class BertPooler(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.dense = fw.Linear(config.hidden_size, config.hidden_size,
+                               dtype=config.dtype, device=device)
+
+    def forward(self, hidden_states):
+        return F.tanh(self.dense(hidden_states[:, 0]))
+
+
+class BertModel(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.embeddings = BertEmbeddings(config, device)
+        self.encoder = BertEncoder(config, device)
+        self.pooler = BertPooler(config, device)
+
+    def forward(self, input_ids):
+        hidden_states = self.embeddings(input_ids)
+        return self.encoder(hidden_states)
+
+
+class BertLMHead(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.decoder = fw.Linear(config.hidden_size, config.vocab_size,
+                                 dtype=config.dtype, device=device)
+
+    def forward(self, hidden_states):
+        return self.decoder(hidden_states)
+
+
+class BertLMHeadModel(fw.Module):
+    """Masked-language-modeling BERT (the paper's benchmark task)."""
+
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.bert = BertModel(config, device)
+        self.cls = BertLMHead(config, device)
+        if config.tie_embeddings:
+            self.cls.decoder.weight = \
+                self.bert.embeddings.word_embeddings.weight
+
+    def forward(self, input_ids):
+        return self.cls(self.bert(input_ids))

@@ -1,0 +1,145 @@
+"""HuggingFace-style LLaMA (Touvron et al. 2023).
+
+Paths mirror ``transformers.LlamaForCausalLM``::
+
+    model.embed_tokens
+    model.layers.{i}.self_attn.{q_proj,k_proj,v_proj,o_proj}
+    model.layers.{i}.mlp.{gate_proj,up_proj,down_proj}
+    model.layers.{i}.{input_layernorm,post_attention_layernorm}  (RMSNorm)
+    model.norm / lm_head
+
+Distinctives vs GPT: RMSNorm, SwiGLU MLP, rotary position embeddings, and
+no biases anywhere — the architecture the paper highlights as "emerging"
+(§5.2), supportable in Slapo without Megatron-style reimplementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import framework as fw
+from repro.framework import functional as F
+from repro.framework.tensor import Tensor
+
+from .configs import TransformerConfig
+
+
+def _rope_tables(seq_len: int, head_dim: int, dtype) -> tuple[Tensor, Tensor]:
+    """Precomputed RoPE cos/sin tables of shape (seq, head_dim)."""
+    inv_freq = 1.0 / (10000.0 ** (np.arange(0, head_dim, 2) / head_dim))
+    t = np.arange(seq_len)
+    freqs = np.outer(t, inv_freq)
+    emb = np.concatenate([freqs, freqs], axis=-1)
+    return (Tensor(np.cos(emb).astype(dtype.np_dtype)),
+            Tensor(np.sin(emb).astype(dtype.np_dtype)))
+
+
+@F.traceable
+def apply_rotary(x, cos, sin):
+    """Rotate pairs of channels by position-dependent angles (RoPE)."""
+    x = fw.astensor(x)
+    half = x.shape[-1] // 2
+    x1 = x[..., :half]
+    x2 = x[..., half:]
+    rotated = F.cat([-x2, x1], dim=-1)
+    seq = x.shape[-2]
+    return x * cos[:seq] + rotated * sin[:seq]
+
+
+class LlamaAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.num_heads = config.num_heads
+        self.head_dim = config.head_dim
+        self.q_proj = fw.Linear(h, h, bias=False, dtype=dtype, device=device)
+        self.k_proj = fw.Linear(h, h, bias=False, dtype=dtype, device=device)
+        self.v_proj = fw.Linear(h, h, bias=False, dtype=dtype, device=device)
+        self.o_proj = fw.Linear(h, h, bias=False, dtype=dtype, device=device)
+        cos, sin = _rope_tables(config.max_seq_len, config.head_dim, dtype)
+        self.register_buffer("rope_cos", cos)
+        self.register_buffer("rope_sin", sin)
+
+    def forward(self, hidden_states):
+        q = F.split_heads(self.q_proj(hidden_states), self.num_heads)
+        k = F.split_heads(self.k_proj(hidden_states), self.num_heads)
+        v = F.split_heads(self.v_proj(hidden_states), self.num_heads)
+        cos, sin = self._buffers["rope_cos"], self._buffers["rope_sin"]
+        q = apply_rotary(q, cos, sin)
+        k = apply_rotary(k, cos, sin)
+        scores = q @ k.transpose(-2, -1)
+        scores = scores / (self.head_dim ** 0.5)
+        scores = F.apply_causal_mask(scores)
+        probs = F.softmax(scores, dim=-1)
+        context = probs @ v
+        return self.o_proj(F.merge_heads(context))
+
+
+class LlamaMLP(fw.Module):
+    """SwiGLU: down(silu(gate(x)) * up(x))."""
+
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, inter, dtype = (config.hidden_size, config.intermediate_size,
+                           config.dtype)
+        self.gate_proj = fw.Linear(h, inter, bias=False, dtype=dtype,
+                                   device=device)
+        self.up_proj = fw.Linear(h, inter, bias=False, dtype=dtype,
+                                 device=device)
+        self.down_proj = fw.Linear(inter, h, bias=False, dtype=dtype,
+                                   device=device)
+
+    def forward(self, x):
+        return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))
+
+
+class LlamaDecoderLayer(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h = config.hidden_size
+        self.self_attn = LlamaAttention(config, device)
+        self.mlp = LlamaMLP(config, device)
+        self.input_layernorm = fw.RMSNorm(h, eps=config.layer_norm_eps,
+                                          dtype=config.dtype, device=device)
+        self.post_attention_layernorm = fw.RMSNorm(
+            h, eps=config.layer_norm_eps, dtype=config.dtype, device=device)
+
+    def forward(self, hidden_states):
+        hidden_states = hidden_states + self.self_attn(
+            self.input_layernorm(hidden_states))
+        return hidden_states + self.mlp(
+            self.post_attention_layernorm(hidden_states))
+
+
+class LlamaModel(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.embed_tokens = fw.Embedding(config.vocab_size,
+                                         config.hidden_size,
+                                         dtype=config.dtype, device=device)
+        self.layers = fw.ModuleList([
+            LlamaDecoderLayer(config, device)
+            for _ in range(config.num_layers)
+        ])
+        self.norm = fw.RMSNorm(config.hidden_size, eps=config.layer_norm_eps,
+                               dtype=config.dtype, device=device)
+
+    def forward(self, input_ids):
+        x = self.embed_tokens(input_ids)
+        for layer in self.layers:
+            x = layer(x)
+        return self.norm(x)
+
+
+class LlamaForCausalLM(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.model = LlamaModel(config, device)
+        self.lm_head = fw.Linear(config.hidden_size, config.vocab_size,
+                                 bias=False, dtype=config.dtype,
+                                 device=device)
+
+    def forward(self, input_ids):
+        return self.lm_head(self.model(input_ids))

@@ -1,0 +1,117 @@
+"""HuggingFace-style OPT (Zhang et al. 2022): decoder-only with ReLU MLPs.
+
+Paths mirror ``transformers.OPTForCausalLM``::
+
+    model.decoder.embed_tokens / embed_positions
+    model.decoder.layers.{i}.self_attn.{q_proj,k_proj,v_proj,out_proj}
+    model.decoder.layers.{i}.{self_attn_layer_norm,fc1,fc2,final_layer_norm}
+    lm_head
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+from .configs import TransformerConfig
+
+
+class OPTAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.num_heads = config.num_heads
+        self.head_dim = config.head_dim
+        self.attn_dropout = fw.Dropout(config.dropout)
+        self.q_proj = fw.Linear(h, h, dtype=dtype, device=device)
+        self.k_proj = fw.Linear(h, h, dtype=dtype, device=device)
+        self.v_proj = fw.Linear(h, h, dtype=dtype, device=device)
+        self.out_proj = fw.Linear(h, h, dtype=dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, hidden_states):
+        q = F.split_heads(self.q_proj(hidden_states), self.num_heads)
+        k = F.split_heads(self.k_proj(hidden_states), self.num_heads)
+        v = F.split_heads(self.v_proj(hidden_states), self.num_heads)
+        scores = q @ k.transpose(-2, -1)
+        scores = scores / (self.head_dim ** 0.5)
+        scores = F.apply_causal_mask(scores)
+        probs = self.attn_dropout(F.softmax(scores, dim=-1))
+        context = probs @ v
+        return self.dropout(self.out_proj(F.merge_heads(context)))
+
+
+class OPTDecoderLayer(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype, eps = config.hidden_size, config.dtype, config.layer_norm_eps
+        self.self_attn = OPTAttention(config, device)
+        self.self_attn_layer_norm = fw.LayerNorm(h, eps=eps, dtype=dtype,
+                                                 device=device)
+        self.fc1 = fw.Linear(h, config.intermediate_size, dtype=dtype,
+                             device=device)
+        self.fc2 = fw.Linear(config.intermediate_size, h, dtype=dtype,
+                             device=device)
+        self.final_layer_norm = fw.LayerNorm(h, eps=eps, dtype=dtype,
+                                             device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, hidden_states):
+        # Pre-LN decoder layer, as in OPT.
+        residual = hidden_states
+        hidden_states = self.self_attn(
+            self.self_attn_layer_norm(hidden_states))
+        hidden_states = residual + hidden_states
+        residual = hidden_states
+        hidden_states = F.relu(self.fc1(
+            self.final_layer_norm(hidden_states)))
+        hidden_states = self.dropout(self.fc2(hidden_states))
+        return residual + hidden_states
+
+
+class OPTDecoder(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        self.embed_tokens = fw.Embedding(config.vocab_size, h, dtype=dtype,
+                                         device=device)
+        self.embed_positions = fw.Embedding(config.max_seq_len, h,
+                                            dtype=dtype, device=device)
+        self.layers = fw.ModuleList([
+            OPTDecoderLayer(config, device)
+            for _ in range(config.num_layers)
+        ])
+        self.final_layer_norm = fw.LayerNorm(h, eps=config.layer_norm_eps,
+                                             dtype=dtype, device=device)
+
+    def forward(self, input_ids):
+        positions = F.position_ids(input_ids)
+        x = self.embed_tokens(input_ids) + self.embed_positions(positions)
+        for layer in self.layers:
+            x = layer(x)
+        return self.final_layer_norm(x)
+
+
+class OPTModel(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.decoder = OPTDecoder(config, device)
+
+    def forward(self, input_ids):
+        return self.decoder(input_ids)
+
+
+class OPTForCausalLM(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.model = OPTModel(config, device)
+        self.lm_head = fw.Linear(config.hidden_size, config.vocab_size,
+                                 bias=False, dtype=config.dtype,
+                                 device=device)
+        if config.tie_embeddings:
+            self.lm_head.weight = self.model.decoder.embed_tokens.weight
+
+    def forward(self, input_ids):
+        return self.lm_head(self.model(input_ids))

@@ -1,0 +1,32 @@
+"""RoBERTa (Liu et al. 2019): BERT's architecture, retrained.
+
+HuggingFace's RoBERTa implementation mirrors BERT module-for-module with a
+``roberta.`` prefix — which is exactly why the paper's Table 4 reports that
+BERT's 21-line schedule transfers to RoBERTa unchanged.  We reuse the BERT
+building blocks under the RoBERTa path names.
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+
+from .bert import BertLMHead, BertModel
+from .configs import TransformerConfig
+
+
+class RobertaModel(BertModel):
+    """Same structure; HF keeps a distinct class."""
+
+
+class RobertaLMHeadModel(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.roberta = RobertaModel(config, device)
+        self.lm_head = BertLMHead(config, device)
+        if config.tie_embeddings:
+            self.lm_head.decoder.weight = \
+                self.roberta.embeddings.word_embeddings.weight
+
+    def forward(self, input_ids):
+        return self.lm_head(self.roberta(input_ids))

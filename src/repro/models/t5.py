@@ -1,0 +1,170 @@
+"""HuggingFace-style T5 (Raffel et al. 2020): encoder-decoder.
+
+Paths mirror ``transformers.T5ForConditionalGeneration``::
+
+    encoder.block.{i}.layer.0.SelfAttention.{q,k,v,o}
+    encoder.block.{i}.layer.1.DenseReluDense.{wi,wo}
+    decoder.block.{i}.layer.0.SelfAttention / layer.1.EncDecAttention /
+    layer.2.DenseReluDense
+    shared (tied token embedding), lm_head
+
+Substitution note (DESIGN.md): the original T5 uses learned relative
+position *buckets* added to attention logits; we use absolute position
+embeddings instead.  The schedule surface (q/k/v/o linears, ReLU MLP,
+cross-attention) and the cost structure are unchanged.
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+from .configs import TransformerConfig
+
+
+class T5Attention(fw.Module):
+    def __init__(self, config: TransformerConfig, causal: bool,
+                 device: str = "cpu"):
+        super().__init__()
+        h, dtype = config.hidden_size, config.dtype
+        inner = config.attention_dim  # T5-3B projects 1024 → 4096
+        self.num_heads = config.num_heads
+        self.causal = causal
+        self.q = fw.Linear(h, inner, bias=False, dtype=dtype, device=device)
+        self.k = fw.Linear(h, inner, bias=False, dtype=dtype, device=device)
+        self.v = fw.Linear(h, inner, bias=False, dtype=dtype, device=device)
+        self.o = fw.Linear(inner, h, bias=False, dtype=dtype, device=device)
+
+    def forward(self, hidden_states, key_value_states=None):
+        source = hidden_states if key_value_states is None \
+            else key_value_states
+        q = F.split_heads(self.q(hidden_states), self.num_heads)
+        k = F.split_heads(self.k(source), self.num_heads)
+        v = F.split_heads(self.v(source), self.num_heads)
+        scores = q @ k.transpose(-2, -1)  # T5 omits the 1/sqrt(d) scale
+        if self.causal and key_value_states is None:
+            scores = F.apply_causal_mask(scores)
+        probs = F.softmax(scores, dim=-1)
+        context = probs @ v
+        return self.o(F.merge_heads(context))
+
+
+class T5DenseReluDense(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.wi = fw.Linear(config.hidden_size, config.intermediate_size,
+                            bias=False, dtype=config.dtype, device=device)
+        self.wo = fw.Linear(config.intermediate_size, config.hidden_size,
+                            bias=False, dtype=config.dtype, device=device)
+        self.dropout = fw.Dropout(config.dropout)
+
+    def forward(self, x):
+        return self.wo(self.dropout(F.relu(self.wi(x))))
+
+
+class T5LayerSelfAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, causal: bool,
+                 device: str = "cpu"):
+        super().__init__()
+        self.SelfAttention = T5Attention(config, causal, device)
+        self.layer_norm = fw.LayerNorm(config.hidden_size,
+                                       eps=config.layer_norm_eps,
+                                       dtype=config.dtype, device=device)
+
+    def forward(self, x):
+        return x + self.SelfAttention(self.layer_norm(x))
+
+
+class T5LayerCrossAttention(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.EncDecAttention = T5Attention(config, causal=False,
+                                           device=device)
+        self.layer_norm = fw.LayerNorm(config.hidden_size,
+                                       eps=config.layer_norm_eps,
+                                       dtype=config.dtype, device=device)
+
+    def forward(self, x, encoder_states):
+        return x + self.EncDecAttention(self.layer_norm(x), encoder_states)
+
+
+class T5LayerFF(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.DenseReluDense = T5DenseReluDense(config, device)
+        self.layer_norm = fw.LayerNorm(config.hidden_size,
+                                       eps=config.layer_norm_eps,
+                                       dtype=config.dtype, device=device)
+
+    def forward(self, x):
+        return x + self.DenseReluDense(self.layer_norm(x))
+
+
+class T5EncoderBlock(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.layer = fw.ModuleList([
+            T5LayerSelfAttention(config, causal=False, device=device),
+            T5LayerFF(config, device),
+        ])
+
+    def forward(self, x):
+        x = self.layer[0](x)
+        return self.layer[1](x)
+
+
+class T5DecoderBlock(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.layer = fw.ModuleList([
+            T5LayerSelfAttention(config, causal=True, device=device),
+            T5LayerCrossAttention(config, device),
+            T5LayerFF(config, device),
+        ])
+
+    def forward(self, x, encoder_states):
+        x = self.layer[0](x)
+        x = self.layer[1](x, encoder_states)
+        return self.layer[2](x)
+
+
+class T5Stack(fw.Module):
+    def __init__(self, config: TransformerConfig, is_decoder: bool,
+                 device: str = "cpu"):
+        super().__init__()
+        num = config.num_decoder_layers if is_decoder else config.num_layers
+        block_cls = T5DecoderBlock if is_decoder else T5EncoderBlock
+        self.is_decoder = is_decoder
+        self.block = fw.ModuleList([
+            block_cls(config, device) for _ in range(num)
+        ])
+        self.final_layer_norm = fw.LayerNorm(config.hidden_size,
+                                             eps=config.layer_norm_eps,
+                                             dtype=config.dtype,
+                                             device=device)
+
+    def forward(self, x, encoder_states=None):
+        for block in self.block:
+            x = block(x, encoder_states) if self.is_decoder else block(x)
+        return self.final_layer_norm(x)
+
+
+class T5ForConditionalGeneration(fw.Module):
+    def __init__(self, config: TransformerConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.shared = fw.Embedding(config.vocab_size, config.hidden_size,
+                                   dtype=config.dtype, device=device)
+        self.encoder = T5Stack(config, is_decoder=False, device=device)
+        self.decoder = T5Stack(config, is_decoder=True, device=device)
+        self.lm_head = fw.Linear(config.hidden_size, config.vocab_size,
+                                 bias=False, dtype=config.dtype,
+                                 device=device)
+        if config.tie_embeddings:
+            self.lm_head.weight = self.shared.weight
+
+    def forward(self, input_ids, decoder_input_ids):
+        encoder_states = self.encoder(self.shared(input_ids))
+        decoded = self.decoder(self.shared(decoder_input_ids),
+                               encoder_states)
+        return self.lm_head(decoded)

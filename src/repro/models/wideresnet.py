@@ -1,0 +1,99 @@
+"""WideResNet (Zagoruyko & Komodakis 2016), torchvision-style bottlenecks.
+
+Paths mirror ``torchvision.models.wide_resnet101_2`` (conv1/bn1/layer{1-4}/
+fc), with the per-group width scaled up to reach the paper's 2.4B
+parameters.  This is the one convolutional (fp32) model in Table 3,
+exercising Slapo on non-Transformer structures.
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+from repro.framework import dtypes
+from repro.framework import functional as F
+
+from .configs import ResNetConfig
+
+_EXPANSION = 4
+
+
+class Bottleneck(fw.Module):
+    def __init__(self, in_planes: int, planes: int, stride: int = 1,
+                 downsample: fw.Module | None = None, device: str = "cpu",
+                 dtype=dtypes.float32):
+        super().__init__()
+        width = planes
+        self.conv1 = fw.Conv2d(in_planes, width, 1, bias=False,
+                               device=device, dtype=dtype)
+        self.bn1 = fw.BatchNorm2d(width, device=device, dtype=dtype)
+        self.conv2 = fw.Conv2d(width, width, 3, stride=stride, padding=1,
+                               bias=False, device=device, dtype=dtype)
+        self.bn2 = fw.BatchNorm2d(width, device=device, dtype=dtype)
+        self.conv3 = fw.Conv2d(width, planes * _EXPANSION // 1, 1,
+                               bias=False, device=device, dtype=dtype)
+        self.bn3 = fw.BatchNorm2d(planes * _EXPANSION // 1, device=device,
+                                  dtype=dtype)
+        self.relu = fw.ReLU()
+        self.add_module("downsample", downsample)
+
+    def forward(self, x):
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        if self._modules.get("downsample") is not None:
+            identity = self._modules["downsample"](x)
+        return self.relu(out + identity)
+
+
+class WideResNet(fw.Module):
+    def __init__(self, config: ResNetConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        dtype = config.dtype
+        width = config.width_per_group
+        self.inplanes = 64
+        self.conv1 = fw.Conv2d(3, 64, 7, stride=2, padding=3, bias=False,
+                               device=device, dtype=dtype)
+        self.bn1 = fw.BatchNorm2d(64, device=device, dtype=dtype)
+        self.relu = fw.ReLU()
+        self.maxpool = fw.MaxPool2d(3, stride=2, padding=1)
+        self.layer1 = self._make_layer(width, config.layers[0], 1, device,
+                                       dtype)
+        self.layer2 = self._make_layer(width * 2, config.layers[1], 2,
+                                       device, dtype)
+        self.layer3 = self._make_layer(width * 4, config.layers[2], 2,
+                                       device, dtype)
+        self.layer4 = self._make_layer(width * 8, config.layers[3], 2,
+                                       device, dtype)
+        self.avgpool = fw.AdaptiveAvgPool2d(1)
+        self.fc = fw.Linear(width * 8 * _EXPANSION, config.num_classes,
+                            device=device, dtype=dtype)
+
+    def _make_layer(self, planes: int, blocks: int, stride: int,
+                    device: str, dtype) -> fw.Sequential:
+        downsample = None
+        if stride != 1 or self.inplanes != planes * _EXPANSION:
+            downsample = fw.Sequential(
+                fw.Conv2d(self.inplanes, planes * _EXPANSION, 1,
+                          stride=stride, bias=False, device=device,
+                          dtype=dtype),
+                fw.BatchNorm2d(planes * _EXPANSION, device=device,
+                               dtype=dtype),
+            )
+        layers = [Bottleneck(self.inplanes, planes, stride, downsample,
+                             device, dtype)]
+        self.inplanes = planes * _EXPANSION
+        for _ in range(1, blocks):
+            layers.append(Bottleneck(self.inplanes, planes, device=device,
+                                     dtype=dtype))
+        return fw.Sequential(*layers)
+
+    def forward(self, x):
+        x = self.maxpool(self.relu(self.bn1(self.conv1(x))))
+        x = self.layer1(x)
+        x = self.layer2(x)
+        x = self.layer3(x)
+        x = self.layer4(x)
+        x = self.avgpool(x)
+        return self.fc(F.flatten(x, 1))

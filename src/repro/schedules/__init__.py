@@ -1,0 +1,30 @@
+"""repro.schedules — per-model Slapo schedules (the paper's Table 4 artifacts)."""
+
+from . import common
+from .bert import schedule_bert, schedule_roberta
+from .gpt import schedule_gpt
+from .llama import schedule_llama
+from .loc import PAPER_LOC, SCHEDULE_SOURCES, schedule_loc, table4
+from .opt import schedule_opt
+from .t5 import schedule_t5
+from .wideresnet import schedule_wideresnet
+
+#: family name → schedule function over the matching zoo model
+SCHEDULES = {
+    "BERT": schedule_bert,
+    "RoBERTa": schedule_roberta,
+    "GPT": schedule_gpt,
+    "OPT": schedule_opt,
+    "T5": schedule_t5,
+    "WideResNet": schedule_wideresnet,
+    "GPT-10B": schedule_gpt,
+    "LLaMA-7B": schedule_llama,
+    "OPT-350M": schedule_opt,
+}
+
+__all__ = [
+    "schedule_bert", "schedule_roberta", "schedule_gpt", "schedule_opt",
+    "schedule_t5", "schedule_wideresnet", "schedule_llama",
+    "SCHEDULES", "SCHEDULE_SOURCES", "PAPER_LOC", "schedule_loc", "table4",
+    "common",
+]

@@ -1,0 +1,54 @@
+"""BERT schedule (paper appendix A / Table 4: 21 LoC).
+
+Vocab-parallel embedding, Megatron-style TP on attention + FFN, flash
+attention via subgraph replacement, Bias-GeLU and dropout-residual-LN
+fusion via the stand-in compilers, and selective activation checkpointing.
+"""
+
+from __future__ import annotations
+
+from . import common
+
+
+def schedule_bert(sch, config, ckpt_ratio: float = 0.0,
+                  use_flash: bool = True, use_fusion: bool = True,
+                  use_tp: bool = True, shard_embedding: bool = True,
+                  prefix: str = "bert"):
+    """Apply the BERT training schedule (also used verbatim for RoBERTa)."""
+    tp = sch.mesh.tp_group.size if use_tp else 1
+    layers = [f"{prefix}.encoder.layer.{i}" for i in range(config.num_layers)]
+    # <schedule>
+    if shard_embedding and tp > 1:
+        head = "cls.decoder" if prefix == "bert" else "lm_head.decoder"
+        common.shard_vocab(sch, f"{prefix}.embeddings.word_embeddings", head,
+                           head_params=("weight", "bias"))
+    for path in layers:
+        layer = sch[path]
+        if tp > 1:
+            attn = layer["attention"]
+            for proj in ("self.query", "self.key", "self.value"):
+                attn[proj].shard(["weight", "bias"], axis=0)
+            attn["self"].sync(mode="bwd_post")
+            common.set_local_heads(attn["self"], config, tp,
+                                   attr="num_attention_heads")
+            attn["output.dense"].shard("weight", axis=1)
+            attn["output.dense"].sync(mode="fwd_post")
+            common.shard_pair(layer, "intermediate.dense", "output.dense")
+        if use_flash:
+            common.replace_attention_core(layer["attention.self"])
+        if use_fusion:
+            layer["intermediate.dense"].decompose()
+            layer.trace(flatten=True)
+            layer.fuse(layer.find(common.bias_gelu),
+                       compiler="TorchInductor", name="BiasGeLU")
+            layer.fuse(layer.find(common.dropout_residual_ln),
+                       compiler="TorchInductor", name="LNResidual")
+    common.checkpoint_layers(sch, layers, ckpt_ratio)
+    # </schedule>
+    return sch
+
+
+def schedule_roberta(sch, config, **kwargs):
+    """RoBERTa shares BERT's architecture — and therefore its schedule
+    (paper §5.3: "certain schedules can be shared among models")."""
+    return schedule_bert(sch, config, prefix="roberta", **kwargs)

@@ -1,0 +1,173 @@
+"""Shared schedule utilities (the template library of paper §5.3).
+
+"Certain schedules can be shared among models with similar architectures" —
+these helpers are that shared layer: attention-core replacement, fused-QKV
+row interleaving for tensor parallelism, and checkpoint-ratio selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import functional as F
+from repro.kernels import FlashAttention
+from repro.slapo.pattern import call_module
+
+
+def attention_core(q, k, v, scale):
+    """Vanilla attention with a dropout module on the probabilities."""
+    attn = q @ k.transpose(-2, -1)
+    attn = attn / scale
+    attn = call_module(r".*dropout.*", F.softmax(attn, dim=-1))
+    return attn @ v
+
+
+def attention_core_nodrop(q, k, v, scale):
+    attn = q @ k.transpose(-2, -1)
+    attn = attn / scale
+    return F.softmax(attn, dim=-1) @ v
+
+
+def causal_attention_core(q, k, v, scale):
+    attn = q @ k.transpose(-2, -1)
+    attn = attn / scale
+    attn = F.apply_causal_mask(attn)
+    attn = call_module(r".*dropout.*", F.softmax(attn, dim=-1))
+    return attn @ v
+
+
+def causal_attention_core_nodrop(q, k, v, scale):
+    attn = q @ k.transpose(-2, -1)
+    attn = attn / scale
+    attn = F.apply_causal_mask(attn)
+    return F.softmax(attn, dim=-1) @ v
+
+
+def t5_attention_core(q, k, v):
+    """T5 attention: unscaled, optional causal mask handled separately."""
+    return F.softmax(q @ k.transpose(-2, -1), dim=-1) @ v
+
+
+def bias_gelu(x, bias):
+    return F.gelu(x + bias)
+
+
+def bias_relu(x, bias):
+    return F.relu(x + bias)
+
+
+def swiglu(x):
+    """LLaMA's gated MLP entry: silu(gate(x)) * up(x) reads x once."""
+    return F.silu(call_module(r".*gate_proj.*", x)) \
+        * call_module(r".*up_proj.*", x)
+
+
+def dropout_residual_ln(x, residual):
+    """dropout → residual add → LayerNorm epilogue (post-LN models)."""
+    return call_module(r".*LayerNorm.*",
+                       call_module(r".*dropout.*", x) + residual)
+
+
+def dropout_add(x, residual):
+    """dropout → residual add (pre-LN models like GPT/OPT)."""
+    return call_module(r".*dropout.*", x) + residual
+
+
+def fuse_matches(sch, pattern, name: str,
+                 compiler: str = "TorchInductor") -> int:
+    """Fuse every occurrence of ``pattern``; returns the match count."""
+    matches = sch.find(pattern)
+    if matches:
+        sch.fuse(matches, compiler=compiler, name=name)
+    return len(matches)
+
+
+ATTENTION_PATTERNS = (
+    attention_core,
+    causal_attention_core,
+    attention_core_nodrop,
+    causal_attention_core_nodrop,
+)
+
+
+def replace_attention_core(attn_sch, is_causal: bool = False,
+                           name: str = "FA") -> bool:
+    """Trace an attention module and swap its core for flash attention.
+
+    Returns True when a core was found and replaced.  Works on vanilla and
+    causal variants, with or without attention-probability dropout.
+    """
+    attn_sch.trace(flatten=True)
+    for pattern in ATTENTION_PATTERNS:
+        matches = attn_sch.find(pattern)
+        if matches:
+            attn_sch.replace(FlashAttention(is_causal=is_causal), matches,
+                             name=name)
+            return True
+    matches = attn_sch.find(t5_attention_core)
+    if matches:
+        attn_sch.replace(FlashAttention(is_causal=is_causal, scale=1.0),
+                         matches, name=name)
+        return True
+    return False
+
+
+def interleave_qkv_rows(linear, num_shards: int) -> None:
+    """Permute a fused-QKV linear's rows so contiguous row sharding keeps
+    [q; k; v] grouped per shard (Megatron's fused-QKV storage layout)."""
+    if num_shards == 1 or linear.weight.is_meta:
+        return
+    out = linear.out_features
+    h = out // 3
+    block = h // num_shards
+    order = np.concatenate([
+        np.concatenate([
+            np.arange(part * h + r * block, part * h + (r + 1) * block)
+            for part in range(3)
+        ])
+        for r in range(num_shards)
+    ])
+    linear.weight.data[...] = linear.weight.data[order]
+    if linear._parameters.get("bias") is not None:
+        linear.bias.data[...] = linear.bias.data[order]
+
+
+def shard_pair(block, column: str, row: str,
+               column_params=("weight", "bias"),
+               row_params=("weight",)) -> None:
+    """Megatron's column→row parallel pair with both syncs.
+
+    ``column`` projects into the parallel region (output-sharded, gradient
+    all-reduce on backward); ``row`` projects out of it (input-sharded,
+    activation all-reduce on forward).
+    """
+    block[column].shard(list(column_params), axis=0)
+    block[column].sync(mode="bwd_post")
+    block[row].shard(list(row_params), axis=1)
+    block[row].sync(mode="fwd_post")
+
+
+def shard_vocab(sch, embed_path: str, head_path: str,
+                head_params=("weight",)) -> None:
+    """Vocab-parallel embedding + output head (paper Fig. 9, step 4)."""
+    import repro.slapo as slapo
+
+    sch[embed_path].shard("weight", axis=0)
+    sch[embed_path].sync(mode="fwd_pre", sync_op_or_fn=slapo.op.embed_fwd_hook)
+    sch[embed_path].sync(mode="fwd_post", sync_op_or_fn=slapo.op.embed_bwd_hook)
+    sch[head_path].shard(list(head_params), axis=0)
+    sch[head_path].sync(mode="fwd_post", sync_op_or_fn="all_gather")
+
+
+def set_local_heads(attn_sch, config, tp: int,
+                    attr: str = "num_heads") -> None:
+    """After sharding q/k/v, the module computes with its local heads."""
+    setattr(attn_sch.mod, attr, getattr(config, "num_heads") // tp)
+
+
+def checkpoint_layers(sch, layer_paths: list[str], ratio: float) -> int:
+    """Checkpoint the first ``ratio`` fraction of the given layers."""
+    count = int(round(ratio * len(layer_paths)))
+    for path in layer_paths[:count]:
+        sch[path].checkpoint()
+    return count

@@ -1,0 +1,55 @@
+"""Schedule lines-of-code accounting (paper Table 4).
+
+Counts non-blank, non-comment source lines between the ``# <schedule>`` /
+``# </schedule>`` markers of each model's schedule function — the code a
+performance engineer actually writes.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from . import bert, gpt, llama, opt, t5, wideresnet
+
+SCHEDULE_SOURCES = {
+    "BERT": bert.schedule_bert,
+    "RoBERTa": bert.schedule_bert,  # shared with BERT (paper §5.3)
+    "GPT": gpt.schedule_gpt,
+    "OPT": opt.schedule_opt,
+    "T5": t5.schedule_t5,
+    "WideResNet": wideresnet.schedule_wideresnet,
+    "LLaMA": llama.schedule_llama,
+}
+
+#: the paper's Table 4
+PAPER_LOC = {
+    "BERT": 21, "RoBERTa": 21, "GPT": 10, "OPT": 10, "T5": 11,
+    "WideResNet": 12, "LLaMA": 11,
+}
+
+
+def schedule_loc(fn) -> int:
+    """Schedule-body LoC of a schedule function."""
+    lines = inspect.getsource(fn).splitlines()
+    inside = False
+    count = 0
+    for line in lines:
+        stripped = line.strip()
+        if stripped == "# </schedule>":
+            inside = False
+        if inside and stripped and not stripped.startswith("#"):
+            count += 1
+        if stripped == "# <schedule>":
+            inside = True
+    return count
+
+
+def table4() -> dict[str, dict[str, int]]:
+    """Measured vs paper LoC for every model family."""
+    out = {}
+    for family, fn in SCHEDULE_SOURCES.items():
+        out[family] = {
+            "measured": schedule_loc(fn),
+            "paper": PAPER_LOC[family],
+        }
+    return out

@@ -1,0 +1,19 @@
+"""repro.sim — the V100-cluster performance & memory simulator.
+
+Pipeline: instantiate a (scheduled) model on the meta device → record one
+forward pass into a :class:`ModelTrace` → price compute/memory/comms for
+any parallel configuration → plan micro-batches → report throughput.
+"""
+
+from .events import CommEvent, ModelTrace, OpEvent, TraceRecorder, trace_model
+from .kernel_cost import KernelCostModel
+from .memory import MemoryBreakdown, model_memory
+from .planner import MICRO_BATCH_CANDIDATES, Plan, plan_micro_batch
+from .throughput import StepBreakdown, step_time, throughput
+
+__all__ = [
+    "OpEvent", "CommEvent", "ModelTrace", "TraceRecorder", "trace_model",
+    "KernelCostModel", "MemoryBreakdown", "model_memory",
+    "StepBreakdown", "step_time", "throughput",
+    "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
+]

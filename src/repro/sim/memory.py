@@ -1,0 +1,119 @@
+"""Per-GPU memory model: parameters, gradients, optimizer state, activations.
+
+Mixed-precision AdamW (the paper's optimizer) costs per parameter:
+
+====================== ===== =======
+component               fp16   fp32
+====================== ===== =======
+parameter                2      4
+gradient                 2      4
+master copy              4      —
+Adam m, v                8      8
+total                   16     16
+====================== ===== =======
+
+ZeRO partitions (stage 1: optimizer; stage 2: +grads; stage 3: +params)
+across the data-parallel group; tensor parallelism already shrank the
+parameters on the meta model itself, so ``model.num_parameters()`` is the
+local TP shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.framework.module import Module
+
+from .events import ModelTrace
+
+
+@dataclass
+class MemoryBreakdown:
+    params: float
+    grads: float
+    optimizer: float
+    activations: float
+    workspace: float
+
+    @property
+    def total(self) -> float:
+        return (self.params + self.grads + self.optimizer
+                + self.activations + self.workspace)
+
+    def scaled_activations(self, factor: float) -> "MemoryBreakdown":
+        return MemoryBreakdown(self.params, self.grads, self.optimizer,
+                               self.activations * factor, self.workspace)
+
+
+def _param_bytes(model: Module) -> tuple[float, float]:
+    """(bytes of parameters, parameter count), tied weights counted once."""
+    seen: set[int] = set()
+    total_bytes = 0.0
+    count = 0.0
+    for param in model.parameters():
+        if id(param) in seen:
+            continue
+        seen.add(id(param))
+        total_bytes += param.nbytes
+        count += param.numel()
+    return total_bytes, count
+
+
+def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
+                 zero_stage: int = 0, dp_size: int = 1,
+                 num_pipeline_stages: int = 1,
+                 inflight_micro_batches: int = 1) -> MemoryBreakdown:
+    """Peak memory of one GPU holding ``1/num_pipeline_stages`` of ``model``.
+
+    ``trace`` must have been recorded at ``trace.ref_batch``; activations
+    scale linearly to ``micro_batch`` and with the number of in-flight
+    micro-batches (1F1B keeps up to ``pp`` alive on the first stage).
+    """
+    param_bytes, param_count = _param_bytes(model)
+    param_bytes /= num_pipeline_stages
+    param_count /= num_pipeline_stages
+    grad_bytes = param_bytes
+    # fp32 master + m + v for fp16 params; m + v for fp32 params = 16B/param
+    # total minus what params+grads already account for.
+    optimizer_bytes = param_count * 16.0 - param_bytes - grad_bytes
+
+    if zero_stage >= 1:
+        optimizer_bytes /= dp_size
+    if zero_stage >= 2:
+        grad_bytes /= dp_size
+    working = 0.0
+    if zero_stage >= 3:
+        # Parameters live sharded; one layer's worth is gathered at a time.
+        layer_params = param_bytes / max(_layer_count_estimate(model), 1)
+        working += 2 * layer_params  # current + prefetched next layer
+        param_bytes /= dp_size
+
+    act_scale = (micro_batch / trace.ref_batch) \
+        * min(inflight_micro_batches, num_pipeline_stages)
+    activations = trace.activation_bytes() / num_pipeline_stages * act_scale
+
+    # Transient workspace: gradient of the widest activation + temp buffers.
+    widest = max((op.out_bytes for op in trace.ops), default=0.0)
+    working += widest * (micro_batch / trace.ref_batch) * 2
+
+    return MemoryBreakdown(params=param_bytes, grads=grad_bytes,
+                           optimizer=optimizer_bytes,
+                           activations=activations, workspace=working)
+
+
+def _layer_count_estimate(model: Module) -> int:
+    """Repeated-block count (for ZeRO-3's layer-at-a-time gathering).
+
+    Sums the lengths of repeated-block containers (transformer layer lists,
+    ResNet stage Sequentials) so the gathered working set is one block.
+    """
+    from repro.framework.layers import ModuleList, Sequential
+
+    total = 0
+    for _, module in model.named_modules():
+        if isinstance(module, (ModuleList, Sequential)) and len(module) >= 2:
+            # Skip nested containers inside already-counted blocks.
+            if all(not isinstance(child, (ModuleList, Sequential))
+                   for child in module.children()):
+                total += len(module)
+    return max(total, 1)

@@ -1,0 +1,70 @@
+"""Micro-batch planning: pick the fastest configuration that fits in memory.
+
+Mirrors the paper's methodology ("the micro-batch size is selected based on
+the memory footprint maximizing the system performance", §5) — every system
+in the benchmarks gets the same planner so comparisons are fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.mesh import ParallelConfig
+from repro.distributed.topology import ClusterSpec
+
+from .events import ModelTrace
+from .kernel_cost import KernelCostModel
+from .memory import MemoryBreakdown, model_memory
+from .throughput import throughput
+
+#: candidate micro-batch sizes swept by the planner
+MICRO_BATCH_CANDIDATES = (1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+
+
+@dataclass
+class Plan:
+    micro_batch: int
+    throughput: float
+    memory: MemoryBreakdown
+    num_micro_batches: int = 1
+
+    @property
+    def fits(self) -> bool:
+        return self.micro_batch > 0
+
+
+def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
+                     parallel: ParallelConfig, zero_stage: int = 0,
+                     num_micro_batches: int = 1,
+                     global_batch: int | None = None,
+                     cost_model: KernelCostModel | None = None,
+                     candidates=MICRO_BATCH_CANDIDATES) -> Plan | None:
+    """Best feasible micro-batch (None if even batch 1 overflows memory).
+
+    With ``global_batch`` set (strong scaling, paper §5.2), the number of
+    micro-batches is derived as ``global / (dp × micro)`` and infeasible
+    divisions are skipped.
+    """
+    best: Plan | None = None
+    budget = cluster.gpu.usable_memory
+    inflight = parallel.pp  # 1F1B keeps up to pp micro-batches alive
+    for micro in candidates:
+        if global_batch is not None:
+            denom = parallel.dp * micro
+            if global_batch % denom != 0:
+                continue
+            m = global_batch // denom
+            if parallel.pp > 1 and m < parallel.pp:
+                continue  # not enough micro-batches to fill the pipeline
+        else:
+            m = num_micro_batches
+        memory = model_memory(model, trace, micro, zero_stage, parallel.dp,
+                              parallel.pp, inflight_micro_batches=inflight)
+        if memory.total > budget:
+            continue
+        rate = throughput(trace, model, cluster, parallel, micro, zero_stage,
+                          m, cost_model)
+        if best is None or rate > best.throughput:
+            best = Plan(micro_batch=micro, throughput=rate, memory=memory,
+                        num_micro_batches=m)
+    return best

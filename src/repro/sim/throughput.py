@@ -1,0 +1,146 @@
+"""Training-step time composition and throughput estimation.
+
+One optimizer step processes ``dp × micro_batch × num_micro_batches``
+samples.  The step time composes:
+
+* forward + backward compute (from the kernel cost model, including
+  checkpoint recompute),
+* tensor-parallel collectives (from trace comm events; each forward
+  all-reduce has a backward twin),
+* ZeRO-3 parameter all-gathers (forward and backward) and gradient
+  reduce-scatter, partially overlapped with compute via prefetching,
+* data-parallel gradient all-reduce (overlapped with backward),
+* the pipeline bubble ``(pp-1)/(m+pp-1)``,
+* the optimizer update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.mesh import ParallelConfig
+from repro.distributed.topology import ClusterSpec
+
+from .events import ModelTrace
+from .kernel_cost import KernelCostModel
+from .memory import _param_bytes
+
+#: fraction of DP gradient all-reduce hidden under backward compute
+DP_OVERLAP = 0.7
+#: fraction of ZeRO-3 gathers hidden by prefetching (modest on V100-era
+#: DeepSpeed: bucketed blocking all-gathers)
+ZERO_OVERLAP = 0.25
+
+
+@dataclass
+class StepBreakdown:
+    forward: float = 0.0
+    backward: float = 0.0
+    tp_comm: float = 0.0
+    zero_comm: float = 0.0
+    dp_comm: float = 0.0
+    pp_comm: float = 0.0
+    bubble: float = 0.0
+    optimizer: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (self.forward + self.backward + self.tp_comm + self.zero_comm
+                + self.dp_comm + self.pp_comm + self.bubble + self.optimizer)
+
+
+def _axis_ranks(cluster: ClusterSpec, parallel: ParallelConfig, axis: str
+                ) -> tuple[int, ...]:
+    """Representative rank set for one mesh axis (rank 0's group)."""
+    tp, dp, pp = parallel.tp, parallel.dp, parallel.pp
+    if axis == "tp":
+        return tuple(range(tp))
+    if axis == "dp":
+        return tuple(j * tp for j in range(dp))
+    return tuple(k * tp * dp for k in range(pp))
+
+
+def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
+              parallel: ParallelConfig, micro_batch: int,
+              zero_stage: int = 0, num_micro_batches: int = 1,
+              cost_model: KernelCostModel | None = None) -> StepBreakdown:
+    """Seconds per optimizer step for one pipeline stage's GPU."""
+    cost = cost_model or KernelCostModel(cluster.gpu)
+    scale = micro_batch / trace.ref_batch
+    pp = parallel.pp
+    breakdown = StepBreakdown()
+
+    # -- compute (per micro-batch, per stage) --------------------------- #
+    fwd_micro = cost.forward_time(trace, scale) / pp
+    bwd_micro = cost.backward_time(trace, scale) / pp
+    breakdown.forward = fwd_micro * num_micro_batches
+    breakdown.backward = bwd_micro * num_micro_batches
+
+    # -- tensor-parallel collectives ------------------------------------ #
+    if parallel.tp > 1:
+        tp_ranks = _axis_ranks(cluster, parallel, "tp")
+        per_micro = 0.0
+        for comm in trace.comms:
+            if comm.group_tag != "tp":
+                continue
+            nbytes = comm.bytes_moved * scale
+            per_micro += cluster.collective_time(comm.kind, nbytes, tp_ranks)
+        # forward collectives + their backward counterparts
+        breakdown.tp_comm = 2 * per_micro / pp * num_micro_batches
+
+    # -- ZeRO-3 parameter traffic --------------------------------------- #
+    param_bytes, param_count = _param_bytes(model)
+    param_bytes /= pp
+    param_count /= pp
+    if zero_stage >= 3 and parallel.dp > 1:
+        dp_ranks = _axis_ranks(cluster, parallel, "dp")
+        gather = cluster.all_gather_time(param_bytes, dp_ranks)
+        scatter = cluster.reduce_scatter_time(param_bytes, dp_ranks)
+        exposed = (2 * gather + scatter) * (1 - ZERO_OVERLAP)
+        breakdown.zero_comm = exposed
+    elif parallel.dp > 1:
+        # plain data parallelism: all-reduce full local gradients
+        dp_ranks = _axis_ranks(cluster, parallel, "dp")
+        comm = cluster.all_reduce_time(param_bytes, dp_ranks)
+        breakdown.dp_comm = max(
+            comm * (1 - DP_OVERLAP),
+            comm - breakdown.backward * DP_OVERLAP,
+        )
+
+    # -- pipeline: stage boundary sends + bubble ------------------------ #
+    if pp > 1:
+        boundary = _boundary_bytes(trace, scale)
+        hop = cluster.p2p_time(boundary, 0, parallel.tp * parallel.dp)
+        breakdown.pp_comm = 2 * hop * num_micro_batches  # fwd + bwd
+        steady = (breakdown.forward + breakdown.backward
+                  + breakdown.tp_comm + breakdown.pp_comm)
+        breakdown.bubble = steady * (pp - 1) / max(num_micro_batches, 1)
+
+    # -- optimizer ------------------------------------------------------- #
+    opt_params = param_count
+    if zero_stage >= 1 and parallel.dp > 1:
+        opt_params /= parallel.dp
+    breakdown.optimizer = cost.optimizer_time(opt_params)
+    return breakdown
+
+
+def _boundary_bytes(trace: ModelTrace, scale: float) -> float:
+    """Bytes crossing a pipeline boundary ≈ the typical hidden activation."""
+    float_ops = [op for op in trace.ops
+                 if op.dtype_name in ("float16", "float32")]
+    if not float_ops:
+        return 0.0
+    sizes = sorted(op.out_bytes for op in float_ops)
+    return sizes[len(sizes) // 2] * scale
+
+
+def throughput(trace: ModelTrace, model, cluster: ClusterSpec,
+               parallel: ParallelConfig, micro_batch: int,
+               zero_stage: int = 0, num_micro_batches: int = 1,
+               cost_model: KernelCostModel | None = None) -> float:
+    """Training throughput in samples/second."""
+    breakdown = step_time(trace, model, cluster, parallel, micro_batch,
+                          zero_stage, num_micro_batches, cost_model)
+    samples = parallel.dp * micro_batch * num_micro_batches
+    return samples / breakdown.total

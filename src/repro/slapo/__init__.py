@@ -1,0 +1,45 @@
+"""repro.slapo — the schedule language (the paper's contribution).
+
+Quick tour (paper Fig. 3)::
+
+    import repro.slapo as slapo
+
+    sch = slapo.create_schedule(model)                 # default schedule
+    sch["encoder.layer.0.attention"].replace(eff_attn) # module primitives
+    sub = sch["encoder.layer.0"]
+    sub["fc1"].shard(["weight", "bias"], axis=0)       # tensor parallelism
+    sub["fc1"].sync(mode="backward")
+    sub.trace()                                        # static graph
+    sub.fuse(sub.find(my_pattern), compiler="TorchInductor")
+    built = slapo.build(sch)                           # runnable model
+"""
+
+from . import op, pattern
+from .build import BuiltModel, build
+from .primitives import (  # noqa: F401  (import registers primitives)
+    DecomposedLinear,
+    PipelineModule,
+    ShardSpec,
+    partition_pipeline,
+)
+from .registry import (
+    Primitive,
+    SchedulingError,
+    get_primitive,
+    list_primitives,
+    register_primitive,
+)
+from .schedule import PrimitiveRecord, Schedule, ScheduleContext, create_schedule
+from .tuner import AutoTuner, Space, TuneResult, enumerate_space
+from .verify import VerificationError, verify
+
+__all__ = [
+    "create_schedule", "Schedule", "ScheduleContext", "PrimitiveRecord",
+    "build", "BuiltModel",
+    "Primitive", "register_primitive", "get_primitive", "list_primitives",
+    "SchedulingError",
+    "verify", "VerificationError",
+    "AutoTuner", "Space", "TuneResult", "enumerate_space",
+    "ShardSpec", "PipelineModule", "partition_pipeline", "DecomposedLinear",
+    "op", "pattern",
+]

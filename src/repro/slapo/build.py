@@ -1,0 +1,71 @@
+"""``slapo.build()`` — finalise a schedule into an executable artifact.
+
+The scheduled model runs on the native framework runtime by default.  When
+pipeline cuts exist, the model is partitioned (paper §3.3.2) and — via the
+framework dialects (§4) — can target the DeepSpeed-style pipeline runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.framework.module import Module
+
+from .primitives.pipeline import PipelineModule, partition_pipeline
+from .registry import SchedulingError
+from .schedule import Schedule
+
+
+@dataclass
+class BuiltModel:
+    """The result of building a schedule."""
+
+    model: Module
+    #: pipeline stage modules (empty when the model is not pipelined)
+    stages: list = field(default_factory=list)
+    target: str = "native"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __call__(self, *args, **kwargs):
+        return self.model(*args, **kwargs)
+
+
+def build(sch: Schedule, target: str = "native") -> BuiltModel:
+    """Apply deferred transformations and return the runnable model.
+
+    ``target`` selects the runtime dialect: ``"native"`` (framework
+    runtime), ``"deepspeed"`` (tuple-I/O pipeline wrapper + ZeRO metadata),
+    or ``"megatron"``.
+    """
+    if sch.path:
+        raise SchedulingError("build() must be called on the root schedule")
+    context = sch.context
+    metadata: dict[str, Any] = {
+        "history": list(context.history),
+        "mesh": context.mesh,
+    }
+    if not context.pipeline_cuts:
+        model = context.root
+        if target == "deepspeed":
+            from .dialects.deepspeed import attach_zero_metadata
+
+            attach_zero_metadata(model, context)
+        return BuiltModel(model=model, target=target, metadata=metadata)
+
+    stages = partition_pipeline(context.root, context.pipeline_cuts)
+    expected = context.mesh.config.pp
+    if expected > 1 and len(stages) != expected:
+        raise SchedulingError(
+            f"schedule produced {len(stages)} pipeline stages but the mesh "
+            f"has pp={expected}"
+        )
+    if target == "deepspeed":
+        from .dialects.deepspeed import DeepSpeedPipelineModule
+
+        model: Module = DeepSpeedPipelineModule(stages)
+    else:
+        model = PipelineModule(stages)
+    metadata["num_stages"] = len(stages)
+    return BuiltModel(model=model, stages=stages, target=target,
+                      metadata=metadata)

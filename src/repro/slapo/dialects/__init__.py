@@ -1,0 +1,13 @@
+"""Framework dialects: run scheduled models on external runtimes (paper §4)."""
+
+from .deepspeed import (
+    DeepSpeedPipelineModule,
+    DeepSpeedStageWrapper,
+    attach_zero_metadata,
+)
+from .megatron import MegatronModuleWrapper, to_megatron
+
+__all__ = [
+    "DeepSpeedPipelineModule", "DeepSpeedStageWrapper",
+    "attach_zero_metadata", "MegatronModuleWrapper", "to_megatron",
+]

@@ -1,0 +1,65 @@
+"""DeepSpeed framework dialect (paper §4).
+
+The DeepSpeed pipeline runtime requires each stage to consume and produce a
+*single tuple*.  The dialect therefore (1) packs/unpacks stage I/O into
+tuples and (2) relies on the liveness analysis performed during graph
+splitting to thread through tensors that a stage does not use itself but a
+later stage needs — the "bypass" logic the paper describes.
+
+The ZeRO side of the dialect annotates the model with the metadata the
+DeepSpeed-like runtime (and the performance simulator) reads: which
+optimizer-state partitioning stage to apply and over which group.
+"""
+
+from __future__ import annotations
+
+from repro.framework.layers import ModuleList
+from repro.framework.module import Module
+
+
+class DeepSpeedStageWrapper(Module):
+    """Adapts a stage GraphModule to DeepSpeed's tuple-in/tuple-out ABI."""
+
+    def __init__(self, stage: Module, index: int, total: int):
+        super().__init__()
+        self.stage = stage
+        self.index = index
+        self.total = total
+
+    def forward(self, inputs):
+        if not isinstance(inputs, tuple):
+            inputs = (inputs,)
+        outputs = self.stage(*inputs)
+        if self.index == self.total - 1:
+            return outputs  # final stage returns the model's real output
+        if not isinstance(outputs, tuple):
+            outputs = (outputs,)
+        return outputs
+
+
+class DeepSpeedPipelineModule(Module):
+    """The dialect's equivalent of ``deepspeed.pipe.PipelineModule``."""
+
+    def __init__(self, stages: list[Module]):
+        super().__init__()
+        total = len(stages)
+        self.stages = ModuleList([
+            DeepSpeedStageWrapper(stage, index, total)
+            for index, stage in enumerate(stages)
+        ])
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def forward(self, *args):
+        value: object = args
+        for stage in self.stages:
+            value = stage(value)
+        return value
+
+
+def attach_zero_metadata(model: Module, context, stage: int = 3) -> None:
+    """Mark the model for ZeRO-style partitioned data parallelism."""
+    model._slapo_meta["zero_stage"] = stage
+    model._slapo_meta["zero_group"] = context.mesh.dp_group.ranks

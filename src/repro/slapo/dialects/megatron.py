@@ -1,0 +1,38 @@
+"""Megatron-LM framework dialect (paper §4).
+
+Megatron's runtime expects the model wrapped in its own module type with
+``set_input_tensor`` plumbing for pipeline stages, plus loss handled inside
+the wrapper.  The dialect provides exactly that veneer around a scheduled
+model so it can run under the Megatron-style trainer in
+:mod:`repro.baselines.megatron`.
+"""
+
+from __future__ import annotations
+
+from repro.framework.module import Module
+
+
+class MegatronModuleWrapper(Module):
+    """Megatron-style model wrapper: input-tensor injection per stage."""
+
+    def __init__(self, model: Module, pre_process: bool = True,
+                 post_process: bool = True):
+        super().__init__()
+        self.model = model
+        self.pre_process = pre_process
+        self.post_process = post_process
+        self._input_tensor = None
+
+    def set_input_tensor(self, tensor) -> None:
+        """Pipeline runtime injects the activation from the previous stage."""
+        self._input_tensor = tensor
+
+    def forward(self, *args, **kwargs):
+        if not self.pre_process and self._input_tensor is not None:
+            args = (self._input_tensor,) + tuple(args[1:])
+            self._input_tensor = None
+        return self.model(*args, **kwargs)
+
+
+def to_megatron(model: Module) -> MegatronModuleWrapper:
+    return MegatronModuleWrapper(model)

@@ -1,0 +1,68 @@
+"""Sync-op library for ``.sync(mode, sync_op_or_fn=...)``.
+
+The paper's appendix schedules vocab-parallel embeddings with
+``slapo.op.embed_fwd_hook`` / ``embed_bwd_hook``; these are those hooks.
+
+Vocab-parallel embedding protocol (Megatron-LM): each rank holds a
+contiguous slice of the vocabulary rows.  The pre-hook maps global token
+ids into the local range and remembers which ids fall outside; the
+post-hook zeroes those rows and all-reduces, so the sum across ranks
+reconstructs the full lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import functional as F
+from repro.framework.tensor import Tensor
+
+
+def embed_fwd_hook(module, args, group):
+    """Forward pre-hook: localise token ids into this rank's vocab shard."""
+    if group.size == 1:
+        return args  # single device: the embedding holds the full vocab
+    ids = args[0]
+    vocab_range = module._slapo_meta.get("vocab_range")
+    if vocab_range is None:
+        raise RuntimeError(
+            "embed_fwd_hook needs a vocab-sharded embedding; apply "
+            '.shard("weight", axis=0) first'
+        )
+    start, stop = vocab_range
+    if ids.is_meta:
+        module._slapo_meta["embed_mask"] = Tensor.meta(
+            tuple(ids.shape) + (1,), module.weight.dtype)
+        return args
+    raw = ids.data
+    outside = (raw < start) | (raw >= stop)
+    local = np.clip(raw - start, 0, stop - start - 1)
+    module._slapo_meta["embed_mask"] = Tensor(
+        (~outside)[..., None].astype(module.weight.dtype.np_dtype))
+    return (Tensor(local, dtype=ids.dtype),) + tuple(args[1:])
+
+
+def embed_bwd_hook(module, output, group):
+    """Forward post-hook: zero out-of-shard rows, then all-reduce.
+
+    (Named ``bwd`` in the paper's appendix because the masked all-reduce
+    also defines the gradient flow: the backward of the all-reduce is the
+    identity and the mask stops gradients for foreign rows.)
+    """
+    if group.size == 1:
+        return output
+    mask = module._slapo_meta.pop("embed_mask", None)
+    if mask is None:
+        raise RuntimeError("embed_bwd_hook must follow embed_fwd_hook")
+    if output.is_meta:
+        return group.all_reduce(output)
+    return group.all_reduce(output * mask)
+
+
+def all_reduce_hook(module, value, group):
+    """Generic hook: all-reduce whatever passes through."""
+    return group.all_reduce(value)
+
+
+def reduce_scatter_hook(module, value, group):
+    return group.reduce_scatter(value)

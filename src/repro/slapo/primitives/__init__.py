@@ -1,0 +1,10 @@
+"""Built-in schedule primitives (importing registers them)."""
+
+from . import extras, pipeline, sharding, structural, tracing  # noqa: F401
+from .pipeline import PipelineModule, partition_pipeline
+from .sharding import ShardSpec
+from .structural import DecomposedLinear
+
+__all__ = [
+    "PipelineModule", "partition_pipeline", "ShardSpec", "DecomposedLinear",
+]

@@ -1,0 +1,151 @@
+"""User-contributed primitives from the paper's extensibility study (Table 5).
+
+Each was added through the public ``@register_primitive()`` interface, with
+implementation sizes comparable to the paper's report: ``.quantize`` (11
+LoC), ``.bind`` (95 LoC for kernel binding + build plumbing, here the
+dispatcher core), ``.cudagraphify`` (16 LoC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.module import Module
+from repro.framework.parameter import Parameter
+from repro.framework.tensor import Tensor
+
+from ..registry import Primitive, SchedulingError, register_primitive
+
+
+class QuantizedLinearStub(Module):
+    """Fake-quantized module for quantization-aware training.
+
+    Weights are rounded to an int8 grid on each forward (straight-through
+    estimator), mirroring predefined QAT modules.
+    """
+
+    def __init__(self, inner: Module, bits: int = 8):
+        super().__init__()
+        self.inner = inner
+        self.bits = bits
+        self._slapo_meta["quantized"] = True
+
+    def forward(self, *args, **kwargs):
+        levels = 2 ** (self.bits - 1) - 1
+        saved = []
+        for param in self.inner.parameters():
+            if param.is_meta:
+                continue
+            saved.append((param, param.data.copy()))
+            scale = np.abs(param.data).max() / levels or 1.0
+            param.data[...] = np.round(param.data / scale) * scale
+        try:
+            return self.inner(*args, **kwargs)
+        finally:
+            for param, original in saved:
+                param.data[...] = original
+
+
+# -- Table 5 row 1: .quantize() — 11 LoC of primitive body ---------------- #
+@register_primitive()
+class QuantizePrimitive(Primitive):
+    """Replace a module with its predefined quantized version (QAT)."""
+
+    name = "quantize"
+
+    @staticmethod
+    def apply(sch, bits: int = 8):
+        return sch.replace_self(QuantizedLinearStub(sch.mod, bits=bits))
+
+
+class BoundKernelModule(Module):
+    """A module whose forward dispatches to a bound custom kernel."""
+
+    def __init__(self, inner: Module, kernel, grad_kernel=None):
+        super().__init__()
+        self.inner = inner
+        self._kernel = kernel
+        self._grad_kernel = grad_kernel
+        self._slapo_meta["custom_kernel"] = getattr(
+            kernel, "__name__", "bound_kernel")
+        self._slapo_meta["is_leaf"] = True
+
+    def forward(self, *args, **kwargs):
+        return self._kernel(self.inner, *args, **kwargs)
+
+
+# -- Table 5 row 2: .bind() — kernel-binding dispatcher ------------------- #
+@register_primitive()
+class BindPrimitive(Primitive):
+    """Bind a module to a custom kernel implementation.
+
+    The paper's version also ships an automatic CUDA build system; here the
+    kernel is any callable ``kernel(module, *inputs)`` (e.g. a numpy or
+    scipy routine), validated against the module's own forward on a dry run.
+    """
+
+    name = "bind"
+
+    @staticmethod
+    def check(sch, kernel, grad_kernel=None, validate_input=None) -> None:
+        if not callable(kernel):
+            raise SchedulingError(".bind() expects a callable kernel")
+
+    @staticmethod
+    def apply(sch, kernel, grad_kernel=None, validate_input=None):
+        module = sch.mod
+        if validate_input is not None:
+            expected = module(*validate_input)
+            got = kernel(module, *validate_input)
+            if not isinstance(got, Tensor):
+                raise SchedulingError("bound kernel must return a Tensor")
+            if tuple(got.shape) != tuple(expected.shape):
+                raise SchedulingError(
+                    f"bound kernel output shape {tuple(got.shape)} != "
+                    f"module output shape {tuple(expected.shape)}"
+                )
+            if not np.allclose(got.numpy(), expected.numpy(),
+                               rtol=1e-2, atol=1e-3):
+                raise SchedulingError(
+                    "bound kernel disagrees with the module's reference "
+                    "forward (differential check failed)"
+                )
+        return sch.replace_self(
+            BoundKernelModule(module, kernel, grad_kernel))
+
+
+class CudaGraphModule(Module):
+    """Captured-graph replay: freezes the op sequence to cut launch costs."""
+
+    def __init__(self, inner: Module):
+        super().__init__()
+        self.inner = inner
+        self._slapo_meta["cuda_graph"] = True
+        self._slapo_meta["is_leaf"] = True
+
+    def forward(self, *args, **kwargs):
+        from repro.framework import events
+
+        # Replayed graphs cost a single launch regardless of op count.
+        with events.fused_region("cuda_graph", backend="cuda_graph"):
+            return self.inner(*args, **kwargs)
+
+
+# -- Table 5 row 3: .cudagraphify() — 16 LoC ------------------------------ #
+@register_primitive()
+class CudaGraphifyPrimitive(Primitive):
+    """Capture the module into a CUDA graph to cut kernel-launch overhead."""
+
+    name = "cudagraphify"
+
+    @staticmethod
+    def check(sch) -> None:
+        if sch.mod._slapo_meta.get("checkpoint"):
+            raise SchedulingError(
+                "cannot cudagraphify a checkpointed module (recomputation "
+                "changes the captured sequence)"
+            )
+
+    @staticmethod
+    def apply(sch):
+        return sch.replace_self(CudaGraphModule(sch.mod))

@@ -1,0 +1,110 @@
+"""Pipeline partitioning (paper §3.3.2).
+
+``.pipeline_split()`` annotates a stage boundary *after* the addressed
+module.  The actual partitioning runs at ``slapo.build()`` time:
+
+1.  The root model is traced with a cut-aware leaf policy — a module stays
+    opaque unless a cut lies strictly inside it.  This performs the paper's
+    annotation-propagation: every ancestor between a cut and the root is
+    inlined, while siblings (embeddings, pooler) and cut modules themselves
+    are untouched, reproducing Fig. 5(b).
+2.  The flattened-ancestor graph is split after each cut node with full
+    liveness analysis (values needed later are threaded through stages).
+"""
+
+from __future__ import annotations
+
+from repro.framework.module import Module
+from repro.fx import GraphModule
+from repro.fx.rewriter import split_graph_module
+from repro.fx.tracer import Tracer
+
+from ..registry import Primitive, SchedulingError, register_primitive
+
+
+@register_primitive()
+class PipelineSplitPrimitive(Primitive):
+    """``.pipeline_split()`` — annotate a stage boundary after this module."""
+
+    name = "pipeline_split"
+
+    @staticmethod
+    def check(sch) -> None:
+        if sch.mesh.config.pp <= 1:
+            raise SchedulingError(
+                ".pipeline_split() requires a mesh with pp > 1 "
+                "(verifier rule: distributed primitives need a distributed "
+                "environment)"
+            )
+        if not sch.path:
+            raise SchedulingError("cannot split after the root module")
+
+    @staticmethod
+    def apply(sch):
+        sch.context.pipeline_cuts.append(sch.path)
+        sch.mod._slapo_meta["pipeline_cut"] = True
+        return sch
+
+
+class _CutAwareTracer(Tracer):
+    """Leaf policy: opaque unless a pipeline cut lies strictly inside."""
+
+    def __init__(self, cuts: list[str]):
+        super().__init__()
+        self._cuts = list(cuts)
+
+    def is_leaf_module(self, module: Module, path: str) -> bool:
+        prefix = f"{path}." if path else ""
+        contains_cut = any(cut != path and cut.startswith(prefix)
+                           for cut in self._cuts)
+        # Inline exactly the ancestors of cut modules (annotation
+        # propagation); everything else — cut modules themselves, siblings
+        # like embeddings/pooler, and all builtin layers — stays opaque.
+        return not contains_cut
+
+
+def partition_pipeline(root: Module, cuts: list[str]) -> list[GraphModule]:
+    """Partition ``root`` into ``len(cuts) + 1`` sequential stage modules."""
+    if not cuts:
+        raise SchedulingError("no .pipeline_split() annotations present")
+    tracer = _CutAwareTracer(cuts)
+    graph = tracer.trace(root)
+    gm = GraphModule(root, graph, class_name=f"{type(root).__name__}Pipeline")
+    boundary_nodes = []
+    for cut in cuts:
+        candidates = [n for n in gm.graph
+                      if n.op == "call_module" and n.target == cut]
+        if not candidates:
+            raise SchedulingError(
+                f"pipeline cut {cut!r} did not appear in the traced graph; "
+                f"is it reachable from the root forward?"
+            )
+        boundary_nodes.append(candidates[-1])
+    return split_graph_module(gm, boundary_nodes)
+
+
+class PipelineModule(Module):
+    """Native-runtime wrapper: runs the stage chain sequentially.
+
+    Functional stand-in for a pipeline runtime — stage ``k``'s output tuple
+    feeds stage ``k+1``.  Performance scheduling of micro-batches (GPipe /
+    1F1B) lives in :mod:`repro.baselines.pipeline_runtime`.
+    """
+
+    def __init__(self, stages: list[GraphModule]):
+        super().__init__()
+        from repro.framework.layers import ModuleList
+
+        self.stages = ModuleList(stages)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def forward(self, *args):
+        value = args
+        for index, stage in enumerate(self.stages):
+            value = stage(*value)
+            if index < len(self.stages) - 1 and not isinstance(value, tuple):
+                value = (value,)
+        return value

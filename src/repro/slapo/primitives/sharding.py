@@ -1,0 +1,235 @@
+"""Parameter sharding and synchronisation (paper §3.2.2).
+
+``.shard(param_name, axis)`` partitions a parameter across the mesh's
+tensor-parallel group; ``.sync(mode, sync_op_or_fn)`` inserts the matching
+collective as a forward/backward hook.  Neither touches the computation
+graph, so untraceable models can still be tensor-parallelised — one of the
+paper's central claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.framework.layers import Embedding, Linear
+from repro.framework.parameter import Parameter
+
+from ..registry import Primitive, SchedulingError, register_primitive
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How a parameter was partitioned (kept on the Parameter object)."""
+
+    axis: int
+    num_shards: int
+    shard_index: int
+    full_shape: tuple[int, ...]
+
+
+def _shard_parameter(param: Parameter, axis: int, num: int, index: int
+                     ) -> Parameter:
+    full_shape = tuple(param.shape)
+    if axis >= len(full_shape):
+        raise SchedulingError(
+            f"shard axis {axis} out of range for shape {full_shape}"
+        )
+    if full_shape[axis] % num != 0:
+        raise SchedulingError(
+            f"dimension {full_shape[axis]} (axis {axis}) is not divisible "
+            f"by the tensor-parallel size {num}"
+        )
+    shard_size = full_shape[axis] // num
+    new_shape = tuple(shard_size if d == axis else s
+                      for d, s in enumerate(full_shape))
+    if param.is_meta:
+        sharded = Parameter.meta(new_shape, param.dtype,
+                                 requires_grad=param.requires_grad)
+    else:
+        slicer = tuple(
+            slice(index * shard_size, (index + 1) * shard_size)
+            if d == axis else slice(None)
+            for d in range(len(full_shape))
+        )
+        sharded = Parameter(param.data[slicer].copy(), dtype=param.dtype,
+                            requires_grad=param.requires_grad)
+    sharded.shard_spec = ShardSpec(axis, num, index, full_shape)
+    return sharded
+
+
+def _shard_buffer(buffer, axis: int, num: int, index: int):
+    """Slice a non-learnable buffer (e.g. BatchNorm running statistics)."""
+    from repro.framework.tensor import Tensor
+
+    shape = tuple(buffer.shape)
+    if shape[axis] % num:
+        raise SchedulingError(
+            f"buffer dimension {shape[axis]} not divisible by {num}"
+        )
+    size = shape[axis] // num
+    if buffer.is_meta:
+        new_shape = tuple(size if d == axis else s
+                          for d, s in enumerate(shape))
+        return Tensor.meta(new_shape, buffer.dtype)
+    slicer = tuple(slice(index * size, (index + 1) * size) if d == axis
+                   else slice(None) for d in range(len(shape)))
+    return Tensor(buffer.data[slicer].copy(), dtype=buffer.dtype)
+
+
+@register_primitive()
+class ShardPrimitive(Primitive):
+    """``.shard(param_name_or_list, axis)``."""
+
+    name = "shard"
+
+    @staticmethod
+    def check(sch, param_names, axis: int = 0) -> None:
+        names = [param_names] if isinstance(param_names, str) else param_names
+        for name in names:
+            if sch.mod._parameters.get(name) is None and \
+                    sch.mod._buffers.get(name) is None:
+                raise SchedulingError(
+                    f"{sch.path or '<root>'} has no parameter or buffer "
+                    f"{name!r} to shard"
+                )
+
+    @staticmethod
+    def apply(sch, param_names, axis: int = 0):
+        group = sch.mesh.tp_group
+        names = [param_names] if isinstance(param_names, str) else \
+            list(param_names)
+        mod = sch.mod
+        index = group.ranks.index(group.rank) if group.size > 1 else 0
+        for name in names:
+            if name in mod._buffers:
+                if group.size > 1:
+                    mod._buffers[name] = _shard_buffer(
+                        mod._buffers[name], axis, group.size, index)
+                continue
+            param = mod._parameters[name]
+            if group.size == 1:
+                param.shard_spec = ShardSpec(axis, 1, 0, tuple(param.shape))
+                continue
+            mod._parameters[name] = _shard_parameter(
+                param, axis, group.size, index)
+        _refresh_module_dims(mod, sch, names, axis, group.size, index)
+        _defer_row_parallel_bias(mod, names, axis, group.size)
+        return sch
+
+
+def _defer_row_parallel_bias(mod, names, axis, num) -> None:
+    """Row-parallel weight shard: the bias must be added *after* the output
+    all-reduce, or every rank's copy gets summed ``num`` times (Megatron's
+    RowParallelLinear semantics).  Move it aside; ``.sync(fwd_post)`` adds
+    it back on the reduced output.
+    """
+    if num == 1 or axis != 1 or "weight" not in names or "bias" in names:
+        return
+    bias = mod._parameters.get("bias")
+    if bias is None:
+        return
+    mod._slapo_meta["deferred_bias"] = bias
+    mod.register_parameter("bias", None)
+    # Keep the parameter reachable for optimizers / state_dict.
+    mod.register_parameter("deferred_bias", bias)
+
+
+def _refresh_module_dims(mod, sch, names, axis, num, index) -> None:
+    """Keep layer bookkeeping attributes consistent after sharding."""
+    if num == 1:
+        return
+    if isinstance(mod, Linear) or hasattr(mod, "in_features"):
+        if "weight" in names:
+            if axis == 0:
+                mod.out_features //= num
+            else:
+                mod.in_features //= num
+    if isinstance(mod, Embedding) and "weight" in names and axis == 0:
+        shard = mod.num_embeddings // num
+        mod.num_embeddings = shard
+        mod._slapo_meta["vocab_range"] = (index * shard, (index + 1) * shard)
+
+
+@register_primitive()
+class SyncPrimitive(Primitive):
+    """``.sync(mode, sync_op_or_fn)``.
+
+    Modes (paper appendix A): ``"fwd_pre"``, ``"fwd_post"`` (alias
+    ``"forward"``), ``"bwd_post"`` (alias ``"backward"``).  The sync op is
+    ``"all_reduce"`` / ``"reduce_scatter"`` or a callable
+    ``fn(module, value, group) -> value`` from :mod:`repro.slapo.op`.
+    """
+
+    name = "sync"
+
+    _MODES = {"fwd_pre", "fwd_post", "forward", "bwd_post", "backward"}
+
+    @staticmethod
+    def check(sch, mode: str, sync_op_or_fn="all_reduce") -> None:
+        if mode not in SyncPrimitive._MODES:
+            raise SchedulingError(
+                f"unknown sync mode {mode!r}; expected one of "
+                f"{sorted(SyncPrimitive._MODES)}"
+            )
+        if isinstance(sync_op_or_fn, str) and \
+                sync_op_or_fn not in ("all_reduce", "reduce_scatter",
+                                      "all_gather"):
+            raise SchedulingError(
+                f"unknown sync op {sync_op_or_fn!r}"
+            )
+        # Verifier rule (paper §3.5): a sync must follow a shard somewhere
+        # at or beneath this module.
+        prefix = sch.path
+        sharded = any(
+            record.name == "shard" and (
+                record.path == prefix or record.path.startswith(
+                    f"{prefix}." if prefix else ""))
+            for record in sch.context.history
+        )
+        if not sharded:
+            raise SchedulingError(
+                f".sync() on {prefix or '<root>'} has no preceding .shard() "
+                f"— the output aggregation would be a no-op (verifier rule)"
+            )
+
+    @staticmethod
+    def apply(sch, mode: str, sync_op_or_fn="all_reduce"):
+        group = sch.mesh.tp_group
+        mod = sch.mod
+
+        if callable(sync_op_or_fn):
+            custom = sync_op_or_fn
+            if mode == "fwd_pre":
+                mod.register_forward_pre_hook(
+                    lambda m, args: custom(m, args, group))
+            elif mode in ("fwd_post", "forward"):
+                mod.register_forward_hook(
+                    lambda m, args, out: custom(m, out, group))
+            else:
+                mod.register_backward_hook(
+                    lambda m, grad: custom(m, grad, group))
+            return sch
+
+        if sync_op_or_fn == "all_gather":
+            # Column-parallel output head: gather shards along the last dim.
+            def op(value):
+                return group.all_gather(value, axis=-1)
+        elif sync_op_or_fn == "all_reduce":
+            op = group.all_reduce
+        else:
+            op = group.reduce_scatter
+        if mode == "fwd_pre":
+            mod.register_forward_pre_hook(
+                lambda m, args: (group.copy_to_group(args[0]),) + args[1:])
+        elif mode in ("fwd_post", "forward"):
+            def aggregate(m, args, out):
+                reduced = op(out)
+                deferred = m._slapo_meta.get("deferred_bias")
+                return reduced if deferred is None else reduced + deferred
+
+            mod.register_forward_hook(aggregate)
+        else:  # bwd_post / backward: aggregate input gradients
+            mod.register_backward_hook(lambda m, grad: op(grad))
+        return sch

@@ -1,0 +1,153 @@
+"""Dynamic-graph primitives (paper Table 2, left column).
+
+These schedule modules and parameters without requiring a static graph:
+``.replace(new_mod)``, ``.checkpoint()``, ``.decompose()``.
+"""
+
+from __future__ import annotations
+
+from repro.framework import functional as F
+from repro.framework.layers import Linear
+from repro.framework.module import Module
+from repro.fx import Match
+from repro.fx.rewriter import (
+    extract_match_as_module,
+    order_matches_for_rewrite,
+    replace_match_with_module,
+    replace_node_with_function,
+)
+
+from ..registry import Primitive, SchedulingError, register_primitive
+
+
+@register_primitive()
+class ReplacePrimitive(Primitive):
+    """``.replace(new_mod)`` or ``.replace(new_mod_or_fn, subgraph)``.
+
+    Module form swaps this schedule's module for an efficient alternative
+    (optionally renaming it, as in the paper's ``eff_attn`` example).
+    Subgraph form splices the replacement over matches from ``.find()``.
+    """
+
+    name = "replace"
+
+    @staticmethod
+    def check(sch, new_mod_or_fn, subgraph=None, name=None) -> None:
+        if subgraph is None:
+            if not isinstance(new_mod_or_fn, Module):
+                raise SchedulingError(
+                    "module-level .replace() needs a Module; to replace a "
+                    "subgraph pass the matches as the second argument"
+                )
+        else:
+            sch.require_traced("replace")
+
+    @staticmethod
+    def apply(sch, new_mod_or_fn, subgraph=None, name=None):
+        if subgraph is None:
+            return sch.replace_self(new_mod_or_fn, name=name)
+        matches = subgraph if isinstance(subgraph, list) else [subgraph]
+        if not matches:
+            raise SchedulingError(".replace() got an empty match list")
+        gm = sch.mod
+        new_nodes = []
+        for match in order_matches_for_rewrite(gm.graph, matches):
+            if not isinstance(match, Match):
+                raise SchedulingError(
+                    "subgraph replacement expects Match objects from .find()"
+                )
+            if isinstance(new_mod_or_fn, Module):
+                node = replace_match_with_module(
+                    gm, match, new_mod_or_fn,
+                    name or type(new_mod_or_fn).__name__)
+            else:
+                node = replace_node_with_function(gm, match, new_mod_or_fn)
+            new_nodes.append(node)
+        return new_nodes
+
+
+@register_primitive()
+class CheckpointPrimitive(Primitive):
+    """``.checkpoint()`` / ``.checkpoint(subgraph)`` (paper §3.2.1, §3.3.1).
+
+    Module form flags the whole module for activation checkpointing.
+    Subgraph form extracts the matched computation into its own module and
+    checkpoints just that region — the fine-grained control DeepSpeed and
+    Megatron-LM lack.
+    """
+
+    name = "checkpoint"
+
+    @staticmethod
+    def check(sch, subgraph=None, **kwargs) -> None:
+        if subgraph is not None:
+            sch.require_traced("checkpoint")
+
+    @staticmethod
+    def apply(sch, subgraph=None, name: str = "ckpt"):
+        if subgraph is None:
+            sch.mod._slapo_meta["checkpoint"] = True
+            return sch
+        matches = subgraph if isinstance(subgraph, list) else [subgraph]
+        gm = sch.mod
+        nodes = []
+        for match in order_matches_for_rewrite(gm.graph, matches):
+            extracted = extract_match_as_module(gm, match,
+                                                class_name="Checkpointed")
+            extracted._slapo_meta["checkpoint"] = True
+            extracted._slapo_meta["is_leaf"] = True
+            nodes.append(replace_match_with_module(gm, match, extracted, name))
+        return nodes
+
+
+@register_primitive()
+class UncheckpointPrimitive(Primitive):
+    """``.uncheckpoint()`` — progressive optimization includes un-applying."""
+
+    name = "uncheckpoint"
+
+    @staticmethod
+    def apply(sch):
+        sch.mod._slapo_meta.pop("checkpoint", None)
+        return sch
+
+
+class DecomposedLinear(Module):
+    """A Linear split into GEMM + explicit bias-add.
+
+    Tracing this module (it is *not* a leaf) exposes the bias-add as a
+    separate graph node, unlocking patterns like Bias-GeLU fusion
+    (paper appendix A, ``.decompose()``).
+    """
+
+    def __init__(self, linear: Linear):
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.weight = linear.weight
+        self.bias = linear.bias
+
+    def forward(self, x):
+        return F.linear(x, self.weight) + self.bias
+
+
+@register_primitive()
+class DecomposePrimitive(Primitive):
+    """``.decompose()`` — split a Linear's bias into a separate op."""
+
+    name = "decompose"
+
+    @staticmethod
+    def check(sch) -> None:
+        mod = sch.mod
+        if not isinstance(mod, Linear):
+            raise SchedulingError(
+                f".decompose() only applies to Linear modules, got "
+                f"{type(mod).__name__}"
+            )
+        if mod._parameters.get("bias") is None:
+            raise SchedulingError(".decompose() needs a Linear with a bias")
+
+    @staticmethod
+    def apply(sch):
+        return sch.replace_self(DecomposedLinear(sch.mod))

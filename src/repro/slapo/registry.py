@@ -1,0 +1,67 @@
+"""Primitive registry: built-in and user-defined schedule primitives.
+
+Every primitive — built-ins like ``.shard()`` and extensions like
+``.quantize()`` — registers here.  ``Schedule.__getattr__`` resolves
+primitive names through this registry, so a newly registered primitive is
+immediately callable on any schedule (paper §3.1, "Extensible Primitives").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+
+class SchedulingError(RuntimeError):
+    """A schedule primitive was applied illegally (verifier, paper §3.5)."""
+
+
+class Primitive:
+    """Base class for schedule primitives.
+
+    Subclasses define:
+
+    * ``name`` — the method name exposed on Schedule objects.
+    * ``apply(sch, *args, **kwargs)`` — the transformation (a static or
+      class method); its return value is returned to the caller.
+    * ``check(sch, *args, **kwargs)`` — optional precondition validation;
+      raise :class:`SchedulingError` to reject the call.
+    """
+
+    name: str = ""
+    #: whether this primitive requires the module to be traced first
+    requires_static_graph: bool = False
+
+    @staticmethod
+    def check(sch, *args, **kwargs) -> None:
+        """Validate preconditions (called by the verifier before apply)."""
+
+    @staticmethod
+    def apply(sch, *args, **kwargs):
+        raise NotImplementedError
+
+
+_PRIMITIVES: dict[str, Type[Primitive]] = {}
+
+
+def register_primitive(cls: Type[Primitive] | None = None) -> Callable:
+    """Class decorator registering a primitive (``@slapo.register_primitive()``)."""
+
+    def wrap(primitive_cls: Type[Primitive]) -> Type[Primitive]:
+        if not issubclass(primitive_cls, Primitive):
+            raise TypeError("register_primitive expects a Primitive subclass")
+        if not primitive_cls.name:
+            raise ValueError("primitive must define a non-empty .name")
+        _PRIMITIVES[primitive_cls.name] = primitive_cls
+        return primitive_cls
+
+    if cls is not None:
+        return wrap(cls)
+    return wrap
+
+
+def get_primitive(name: str) -> Type[Primitive] | None:
+    return _PRIMITIVES.get(name)
+
+
+def list_primitives() -> list[str]:
+    return sorted(_PRIMITIVES)

@@ -1,0 +1,175 @@
+"""The schedule language core (paper §3.1).
+
+``create_schedule(model)`` wraps a model in a hierarchical
+:class:`Schedule` that mirrors the module tree: ``sch["encoder.layer.0"]``
+addresses the sub-schedule of that submodule, and primitives are invoked as
+methods (``subsch.shard("weight", axis=0)``).  The model definition is never
+edited — primitives transform modules, parameters, and traced graphs in
+place, and every application is recorded for the verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.distributed import DeviceMesh, single_device_mesh
+from repro.framework.module import Module
+
+from .registry import SchedulingError, get_primitive
+
+
+@dataclass
+class PrimitiveRecord:
+    """One applied primitive, for verification and inspection."""
+
+    name: str
+    path: str
+    args: tuple
+    kwargs: dict
+
+
+@dataclass
+class ScheduleContext:
+    """State shared by every sub-schedule of one scheduled model."""
+
+    root: Module
+    mesh: DeviceMesh
+    history: list[PrimitiveRecord] = field(default_factory=list)
+    #: module paths after which a pipeline stage boundary is cut
+    pipeline_cuts: list[str] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, name: str, path: str, args: tuple, kwargs: dict) -> None:
+        self.history.append(PrimitiveRecord(name, path, args, kwargs))
+
+    def applied(self, name: str, path: str) -> bool:
+        return any(r.name == name and r.path == path for r in self.history)
+
+
+class Schedule:
+    """A view over one module in the scheduled model's hierarchy."""
+
+    def __init__(self, context: ScheduleContext, path: str = ""):
+        object.__setattr__(self, "_context", context)
+        object.__setattr__(self, "_path", path)
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+    @property
+    def mod(self) -> Module:
+        """The live module this schedule addresses."""
+        return self._context.root.get_submodule(self._path)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def mesh(self) -> DeviceMesh:
+        return self._context.mesh
+
+    @property
+    def context(self) -> ScheduleContext:
+        return self._context
+
+    @property
+    def parent(self) -> "Schedule | None":
+        if not self._path:
+            return None
+        parent_path, _, _ = self._path.rpartition(".")
+        return Schedule(self._context, parent_path)
+
+    def __getitem__(self, relative_path: str) -> "Schedule":
+        full = f"{self._path}.{relative_path}" if self._path \
+            else relative_path
+        # Fail fast on typos: resolving checks existence.
+        self._context.root.get_submodule(full)
+        return Schedule(self._context, full)
+
+    def child_names(self) -> list[str]:
+        return [name for name, _ in self.mod.named_children()]
+
+    def named_schedules(self):
+        """Iterate (path, Schedule) over this subtree, preorder."""
+        prefix = self._path
+        for rel_path, _ in self.mod.named_modules():
+            full = f"{prefix}.{rel_path}" if prefix and rel_path else \
+                (rel_path or prefix)
+            yield full, Schedule(self._context, full)
+
+    # ------------------------------------------------------------------ #
+    # Primitive dispatch
+    # ------------------------------------------------------------------ #
+    def __getattr__(self, name: str):
+        primitive = get_primitive(name)
+        if primitive is None:
+            raise AttributeError(
+                f"Schedule has no primitive or attribute {name!r} "
+                f"(registered primitives: see slapo.list_primitives())"
+            )
+
+        def invoke(*args, **kwargs):
+            primitive.check(self, *args, **kwargs)
+            result = primitive.apply(self, *args, **kwargs)
+            self._context.record(name, self._path, args, kwargs)
+            return result
+
+        invoke.__name__ = name
+        return invoke
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(
+            "schedules are immutable views; use primitives to transform "
+            "the model"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by primitives / the verifier
+    # ------------------------------------------------------------------ #
+    @property
+    def is_traced(self) -> bool:
+        from repro.fx import GraphModule
+
+        return isinstance(self.mod, GraphModule)
+
+    def require_traced(self, primitive_name: str) -> None:
+        if not self.is_traced:
+            raise SchedulingError(
+                f".{primitive_name}() requires a static graph; call "
+                f".trace() on {self._path or '<root>'} first (paper Table 2)"
+            )
+
+    def replace_self(self, new_module: Module, name: str | None = None
+                     ) -> "Schedule":
+        """Swap the module this schedule addresses (optionally renaming)."""
+        if not self._path:
+            raise SchedulingError("cannot replace the root module itself")
+        parent_path, _, leaf = self._path.rpartition(".")
+        parent_mod = self._context.root.get_submodule(parent_path)
+        if name is None or name == leaf:
+            parent_mod.set_submodule(leaf, new_module)
+            return self
+        del parent_mod._modules[leaf]
+        parent_mod.add_module(name, new_module)
+        new_path = f"{parent_path}.{name}" if parent_path else name
+        return Schedule(self._context, new_path)
+
+    def __repr__(self) -> str:
+        return f"Schedule(path={self._path or '<root>'!r}, " \
+               f"module={type(self.mod).__name__})"
+
+
+def create_schedule(model: Module, mesh: DeviceMesh | None = None
+                    ) -> Schedule:
+    """Create the default schedule for ``model`` (paper Fig. 3).
+
+    The schedule executes the model exactly as defined until primitives are
+    applied.  ``mesh`` supplies the distributed context for ``.shard`` /
+    ``.sync`` / ``.pipeline_split``; the default is a single device.
+    """
+    if not isinstance(model, Module):
+        raise TypeError(f"expected a Module, got {type(model).__name__}")
+    context = ScheduleContext(root=model, mesh=mesh or single_device_mesh())
+    return Schedule(context, "")

@@ -1,0 +1,16 @@
+"""repro.slapo.tuner — the schedule auto-tuner (paper §3.4)."""
+
+from .space import Space, SpaceError, enumerate_space, symbol_values
+from .tuner import (
+    SECONDS_PER_FAILED_TRIAL,
+    SECONDS_PER_TRIAL,
+    AutoTuner,
+    Trial,
+    TuneResult,
+)
+
+__all__ = [
+    "Space", "SpaceError", "enumerate_space", "symbol_values",
+    "AutoTuner", "Trial", "TuneResult",
+    "SECONDS_PER_TRIAL", "SECONDS_PER_FAILED_TRIAL",
+]

@@ -1,0 +1,96 @@
+"""Define-by-run search spaces (paper §3.4, Fig. 6).
+
+Users write an ``update_space(space)`` function calling
+``space.create_symbol(name, candidates)``; because later candidate lists
+may depend on earlier symbols' *values* (the paper's conditional
+``ckpt_ratio`` example), the space is a polygon rather than a rectangle.
+Enumeration re-executes ``update_space`` along every branch of the implied
+decision tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+
+class SpaceError(ValueError):
+    """Raised on ill-formed search-space definitions."""
+
+
+class Space:
+    """One trial's view of the space: symbols resolve to concrete values."""
+
+    def __init__(self, assignment: dict[str, object]):
+        self._assignment = dict(assignment)
+        self._order: list[str] = []
+        self._candidates: dict[str, list] = {}
+        self._pending: tuple[str, list] | None = None
+
+    def create_symbol(self, name: str, candidates: Iterable):
+        """Declare a tunable symbol; returns its value for this trial."""
+        candidates = list(candidates)
+        if not candidates:
+            raise SpaceError(f"symbol {name!r} has no candidates")
+        if name in self._candidates:
+            raise SpaceError(f"symbol {name!r} declared twice")
+        self._order.append(name)
+        self._candidates[name] = candidates
+        if name in self._assignment:
+            value = self._assignment[name]
+            if value not in candidates:
+                raise _Invalid(name)
+            return value
+        # First time this symbol is reachable: remember it so enumeration
+        # can branch, and provisionally return the first candidate.
+        if self._pending is None:
+            self._pending = (name, candidates)
+        return candidates[0]
+
+    @property
+    def assignment(self) -> dict[str, object]:
+        return dict(self._assignment)
+
+
+class _Invalid(Exception):
+    """A partial assignment became unreachable under this branch."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+def enumerate_space(update_fn: Callable[[Space], object]
+                    ) -> list[dict[str, object]]:
+    """All complete configurations of the (possibly conditional) space."""
+    complete: list[dict[str, object]] = []
+    stack: list[dict[str, object]] = [{}]
+    seen: set[tuple] = set()
+    while stack:
+        assignment = stack.pop()
+        space = Space(assignment)
+        try:
+            update_fn(space)
+        except _Invalid:
+            continue
+        if space._pending is None:
+            key = tuple(sorted(assignment.items()))
+            if key not in seen:
+                seen.add(key)
+                complete.append(dict(assignment))
+            continue
+        name, candidates = space._pending
+        for value in candidates:
+            branch = dict(assignment)
+            branch[name] = value
+            stack.append(branch)
+    return complete
+
+
+def symbol_values(update_fn: Callable[[Space], object], name: str
+                  ) -> list:
+    """The union of candidate values symbol ``name`` takes across branches."""
+    values: list = []
+    for config in enumerate_space(update_fn):
+        if name in config and config[name] not in values:
+            values.append(config[name])
+    return values

@@ -1,0 +1,141 @@
+"""The auto-tuner (paper §3.4): exhaustive and randomized coordinate descent.
+
+The tuner evaluates configurations through a user-supplied callable
+returning throughput in samples/sec (``0``/``None`` means invalid — e.g.
+out of memory, which the tuner prunes quickly).  It records every trial and
+a simulated wall-clock cost so benchmarks can report search-time savings
+(paper Fig. 10: 17/91 configs, 20 vs 139 minutes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .space import enumerate_space
+
+
+@dataclass
+class Trial:
+    config: dict
+    throughput: float
+    valid: bool
+
+
+@dataclass
+class TuneResult:
+    best_config: dict | None
+    best_throughput: float
+    trials: list[Trial] = field(default_factory=list)
+    #: simulated wall-clock seconds spent benchmarking
+    search_seconds: float = 0.0
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+#: benchmarking one configuration ≈ launching a short training job
+SECONDS_PER_TRIAL = 92.0
+#: invalid configs (OOM) fail fast at the first step
+SECONDS_PER_FAILED_TRIAL = 20.0
+
+
+class AutoTuner:
+    def __init__(self, update_space_fn: Callable,
+                 evaluate_fn: Callable[[dict], float | None],
+                 seed: int = 0):
+        self.update_space_fn = update_space_fn
+        self.evaluate_fn = evaluate_fn
+        self.configs = enumerate_space(update_space_fn)
+        self._rng = np.random.default_rng(seed)
+        self._cache: dict[tuple, Trial] = {}
+        self._trials: list[Trial] = []
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, config: dict) -> Trial:
+        key = tuple(sorted(config.items()))
+        if key in self._cache:
+            return self._cache[key]
+        throughput = self.evaluate_fn(config)
+        valid = throughput is not None and throughput > 0
+        trial = Trial(config=dict(config),
+                      throughput=float(throughput or 0.0), valid=valid)
+        self._cache[key] = trial
+        self._trials.append(trial)
+        return trial
+
+    def _result(self) -> TuneResult:
+        best = max((t for t in self._trials if t.valid),
+                   key=lambda t: t.throughput, default=None)
+        seconds = sum(
+            SECONDS_PER_TRIAL if t.valid else SECONDS_PER_FAILED_TRIAL
+            for t in self._trials
+        )
+        return TuneResult(
+            best_config=None if best is None else best.config,
+            best_throughput=0.0 if best is None else best.throughput,
+            trials=list(self._trials),
+            search_seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    def exhaustive(self) -> TuneResult:
+        """Evaluate every configuration in the space (the default)."""
+        for config in self.configs:
+            self._evaluate(config)
+        return self._result()
+
+    def coordinate_descent(self, restarts: int = 1,
+                           max_rounds: int = 8) -> TuneResult:
+        """Randomized coordinate descent (Nesterov 2012), as in the paper.
+
+        Starting from a random valid configuration, sweep one coordinate at
+        a time over its feasible values (holding the rest fixed), move to
+        the best, and repeat until a full round makes no progress.
+        """
+        names = sorted({k for config in self.configs for k in config})
+        for _ in range(restarts):
+            start_idx = int(self._rng.integers(len(self.configs)))
+            current = dict(self.configs[start_idx])
+            best_here = self._evaluate(current)
+            for _round in range(max_rounds):
+                improved = False
+                order = list(names)
+                self._rng.shuffle(order)
+                for coord in order:
+                    candidates = self._coordinate_candidates(current, coord)
+                    for value in candidates:
+                        if value == current.get(coord):
+                            continue
+                        probe = dict(current)
+                        probe[coord] = value
+                        if not self._is_feasible(probe):
+                            continue
+                        trial = self._evaluate(probe)
+                        if trial.valid and (not best_here.valid or
+                                            trial.throughput >
+                                            best_here.throughput):
+                            best_here = trial
+                            current = probe
+                            improved = True
+                if not improved:
+                    break
+        return self._result()
+
+    # ------------------------------------------------------------------ #
+    def _is_feasible(self, config: dict) -> bool:
+        key = set(config.items())
+        return any(key == set(c.items()) for c in self.configs)
+
+    def _coordinate_candidates(self, current: dict, coord: str) -> list:
+        values = []
+        others = {k: v for k, v in current.items() if k != coord}
+        for config in self.configs:
+            if all(config.get(k) == v for k, v in others.items()) \
+                    and coord in config and config[coord] not in values:
+                values.append(config[coord])
+        return values

@@ -1,0 +1,220 @@
+"""Collectives on the LocalCluster: correctness, determinism, autograd."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.distributed import (
+    ClusterError,
+    DeviceMesh,
+    LocalCluster,
+    ParallelConfig,
+    SimGroup,
+    SingleGroup,
+)
+
+
+class TestThreadCollectives:
+    def test_all_reduce_sums(self):
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.full((3,), float(ctx.rank + 1), np.float32)
+            return group.all_reduce(local)
+
+        results = cluster.run(fn)
+        for out in results:
+            np.testing.assert_array_equal(out, np.full((3,), 10.0))
+
+    def test_all_reduce_deterministic_order(self):
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            rng = np.random.default_rng(ctx.rank)
+            local = rng.normal(size=(64,)).astype(np.float32)
+            return group.all_reduce(local)
+
+        first = cluster.run(fn)
+        second = LocalCluster(4).run(fn)
+        np.testing.assert_array_equal(first[0], second[0])
+        for out in first[1:]:
+            np.testing.assert_array_equal(out, first[0])
+
+    def test_all_gather_axis(self):
+        cluster = LocalCluster(3)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.full((2, 1), float(ctx.rank), np.float32)
+            return group.all_gather(local, axis=1)
+
+        for out in cluster.run(fn):
+            np.testing.assert_array_equal(out, [[0, 1, 2], [0, 1, 2]])
+
+    def test_reduce_scatter(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.arange(4, dtype=np.float32)
+            return group.reduce_scatter(local, axis=0)
+
+        out = cluster.run(fn)
+        np.testing.assert_array_equal(out[0], [0.0, 2.0])
+        np.testing.assert_array_equal(out[1], [4.0, 6.0])
+
+    def test_broadcast(self):
+        cluster = LocalCluster(3)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.full((2,), float(ctx.rank), np.float32)
+            return group.broadcast(local, src=1)
+
+        for out in cluster.run(fn):
+            np.testing.assert_array_equal(out, [1.0, 1.0])
+
+    def test_send_recv(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            if ctx.rank == 0:
+                group.send(1, "payload")
+                return None
+            return group.recv(0)
+
+        assert cluster.run(fn)[1] == "payload"
+
+    def test_subgroups_independent(self):
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            pair = (0, 1) if ctx.rank < 2 else (2, 3)
+            group = ctx.group(pair, tag="tp")
+            local = np.full((1,), float(ctx.rank), np.float32)
+            return group.all_reduce(local)
+
+        out = cluster.run(fn)
+        assert out[0][0] == 1.0 and out[1][0] == 1.0
+        assert out[2][0] == 5.0 and out[3][0] == 5.0
+
+    def test_rank_failure_propagates(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            if ctx.rank == 1:
+                raise ValueError("boom")
+            return ctx.world_group().all_reduce(np.zeros(1, np.float32))
+
+        with pytest.raises(ClusterError, match="rank 1"):
+            cluster.run(fn)
+
+
+class TestTensorAutogradCollectives:
+    def test_all_reduce_backward_is_identity(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            x = fw.tensor([1.0 + ctx.rank], requires_grad=True)
+            out = group.all_reduce(x * 2)
+            out.backward(fw.tensor([1.0]))
+            return out.numpy(), x.grad.numpy()
+
+        for out, grad in cluster.run(fn):
+            np.testing.assert_array_equal(out, [6.0])  # 2*1 + 2*2
+            np.testing.assert_array_equal(grad, [2.0])
+
+    def test_all_gather_backward_slices(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            x = fw.tensor([float(ctx.rank)], requires_grad=True)
+            gathered = group.all_gather(x, axis=0)
+            (gathered * fw.tensor([1.0, 10.0])).sum().backward()
+            return x.grad.numpy()
+
+        grads = cluster.run(fn)
+        np.testing.assert_array_equal(grads[0], [1.0])
+        np.testing.assert_array_equal(grads[1], [10.0])
+
+    def test_copy_to_group_backward_allreduces(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            x = fw.tensor([1.0], requires_grad=True)
+            y = group.copy_to_group(x)
+            (y * (ctx.rank + 1.0)).sum().backward()
+            return x.grad.numpy()
+
+        grads = cluster.run(fn)
+        # grad = sum over ranks of (rank + 1) = 3 on every rank
+        np.testing.assert_array_equal(grads[0], [3.0])
+        np.testing.assert_array_equal(grads[1], [3.0])
+
+
+class TestMesh:
+    def test_parallel_config_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(tp=2, dp=2, pp=1).validate(8)
+
+    def test_axis_group_assignment(self):
+        mesh = DeviceMesh(ParallelConfig(tp=2, dp=2, pp=2), rank=5, sim=True)
+        # rank 5: tp index 1, dp index 0, pp stage 1
+        assert mesh.tp_group.ranks == (4, 5)
+        assert mesh.dp_group.ranks == (5, 7)
+        assert mesh.pp_group.ranks == (1, 5)
+        assert mesh.pp_stage == 1
+
+    def test_mesh_in_cluster(self):
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            mesh = DeviceMesh(ParallelConfig(tp=2, dp=2), ctx=ctx)
+            local = np.full((1,), float(ctx.rank), np.float32)
+            return mesh.tp_group.all_reduce(local)
+
+        out = cluster.run(fn)
+        assert out[0][0] == 1.0 and out[1][0] == 1.0  # ranks 0+1
+        assert out[2][0] == 5.0 and out[3][0] == 5.0  # ranks 2+3
+
+    def test_sim_group_shapes(self):
+        group = SimGroup((0, 1, 2, 3), tag="tp")
+        t = fw.Tensor.meta((4, 8))
+        assert tuple(group.all_gather(t, axis=-1).shape) == (4, 32)
+        assert tuple(group.all_reduce(t).shape) == (4, 8)
+        assert tuple(group.reduce_scatter(t, axis=0).shape) == (1, 8)
+
+    def test_single_group_identity(self):
+        group = SingleGroup()
+        x = fw.randn(3)
+        assert group.all_reduce(x) is x or np.array_equal(
+            group.all_reduce(x).numpy(), x.numpy())
+
+
+class TestCommCost:
+    def test_intra_vs_inter_bandwidth(self):
+        from repro.distributed import p3dn_cluster
+
+        cluster = p3dn_cluster(2)
+        nbytes = 100e6
+        intra = cluster.all_reduce_time(nbytes, tuple(range(8)))
+        inter = cluster.all_reduce_time(nbytes, tuple(range(16)))
+        assert inter > intra
+
+    def test_all_reduce_scales_with_bytes(self):
+        from repro.distributed import P3DN_NODE
+
+        ranks = tuple(range(8))
+        assert P3DN_NODE.all_reduce_time(2e9, ranks) > \
+            P3DN_NODE.all_reduce_time(1e9, ranks)
+
+    def test_single_rank_is_free(self):
+        from repro.distributed import P3DN_NODE
+
+        assert P3DN_NODE.all_reduce_time(1e9, (0,)) == 0.0

@@ -1,0 +1,139 @@
+"""Convolution, pooling, normalisation, and optimizer behaviours."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        conv = fw.Conv2d(1, 1, 3, padding=1, bias=False)
+        conv.weight.data[...] = 0
+        conv.weight.data[0, 0, 1, 1] = 1.0
+        x = fw.randn(1, 1, 5, 5)
+        np.testing.assert_allclose(conv(x).numpy(), x.numpy(), rtol=1e-5)
+
+    def test_stride_and_padding_shapes(self):
+        conv = fw.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert tuple(conv(fw.randn(2, 3, 8, 8)).shape) == (2, 8, 4, 4)
+
+    def test_conv_grad_finite_difference(self):
+        fw.manual_seed(0)
+        conv = fw.Conv2d(2, 3, 3, padding=1)
+        x = fw.randn(1, 2, 4, 4, requires_grad=True)
+        conv(x).sum().backward()
+        analytic = x.grad.numpy().copy()
+
+        eps = 1e-3
+        idx = (0, 1, 2, 2)
+        base = x.numpy().copy()
+        plus = base.copy()
+        plus[idx] += eps
+        minus = base.copy()
+        minus[idx] -= eps
+        with fw.no_grad():
+            hi = conv(fw.tensor(plus)).sum().item()
+            lo = conv(fw.tensor(minus)).sum().item()
+        assert analytic[idx] == pytest.approx((hi - lo) / (2 * eps),
+                                              rel=5e-2)
+
+    def test_channel_mismatch_raises(self):
+        conv = fw.Conv2d(3, 8, 3)
+        with pytest.raises(ValueError, match="channel"):
+            conv(fw.randn(1, 4, 8, 8))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = fw.tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2, 2)
+        np.testing.assert_array_equal(out.numpy().reshape(2, 2),
+                                      [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_max(self):
+        x = fw.tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
+                      requires_grad=True)
+        F.max_pool2d(x, 2, 2).sum().backward()
+        grad = x.grad.numpy().reshape(4, 4)
+        assert grad[1, 1] == 1 and grad[0, 0] == 0
+
+    def test_global_avg_pool(self):
+        x = fw.randn(2, 3, 5, 5)
+        out = F.adaptive_avg_pool2d(x, 1)
+        np.testing.assert_allclose(
+            out.numpy().reshape(2, 3), x.numpy().mean(axis=(2, 3)),
+            rtol=1e-5)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        bn = fw.BatchNorm2d(4)
+        x = fw.randn(8, 4, 3, 3) * 5 + 2
+        out = bn(x).numpy()
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1) < 0.1
+
+    def test_running_stats_update_then_used_in_eval(self):
+        fw.manual_seed(0)
+        bn = fw.BatchNorm2d(2, momentum=1.0)  # adopt batch stats entirely
+        x = fw.randn(16, 2, 4, 4) * 3 + 1
+        bn(x)
+        bn.eval()
+        out = bn(x).numpy()
+        assert abs(out.mean()) < 0.2
+
+    def test_grad_flows(self):
+        bn = fw.BatchNorm2d(2)
+        x = fw.randn(4, 2, 3, 3, requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+        assert bn.weight.grad is not None
+
+
+class TestOptimizers:
+    def test_sgd_momentum_accumulates(self):
+        param = fw.Parameter(np.zeros(1, np.float32))
+        opt = fw.SGD([param], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            param.grad = fw.tensor([1.0])
+            opt.step()
+        # step1: -1; step2: buf = 0.9*1+1 = 1.9 → -2.9 total
+        assert param.data[0] == pytest.approx(-2.9)
+
+    def test_adamw_decoupled_weight_decay(self):
+        param = fw.Parameter(np.ones(1, np.float32))
+        opt = fw.AdamW([param], lr=0.1, weight_decay=0.5)
+        param.grad = fw.tensor([0.0])
+        opt.step()
+        # zero gradient: only decay applies → 1 * (1 - 0.1*0.5) = 0.95
+        assert param.data[0] == pytest.approx(0.95, rel=1e-3)
+
+    def test_tied_parameters_stepped_once(self):
+        weight = fw.Parameter(np.ones(2, np.float32))
+        opt = fw.SGD([weight, weight], lr=1.0)
+        weight.grad = fw.tensor([1.0, 1.0])
+        opt.step()
+        np.testing.assert_allclose(weight.numpy(), [0.0, 0.0])
+
+    def test_empty_param_list_rejected(self):
+        with pytest.raises(ValueError):
+            fw.SGD([], lr=0.1)
+
+    def test_adamw_bytes_per_param(self):
+        layer = fw.Linear(2, 2)
+        assert fw.AdamW(layer.parameters()).state_bytes_per_param() == 12
+
+
+class TestLossFunctions:
+    def test_mse(self):
+        a = fw.tensor([1.0, 2.0])
+        b = fw.tensor([3.0, 2.0])
+        assert F.mse_loss(a, b).item() == pytest.approx(2.0)
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = fw.zeros(3, 5)
+        targets = fw.tensor([0, 1, 2], dtype=fw.int64)
+        assert F.cross_entropy(logits, targets).item() == \
+            pytest.approx(np.log(5), rel=1e-4)

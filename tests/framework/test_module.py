@@ -1,0 +1,204 @@
+"""Module system: registration, traversal, replacement, hooks, state."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+
+class Block(fw.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = fw.Linear(4, 8)
+        self.act = fw.GELU()
+        self.fc2 = fw.Linear(8, 4)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class Net(fw.Module):
+    def __init__(self):
+        super().__init__()
+        self.embed = fw.Embedding(10, 4)
+        self.blocks = fw.ModuleList([Block() for _ in range(3)])
+        self.head = fw.Linear(4, 10)
+
+    def forward(self, idx):
+        x = self.embed(idx)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(x)
+
+
+class TestRegistration:
+    def test_parameters_collected(self):
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "embed.weight" in names
+        assert "blocks.0.fc1.weight" in names
+        assert "blocks.2.fc2.bias" in names
+        assert len(list(net.parameters())) == 1 + 3 * 4 + 2
+
+    def test_named_modules_hierarchical_paths(self):
+        net = Net()
+        paths = [name for name, _ in net.named_modules()]
+        assert "" in paths
+        assert "blocks.1.act" in paths
+
+    def test_get_submodule(self):
+        net = Net()
+        sub = net.get_submodule("blocks.1.fc1")
+        assert isinstance(sub, fw.Linear)
+        with pytest.raises(AttributeError):
+            net.get_submodule("blocks.9")
+
+    def test_set_submodule_replaces(self):
+        net = Net()
+        net.set_submodule("blocks.0.act", fw.ReLU())
+        assert isinstance(net.get_submodule("blocks.0.act"), fw.ReLU)
+
+    def test_get_parameter(self):
+        net = Net()
+        p = net.get_parameter("head.weight")
+        assert tuple(p.shape) == (10, 4)
+
+    def test_delattr_unregisters(self):
+        block = Block()
+        del block.fc1
+        assert "fc1" not in dict(block.named_children())
+
+    def test_assigning_none_buffer(self):
+        m = fw.Module()
+        m.register_buffer("buf", None)
+        assert list(m.named_buffers()) == []
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        net = Net()
+        net.eval()
+        assert not net.blocks[2].act.training
+        net.train()
+        assert net.blocks[2].act.training
+
+    def test_dropout_respects_eval(self):
+        drop = fw.Dropout(0.9)
+        x = fw.ones(1000)
+        drop.eval()
+        assert np.array_equal(drop(x).numpy(), x.numpy())
+        drop.train()
+        out = drop(x).numpy()
+        assert (out == 0).mean() > 0.5
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        fw.manual_seed(0)
+        a, b = Net(), Net()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.numpy(), pb.numpy())
+
+    def test_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state.pop("head.weight")
+        with pytest.raises(KeyError):
+            Net().load_state_dict(state)
+
+
+class TestHooks:
+    def test_forward_pre_hook_rewrites_args(self):
+        fc = fw.Linear(4, 4)
+        fc.register_forward_pre_hook(lambda mod, args: (args[0] * 0,))
+        out = fc(fw.ones(2, 4))
+        np.testing.assert_allclose(
+            out.numpy(), np.broadcast_to(fc.bias.numpy(), (2, 4)), rtol=1e-5)
+
+    def test_forward_hook_rewrites_output(self):
+        fc = fw.Linear(4, 4)
+        fc.register_forward_hook(lambda mod, args, out: out * 2)
+        x = fw.ones(1, 4)
+        doubled = fc(x)
+        fc._forward_hooks.clear()
+        base = fc(x)
+        np.testing.assert_allclose(doubled.numpy(), 2 * base.numpy(),
+                                   rtol=1e-5)
+
+    def test_backward_hook_sees_input_grad(self):
+        fc = fw.Linear(4, 4)
+        seen = []
+        fc.register_backward_hook(lambda mod, g: seen.append(g.copy()))
+        x = fw.randn(2, 4, requires_grad=True)
+        fc(x).sum().backward()
+        assert len(seen) == 1
+        np.testing.assert_allclose(seen[0], x.grad.numpy(), rtol=1e-5)
+
+    def test_backward_hook_can_rewrite_grad(self):
+        fc = fw.Linear(4, 4)
+        fc.register_backward_hook(lambda mod, g: g * 0)
+        x = fw.randn(2, 4, requires_grad=True)
+        fc(x).sum().backward()
+        assert np.all(x.grad.numpy() == 0)
+
+
+class TestMetaModules:
+    def test_meta_linear(self):
+        fc = fw.Linear(1024, 1024, device="meta")
+        assert fc.weight.is_meta
+        out = fc(fw.zeros(8, 1024, device="meta"))
+        assert out.is_meta and tuple(out.shape) == (8, 1024)
+
+    def test_meta_param_count_without_allocation(self):
+        fc = fw.Linear(50000, 50000, bias=False, device="meta")
+        assert fc.num_parameters() == 50000 * 50000
+
+    def test_is_meta_flag(self):
+        assert fw.Linear(4, 4, device="meta").is_meta
+        assert not fw.Linear(4, 4).is_meta
+
+
+class TestEndToEnd:
+    def test_training_reduces_loss(self):
+        fw.manual_seed(0)
+        net = Net()
+        optimizer = fw.AdamW(net.parameters(), lr=1e-2)
+        idx = fw.randint(0, 10, (8, 5))
+        # Learnable objective: predict (token + 1) mod 10.
+        targets = fw.tensor((idx.numpy().reshape(-1) + 1) % 10, dtype=fw.int64)
+        losses = []
+        for _ in range(100):
+            optimizer.zero_grad()
+            logits = net(idx)
+            loss = F.cross_entropy(logits.view(-1, 10), targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_fp16_training_with_master_weights(self):
+        fw.manual_seed(0)
+        fc = fw.Linear(4, 1, dtype=fw.float16)
+        optimizer = fw.AdamW(fc.parameters(), lr=1e-2, weight_decay=0.0)
+        x = fw.randn(16, 4, dtype=fw.float16)
+        losses = []
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = F.mse_loss(fc(x).float(), fw.ones(16, 1))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert fc.weight.dtype == fw.float16
+        assert losses[-1] < losses[0]
+
+    def test_sequential_and_modulelist_indexing(self):
+        seq = fw.Sequential(fw.Linear(4, 8), fw.ReLU(), fw.Linear(8, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], fw.ReLU)
+        out = seq(fw.randn(3, 4))
+        assert tuple(out.shape) == (3, 2)
+        ml = fw.ModuleList([fw.ReLU()])
+        ml.append(fw.Tanh())
+        assert isinstance(ml[-1], fw.Tanh)

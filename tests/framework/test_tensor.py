@@ -1,0 +1,132 @@
+"""Tensor basics: construction, shapes, dtypes, meta device, conversions."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.framework import dtypes
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = fw.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tuple(t.shape) == (2, 2)
+        assert t.dtype == fw.float32
+
+    def test_python_floats_become_fp32(self):
+        assert fw.tensor(3.14).dtype == fw.float32
+
+    def test_int_dtype_preserved(self):
+        assert fw.tensor([1, 2, 3]).dtype == fw.int64 or \
+            fw.tensor([1, 2, 3]).dtype == dtypes.DType.from_numpy(np.int_)
+
+    def test_explicit_dtype(self):
+        t = fw.tensor([1.0], dtype=fw.float16)
+        assert t.dtype == fw.float16
+        assert t.data.dtype == np.float16
+
+    def test_zeros_ones_full(self):
+        assert np.all(fw.zeros(3, 4).numpy() == 0)
+        assert np.all(fw.ones(2).numpy() == 1)
+        assert np.all(fw.full((2, 2), 7.0).numpy() == 7)
+
+    def test_arange(self):
+        assert fw.arange(5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_randn_seeded_deterministic(self):
+        fw.manual_seed(42)
+        a = fw.randn(4, 4)
+        fw.manual_seed(42)
+        b = fw.randn(4, 4)
+        assert np.array_equal(a.numpy(), b.numpy())
+
+
+class TestShapes:
+    def test_size_numel(self):
+        t = fw.zeros(2, 3, 4)
+        assert t.numel() == 24
+        assert t.size(0) == 2
+        assert t.size(-1) == 4
+        assert t.shape.numel() == 24
+
+    def test_reshape_roundtrip(self):
+        t = fw.arange(12, dtype=fw.float32).view(3, 4)
+        assert tuple(t.shape) == (3, 4)
+        assert tuple(t.view(-1).shape) == (12,)
+        assert tuple(t.reshape(2, -1).shape) == (2, 6)
+
+    def test_transpose_permute(self):
+        t = fw.randn(2, 3, 4)
+        assert tuple(t.transpose(0, 2).shape) == (4, 3, 2)
+        assert tuple(t.permute(2, 0, 1).shape) == (4, 2, 3)
+
+    def test_len(self):
+        assert len(fw.zeros(5, 2)) == 5
+
+
+class TestMeta:
+    def test_meta_creation(self):
+        t = fw.zeros(10, 20, device="meta")
+        assert t.is_meta
+        assert tuple(t.shape) == (10, 20)
+        assert t.nbytes == 10 * 20 * 4
+
+    def test_meta_has_no_data(self):
+        t = fw.Tensor.meta((3,))
+        with pytest.raises(RuntimeError):
+            t.numpy()
+        with pytest.raises(RuntimeError):
+            t.item()
+
+    def test_meta_matmul_shape(self):
+        a = fw.Tensor.meta((8, 16, 32))
+        b = fw.Tensor.meta((32, 64))
+        out = a @ b
+        assert out.is_meta
+        assert tuple(out.shape) == (8, 16, 64)
+
+    def test_meta_broadcast_add(self):
+        a = fw.Tensor.meta((4, 1, 8))
+        b = fw.Tensor.meta((3, 8))
+        assert tuple((a + b).shape) == (4, 3, 8)
+
+    def test_meta_backward_raises(self):
+        t = fw.Tensor.meta((1,), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+
+class TestConversions:
+    def test_half_float(self):
+        t = fw.randn(3)
+        assert t.half().dtype == fw.float16
+        assert t.half().float().dtype == fw.float32
+
+    def test_detach_breaks_graph(self):
+        t = fw.randn(3, requires_grad=True)
+        y = (t * 2).detach()
+        assert y.grad_fn is None
+        assert not y.requires_grad
+
+    def test_copy_(self):
+        a, b = fw.zeros(3), fw.ones(3)
+        a.copy_(b)
+        assert np.all(a.numpy() == 1)
+
+    def test_clone_independent(self):
+        a = fw.ones(3)
+        b = a.clone()
+        b.data[0] = 5
+        assert a.numpy()[0] == 1
+
+
+class TestDtypePromotion:
+    def test_fp16_plus_fp32(self):
+        a = fw.tensor([1.0], dtype=fw.float16)
+        b = fw.tensor([1.0], dtype=fw.float32)
+        assert (a + b).dtype == fw.float32
+
+    def test_promote_symmetry(self):
+        assert dtypes.promote(fw.float16, fw.float32) == fw.float32
+        assert dtypes.promote(fw.float32, fw.float16) == fw.float32
+        assert dtypes.promote(fw.int64, fw.float16) == fw.float16

@@ -1,0 +1,61 @@
+"""Table 3 reproduction: parameter counts must land on the paper's billions.
+
+Models are instantiated on the meta device so counting 10B parameters costs
+no memory.
+"""
+
+import pytest
+
+from repro.models import MODEL_ZOO, TABLE3_PARAMS_BILLION
+from repro.models.configs import GPT_10B, LLAMA_7B, OPT_350M
+from repro.models.gpt import GPT2LMHeadModel
+from repro.models.llama import LlamaForCausalLM
+from repro.models.opt import OPTForCausalLM
+
+
+@pytest.mark.parametrize("family", sorted(TABLE3_PARAMS_BILLION))
+def test_table3_parameter_counts(family):
+    cls, config = MODEL_ZOO[family]
+    model = cls(config, device="meta")
+    billions = model.num_parameters() / 1e9
+    expected = TABLE3_PARAMS_BILLION[family]
+    assert billions == pytest.approx(expected, rel=0.10), (
+        f"{family}: {billions:.3f}B parameters vs paper's {expected}B"
+    )
+
+
+def test_gpt_10b_size():
+    model = GPT2LMHeadModel(GPT_10B, device="meta")
+    assert model.num_parameters() / 1e9 == pytest.approx(10.0, rel=0.12)
+
+
+def test_llama_7b_size():
+    model = LlamaForCausalLM(LLAMA_7B, device="meta")
+    assert model.num_parameters() / 1e9 == pytest.approx(6.9, rel=0.10)
+
+
+def test_opt_350m_size():
+    model = OPTForCausalLM(OPT_350M, device="meta")
+    assert model.num_parameters() / 1e6 == pytest.approx(350, rel=0.15)
+
+
+def test_precisions_match_table3():
+    from repro.framework import dtypes
+    from repro.models import TABLE3_CONFIGS
+
+    for family, config in TABLE3_CONFIGS.items():
+        if family == "WideResNet":
+            assert config.dtype == dtypes.float32  # paper: FP32
+        else:
+            assert config.dtype == dtypes.float16  # paper: FP16
+
+
+def test_sequence_lengths_match_table3():
+    from repro.models import TABLE3_CONFIGS
+
+    assert TABLE3_CONFIGS["BERT"].max_seq_len == 512
+    assert TABLE3_CONFIGS["RoBERTa"].max_seq_len == 512
+    assert TABLE3_CONFIGS["GPT"].max_seq_len == 1024
+    assert TABLE3_CONFIGS["OPT"].max_seq_len == 1024
+    assert TABLE3_CONFIGS["T5"].max_seq_len == 1024
+    assert TABLE3_CONFIGS["WideResNet"].image_size == 224

@@ -1,0 +1,181 @@
+"""Model zoo: forward/backward on tiny configs, meta instantiation, training."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro.framework import functional as F
+from repro.models import (
+    MODEL_ZOO,
+    BertLMHeadModel,
+    GPT2LMHeadModel,
+    LlamaForCausalLM,
+    OPTForCausalLM,
+    RobertaLMHeadModel,
+    T5ForConditionalGeneration,
+    WideResNet,
+    data,
+)
+from repro.models.configs import (
+    BERT_1B,
+    GPT_2_9B,
+    LLAMA_7B,
+    OPT_2_7B,
+    ROBERTA_1_3B,
+    T5_2_9B,
+    WIDERESNET_2_4B,
+)
+
+LM_MODELS = [
+    (BertLMHeadModel, BERT_1B),
+    (RobertaLMHeadModel, ROBERTA_1_3B),
+    (GPT2LMHeadModel, GPT_2_9B),
+    (OPTForCausalLM, OPT_2_7B),
+    (LlamaForCausalLM, LLAMA_7B),
+]
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("cls,config", LM_MODELS,
+                             ids=[c.name for _, c in LM_MODELS])
+    def test_lm_forward_shape(self, cls, config):
+        tiny = config.tiny()
+        fw.manual_seed(0)
+        model = cls(tiny)
+        ids, _ = data.lm_batch(tiny, batch_size=2, seq_len=6)
+        logits = model(ids)
+        assert tuple(logits.shape) == (2, 6, tiny.vocab_size)
+
+    def test_t5_forward_shape(self):
+        tiny = T5_2_9B.tiny()
+        model = T5ForConditionalGeneration(tiny)
+        src, tgt, _ = data.seq2seq_batch(tiny, batch_size=2, src_len=6,
+                                         tgt_len=4)
+        logits = model(src, tgt)
+        assert tuple(logits.shape) == (2, 4, tiny.vocab_size)
+
+    def test_wideresnet_forward_shape(self):
+        tiny = WIDERESNET_2_4B.tiny()
+        model = WideResNet(tiny)
+        images, _ = data.image_batch(tiny, batch_size=2)
+        logits = model(images)
+        assert tuple(logits.shape) == (2, tiny.num_classes)
+
+
+class TestTraining:
+    @pytest.mark.parametrize("cls,config", [LM_MODELS[0], LM_MODELS[2]],
+                             ids=["bert", "gpt"])
+    def test_lm_loss_decreases(self, cls, config):
+        tiny = config.tiny()
+        fw.manual_seed(0)
+        model = cls(tiny)
+        optimizer = fw.AdamW(model.parameters(), lr=5e-3, weight_decay=0.0)
+        ids, _ = data.lm_batch(tiny, batch_size=2, seq_len=6)
+        labels = fw.tensor(
+            (ids.numpy().reshape(-1) + 1) % tiny.vocab_size, dtype=fw.int64)
+        losses = []
+        for _ in range(15):
+            optimizer.zero_grad()
+            logits = model(ids)
+            loss = F.cross_entropy(logits.view(-1, tiny.vocab_size), labels)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_all_parameters_receive_grads(self):
+        tiny = BERT_1B.tiny()
+        model = BertLMHeadModel(tiny)
+        ids, _ = data.lm_batch(tiny, batch_size=1, seq_len=4)
+        logits = model(ids)
+        F.cross_entropy(logits.view(-1, tiny.vocab_size),
+                        fw.randint(0, tiny.vocab_size, (4,))).backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        # The pooler is not on the MLM loss path; everything else must be.
+        assert all("pooler" in name for name in missing), missing
+
+    def test_wideresnet_backward(self):
+        tiny = WIDERESNET_2_4B.tiny()
+        model = WideResNet(tiny)
+        images, labels = data.image_batch(tiny, batch_size=2)
+        loss = F.cross_entropy(model(images), labels)
+        loss.backward()
+        assert model.conv1.weight.grad is not None
+        assert model.fc.weight.grad is not None
+
+    def test_t5_backward(self):
+        tiny = T5_2_9B.tiny()
+        model = T5ForConditionalGeneration(tiny)
+        src, tgt, labels = data.seq2seq_batch(tiny, 1, 4, 3)
+        loss = F.cross_entropy(model(src, tgt).view(-1, tiny.vocab_size),
+                               labels)
+        loss.backward()
+        assert model.shared.weight.grad is not None
+        dec_cross = model.decoder.block[0].layer[1]
+        assert dec_cross.EncDecAttention.q.weight.grad is not None
+
+
+class TestMetaInstantiation:
+    @pytest.mark.parametrize("name", ["BERT", "GPT", "OPT", "LLaMA-7B"])
+    def test_billion_param_models_on_meta(self, name):
+        cls, config = MODEL_ZOO[name]
+        model = cls(config, device="meta")
+        assert model.is_meta
+        count = model.num_parameters()
+        assert count > 5e8  # at least half a billion
+
+    def test_meta_forward_propagates_shapes(self):
+        cls, config = MODEL_ZOO["GPT"]
+        model = cls(config, device="meta")
+        ids, _ = data.lm_batch(config, batch_size=4, seq_len=128,
+                               device="meta")
+        logits = model(ids)
+        assert logits.is_meta
+        assert tuple(logits.shape) == (4, 128, config.vocab_size)
+
+    def test_meta_t5_forward(self):
+        cls, config = MODEL_ZOO["T5"]
+        model = cls(config, device="meta")
+        src, tgt, _ = data.seq2seq_batch(config, 2, 64, 32, device="meta")
+        assert tuple(model(src, tgt).shape) == (2, 32, config.vocab_size)
+
+    def test_meta_wideresnet_forward(self):
+        cls, config = MODEL_ZOO["WideResNet"]
+        model = cls(config, device="meta")
+        images, _ = data.image_batch(config, 2, device="meta")
+        assert tuple(model(images).shape) == (2, config.num_classes)
+
+
+class TestRoPE:
+    def test_rotary_preserves_norm(self):
+        from repro.models.llama import _rope_tables, apply_rotary
+
+        fw.manual_seed(0)
+        cos, sin = _rope_tables(8, 4, fw.float32)
+        x = fw.randn(1, 2, 8, 4)
+        rotated = apply_rotary(x, cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated.numpy(), axis=-1),
+            np.linalg.norm(x.numpy(), axis=-1), rtol=1e-4)
+
+    def test_rotary_relative_property(self):
+        """RoPE dot products depend only on relative positions."""
+        from repro.models.llama import _rope_tables, apply_rotary
+
+        cos, sin = _rope_tables(16, 4, fw.float32)
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(4,)).astype(np.float32)
+        k = rng.normal(size=(4,)).astype(np.float32)
+
+        def dot_at(pos_q, pos_k):
+            qm = np.zeros((1, 1, 16, 4), np.float32)
+            km = np.zeros((1, 1, 16, 4), np.float32)
+            qm[0, 0, pos_q] = q
+            km[0, 0, pos_k] = k
+            qr = apply_rotary(fw.tensor(qm), cos, sin).numpy()[0, 0, pos_q]
+            kr = apply_rotary(fw.tensor(km), cos, sin).numpy()[0, 0, pos_k]
+            return float(qr @ kr)
+
+        assert dot_at(3, 1) == pytest.approx(dot_at(10, 8), rel=1e-4)
+        assert dot_at(5, 5) == pytest.approx(dot_at(12, 12), rel=1e-4)

@@ -1,0 +1,185 @@
+"""Performance/memory simulator: invariants and directional behaviours."""
+
+import pytest
+
+import repro.slapo as slapo
+from repro import framework as fw
+from repro.distributed import P3DN_NODE, ParallelConfig, p3dn_cluster
+from repro.models import BERT_1B, BertLMHeadModel, data
+from repro.sim import (
+    KernelCostModel,
+    model_memory,
+    plan_micro_batch,
+    step_time,
+    throughput,
+    trace_model,
+)
+
+
+@pytest.fixture(scope="module")
+def bert_trace():
+    model = BertLMHeadModel(BERT_1B, device="meta")
+    ids, _ = data.lm_batch(BERT_1B, 1, device="meta")
+    return model, trace_model(model, ids)
+
+
+class TestTrace:
+    def test_flops_match_analytic(self, bert_trace):
+        model, trace = bert_trace
+        # Forward GEMM flops ≈ 2 × params × tokens for a transformer.
+        expected = 2 * model.num_parameters() * 512
+        assert trace.total_flops == pytest.approx(expected, rel=0.25)
+
+    def test_fp16_end_to_end(self, bert_trace):
+        _, trace = bert_trace
+        float_ops = [op for op in trace.ops if op.dtype_name.startswith("f")]
+        assert all(op.dtype_name == "float16" for op in float_ops)
+
+    def test_activation_matches_korthikanti_form(self, bert_trace):
+        """Vanilla layer ≈ 34·s·b·h + 5·a·s²·b bytes (fp16)."""
+        _, trace = bert_trace
+        s, h, a, layers = 512, 1792, 28, 24
+        closed_form = (34 * s * h + 5 * a * s * s) * layers
+        assert trace.activation_bytes() == pytest.approx(closed_form,
+                                                         rel=0.30)
+
+    def test_checkpointing_reduces_activation_footprint(self):
+        def build(ckpt: bool):
+            model = BertLMHeadModel(BERT_1B, device="meta")
+            if ckpt:
+                sch = slapo.create_schedule(model)
+                for i in range(24):
+                    sch[f"bert.encoder.layer.{i}"].checkpoint()
+            ids, _ = data.lm_batch(BERT_1B, 1, device="meta")
+            return trace_model(model, ids)
+
+        plain = build(False).activation_bytes()
+        ckpt = build(True).activation_bytes()
+        assert ckpt < plain * 0.1
+
+    def test_checkpointing_owes_recompute(self):
+        model = BertLMHeadModel(BERT_1B, device="meta")
+        sch = slapo.create_schedule(model)
+        for i in range(12):
+            sch[f"bert.encoder.layer.{i}"].checkpoint()
+        ids, _ = data.lm_batch(BERT_1B, 1, device="meta")
+        trace = trace_model(model, ids)
+        assert trace.checkpointed_flops() == pytest.approx(
+            trace.total_flops * 0.5, rel=0.15)
+
+    def test_flash_attention_removes_quadratic_memory(self):
+        from repro.slapo.pattern import scaled_dot_product_dropout
+        from repro.kernels import FlashAttention
+
+        def build(flash: bool):
+            model = BertLMHeadModel(BERT_1B, device="meta")
+            if flash:
+                sch = slapo.create_schedule(model)
+                for i in range(24):
+                    sub = sch[f"bert.encoder.layer.{i}.attention.self"]
+                    sub.trace(flatten=True)
+                    matches = sub.find(_bert_attn_pattern)
+                    assert matches, "attention core not found"
+                    sub.replace(FlashAttention(), matches, name="FA")
+            ids, _ = data.lm_batch(BERT_1B, 1, device="meta")
+            return trace_model(model, ids)
+
+        plain = build(False).activation_bytes()
+        flash = build(True).activation_bytes()
+        s, h, a = 512, 1792, 28
+        quadratic = 5 * a * s * s * 24
+        assert plain - flash == pytest.approx(quadratic, rel=0.35)
+
+
+def _bert_attn_pattern(q, k, v, scale):
+    from repro.framework import functional as F
+    from repro.slapo.pattern import call_module
+
+    attn = q @ k.transpose(-2, -1)
+    attn = attn / scale
+    attn = call_module(r".*dropout.*", F.softmax(attn, dim=-1))
+    return attn @ v
+
+
+class TestMemoryModel:
+    def test_adamw_fixed_state_is_16_bytes_per_param(self, bert_trace):
+        model, trace = bert_trace
+        mem = model_memory(model, trace, micro_batch=1)
+        fixed = mem.params + mem.grads + mem.optimizer
+        assert fixed == pytest.approx(16 * model.num_parameters(), rel=0.01)
+
+    def test_zero3_partitions_state(self, bert_trace):
+        model, trace = bert_trace
+        solo = model_memory(model, trace, 1, zero_stage=0, dp_size=8)
+        zero = model_memory(model, trace, 1, zero_stage=3, dp_size=8)
+        fixed_solo = solo.params + solo.grads + solo.optimizer
+        fixed_zero = zero.params + zero.grads + zero.optimizer
+        assert fixed_zero == pytest.approx(fixed_solo / 8, rel=0.05)
+
+    def test_memory_monotone_in_batch(self, bert_trace):
+        model, trace = bert_trace
+        totals = [model_memory(model, trace, b).total for b in (1, 2, 4, 8)]
+        assert totals == sorted(totals)
+
+    def test_pipeline_divides_weights(self, bert_trace):
+        model, trace = bert_trace
+        one = model_memory(model, trace, 1)
+        two = model_memory(model, trace, 1, num_pipeline_stages=2)
+        assert two.params == pytest.approx(one.params / 2)
+
+
+class TestThroughputModel:
+    def test_throughput_improves_with_batch_then_memory_caps(self, bert_trace):
+        model, trace = bert_trace
+        rates = [throughput(trace, model, P3DN_NODE, ParallelConfig(),
+                            micro_batch=b) for b in (1, 4, 16)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_tp_splits_compute_adds_comm(self, bert_trace):
+        model, trace = bert_trace
+        solo = step_time(trace, model, P3DN_NODE, ParallelConfig(),
+                         micro_batch=4)
+        # A fake TP trace: the same compute halved would need comm events;
+        # here we just check dp adds comm.
+        dp = step_time(trace, model, P3DN_NODE, ParallelConfig(dp=8),
+                       micro_batch=4)
+        assert dp.dp_comm > 0
+        assert solo.dp_comm == 0
+
+    def test_zero3_comm_grows_across_nodes(self, bert_trace):
+        model, trace = bert_trace
+        intra = step_time(trace, model, p3dn_cluster(1),
+                          ParallelConfig(dp=8), 4, zero_stage=3)
+        inter = step_time(trace, model, p3dn_cluster(2),
+                          ParallelConfig(dp=16), 4, zero_stage=3)
+        assert inter.zero_comm > intra.zero_comm
+
+    def test_pipeline_bubble_shrinks_with_microbatches(self, bert_trace):
+        model, trace = bert_trace
+        few = step_time(trace, model, p3dn_cluster(2),
+                        ParallelConfig(tp=8, pp=2), 2, num_micro_batches=2)
+        many = step_time(trace, model, p3dn_cluster(2),
+                         ParallelConfig(tp=8, pp=2), 2, num_micro_batches=16)
+        assert few.bubble / few.total > many.bubble / many.total
+
+    def test_planner_respects_memory(self, bert_trace):
+        model, trace = bert_trace
+        plan = plan_micro_batch(trace, model, P3DN_NODE, ParallelConfig())
+        assert plan is not None
+        assert plan.memory.total <= P3DN_NODE.gpu.usable_memory
+
+    def test_planner_returns_none_when_nothing_fits(self, bert_trace):
+        from dataclasses import replace
+
+        from repro.distributed.topology import ClusterSpec, GPUSpec
+
+        model, trace = bert_trace
+        small_gpu = GPUSpec(memory_capacity=8e9)  # params+opt alone > 8GB
+        tiny = ClusterSpec(gpu=small_gpu)
+        assert plan_micro_batch(trace, model, tiny, ParallelConfig()) is None
+
+    def test_vanilla_bert_throughput_in_realistic_envelope(self, bert_trace):
+        """Single V100, vanilla HF BERT-1B: O(10) samples/s (Fig. 9 scale)."""
+        model, trace = bert_trace
+        plan = plan_micro_batch(trace, model, P3DN_NODE, ParallelConfig())
+        assert 5 < plan.throughput < 40

@@ -1,0 +1,165 @@
+"""Pipeline partitioning: annotation propagation, liveness, equivalence.
+
+Mirrors paper Fig. 5: cutting inside ``encoder`` must still capture the
+sibling ``embeddings`` and ``pooler`` modules in the right stages.
+"""
+
+import numpy as np
+import pytest
+
+import repro.slapo as slapo
+from repro import framework as fw
+from repro.distributed import DeviceMesh, ParallelConfig
+from repro.framework import functional as F
+from repro.slapo import SchedulingError
+
+
+class Layer(fw.Module):
+    def __init__(self, hidden=8):
+        super().__init__()
+        self.fc = fw.Linear(hidden, hidden)
+
+    def forward(self, x):
+        return x + F.gelu(self.fc(x))
+
+
+class Encoder(fw.Module):
+    def __init__(self, hidden=8, layers=4):
+        super().__init__()
+        self.layer = fw.ModuleList([Layer(hidden) for _ in range(layers)])
+
+    def forward(self, x):
+        for layer in self.layer:
+            x = layer(x)
+        return x
+
+
+class Bert(fw.Module):
+    """BERT-shaped toy: embeddings → encoder → pooler (paper Fig. 5)."""
+
+    def __init__(self, hidden=8, layers=4):
+        super().__init__()
+        self.embeddings = fw.Embedding(16, hidden)
+        self.encoder = Encoder(hidden, layers)
+        self.pooler = fw.Linear(hidden, hidden)
+
+    def forward(self, ids):
+        x = self.embeddings(ids)
+        x = self.encoder(x)
+        return self.pooler(x)
+
+
+def make_mesh(pp):
+    return DeviceMesh(ParallelConfig(pp=pp), rank=0, sim=True)
+
+
+class TestPipelineSplit:
+    def test_requires_pp_mesh(self):
+        sch = slapo.create_schedule(Bert())
+        with pytest.raises(SchedulingError, match="pp > 1"):
+            sch["encoder.layer.1"].pipeline_split()
+
+    def test_two_stage_partition_structure(self):
+        model = Bert()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch)
+        assert len(built.stages) == 2
+        # Annotation propagation (Fig. 5b): embeddings land in stage 0,
+        # pooler in stage 1.
+        stage0_targets = [n.target for n in built.stages[0].graph
+                          if n.op == "call_module"]
+        stage1_targets = [n.target for n in built.stages[1].graph
+                          if n.op == "call_module"]
+        assert "embeddings" in stage0_targets
+        assert "encoder.layer.0" in stage0_targets
+        assert "encoder.layer.1" in stage0_targets
+        assert "encoder.layer.2" in stage1_targets
+        assert "pooler" in stage1_targets
+
+    def test_partition_preserves_numerics(self):
+        fw.manual_seed(0)
+        model = Bert()
+        ids = fw.randint(0, 16, (2, 5))
+        expected = model(ids).numpy()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch)
+        np.testing.assert_allclose(built(ids).numpy(), expected, rtol=1e-5)
+
+    def test_three_stage_partition(self):
+        fw.manual_seed(1)
+        model = Bert(layers=6)
+        ids = fw.randint(0, 16, (2, 3))
+        expected = model(ids).numpy()
+        sch = slapo.create_schedule(model, mesh=make_mesh(3))
+        sch["encoder.layer.1"].pipeline_split()
+        sch["encoder.layer.3"].pipeline_split()
+        built = slapo.build(sch)
+        assert len(built.stages) == 3
+        np.testing.assert_allclose(built(ids).numpy(), expected, rtol=1e-5)
+
+    def test_stage_count_mismatch_detected(self):
+        model = Bert()
+        sch = slapo.create_schedule(model, mesh=make_mesh(3))
+        sch["encoder.layer.1"].pipeline_split()  # 2 stages but pp=3
+        with pytest.raises(SchedulingError, match="pp=3"):
+            slapo.build(sch)
+
+    def test_deepspeed_dialect_tuple_abi(self):
+        fw.manual_seed(0)
+        model = Bert()
+        ids = fw.randint(0, 16, (2, 4))
+        expected = model(ids).numpy()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch, target="deepspeed")
+        from repro.slapo.dialects import DeepSpeedPipelineModule
+
+        assert isinstance(built.model, DeepSpeedPipelineModule)
+        np.testing.assert_allclose(built(ids).numpy(), expected, rtol=1e-5)
+        # Each non-final stage must emit a tuple (DeepSpeed's ABI).
+        mid = built.model.stages[0]((ids,))
+        assert isinstance(mid, tuple)
+
+    def test_gradients_flow_through_stages(self):
+        fw.manual_seed(0)
+        model = Bert()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch)
+        ids = fw.randint(0, 16, (2, 4))
+        built(ids).sum().backward()
+        assert model.embeddings.weight.grad is not None
+        assert model.pooler.weight.grad is not None
+
+    def test_cut_inside_untraced_sibling_ok(self):
+        """Siblings without cuts stay opaque (untraceable code is fine)."""
+
+        class Unruly(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = fw.Linear(8, 8)
+
+            def forward(self, x):
+                if x.numpy().sum() > 1e9:  # untraceable data-dependence
+                    return x
+                return self.fc(x)
+
+        class Model(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Encoder()
+                self.unruly = Unruly()
+
+            def forward(self, x):
+                return self.unruly(self.encoder(x))
+
+        fw.manual_seed(0)
+        model = Model()
+        x = fw.randn(2, 8)
+        expected = model(x).numpy()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch)
+        np.testing.assert_allclose(built(x).numpy(), expected, rtol=1e-5)

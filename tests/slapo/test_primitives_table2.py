@@ -1,0 +1,89 @@
+"""Paper Table 2: the primitive set and its dynamic/static split.
+
+Left column (dynamic graphs): replace(new_mod), shard, sync, checkpoint.
+Right column (static graphs): replace(new_mod, subgraph), fuse,
+pipeline_split*, checkpoint(subgraph) — these require .trace() first.
+
+(*pipeline_split annotates on the dynamic side but its partitioning runs on
+traced ancestors at build time, per §3.3.2.)
+"""
+
+import pytest
+
+import repro.slapo as slapo
+from repro import framework as fw
+from repro.framework import functional as F
+from repro.slapo import SchedulingError
+
+
+class Net(fw.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = fw.Linear(8, 16)
+        self.fc2 = fw.Linear(16, 8)
+
+    def forward(self, x):
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+DYNAMIC_PRIMITIVES = ("replace", "shard", "sync", "checkpoint",
+                      "uncheckpoint", "decompose", "trace",
+                      "pipeline_split", "quantize", "bind", "cudagraphify")
+STATIC_PRIMITIVES = ("find", "fuse")
+
+
+def test_all_table2_primitives_registered():
+    names = set(slapo.list_primitives())
+    for name in DYNAMIC_PRIMITIVES + STATIC_PRIMITIVES:
+        assert name in names, f"missing primitive {name}"
+
+
+@pytest.mark.parametrize("name", STATIC_PRIMITIVES)
+def test_static_primitives_demand_a_trace(name):
+    sch = slapo.create_schedule(Net())
+    with pytest.raises(SchedulingError, match="static graph"):
+        getattr(sch["fc1"], name)(lambda x: F.gelu(x))
+
+
+def test_dynamic_primitives_work_without_tracing():
+    """Module/parameter scheduling never touches forward() (paper §3.2)."""
+    model = Net()
+    sch = slapo.create_schedule(model)
+    sch["fc1"].shard("weight", axis=0)       # no static graph involved
+    sch["fc1"].checkpoint()
+    sch["fc2"].replace(fw.Linear(16, 8))
+    from repro.fx import GraphModule
+
+    assert not any(isinstance(m, GraphModule) for m in model.modules())
+
+
+def test_static_side_after_trace():
+    model = Net()
+    sch = slapo.create_schedule(model)
+    sch.trace(flatten=True)
+    matches = slapo.create_schedule(sch.context.root).find(
+        lambda x: F.gelu(x))
+    assert matches
+
+
+def test_trace_by_need_expands_progressively():
+    """§1: 'the traced part can be expanded or shrunk progressively'."""
+
+    class Outer(fw.Module):
+        def __init__(self):
+            super().__init__()
+            self.a = Net()
+            self.b = Net()
+
+        def forward(self, x):
+            return self.b(self.a(x))
+
+    from repro.fx import GraphModule
+
+    model = Outer()
+    sch = slapo.create_schedule(model)
+    sch["a"].trace(flatten=True)                    # only `a` is static
+    assert isinstance(model.a, GraphModule)
+    assert not isinstance(model.b, GraphModule)
+    sch["b"].trace(flatten=True)                    # expanded as needed
+    assert isinstance(model.b, GraphModule)

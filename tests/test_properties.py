@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import framework as fw
+from repro import fx
+from repro.distributed import DeviceMesh, ParallelConfig
+from repro.distributed.topology import P3DN_NODE, p3dn_cluster
+from repro.framework import functional as F
+from repro.slapo.tuner import enumerate_space
+
+shapes = st.lists(st.integers(1, 5), min_size=1, max_size=3).map(tuple)
+floats = st.floats(-10, 10, allow_nan=False, width=32)
+
+
+class TestTensorProperties:
+    @given(shape=shapes, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_roundtrip_preserves_values(self, shape, seed):
+        fw.manual_seed(seed)
+        t = fw.randn(*shape)
+        flat = t.view(-1)
+        back = flat.view(*shape)
+        np.testing.assert_array_equal(back.numpy(), t.numpy())
+
+    @given(shape=shapes, seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_meta_shapes_match_real_shapes(self, shape, seed):
+        fw.manual_seed(seed)
+        real = fw.randn(*shape)
+        meta = fw.Tensor.meta(shape)
+        for op in (lambda x: x + 1.0, lambda x: F.gelu(x),
+                   lambda x: F.softmax(x, dim=-1),
+                   lambda x: x.sum(dim=0)):
+            assert tuple(op(real).shape) == tuple(op(meta).shape)
+
+    @given(a=st.integers(1, 6), b=st.integers(1, 6), c=st.integers(1, 6),
+           seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_grad_shape_invariants(self, a, b, c, seed):
+        fw.manual_seed(seed)
+        x = fw.randn(a, b, requires_grad=True)
+        layer = fw.Linear(b, c)
+        layer(x).sum().backward()
+        assert tuple(x.grad.shape) == (a, b)
+        assert tuple(layer.weight.grad.shape) == (c, b)
+
+    @given(shape=shapes, seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_rows_sum_to_one(self, shape, seed):
+        fw.manual_seed(seed)
+        out = F.softmax(fw.randn(*shape), dim=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+
+    @given(seed=st.integers(0, 500), p=st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_checkpoint_grads_equal_plain(self, seed, p):
+        def grads(checkpointed):
+            fw.manual_seed(seed)
+            net = fw.Sequential(fw.Linear(6, 12), fw.GELU(),
+                                fw.Linear(12, 6))
+            if checkpointed:
+                net._slapo_meta["checkpoint"] = True
+            fw.manual_seed(seed + 1)
+            x = fw.randn(3, 6, requires_grad=True)
+            net(x).sum().backward()
+            return x.grad.numpy()
+
+        np.testing.assert_allclose(grads(True), grads(False), rtol=1e-5)
+
+
+class TestShardingProperties:
+    @given(tp=st.sampled_from([1, 2, 4, 8]), out=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=20, deadline=None)
+    def test_shard_concat_reconstructs_parameter(self, tp, out):
+        import repro.slapo as slapo
+
+        fw.manual_seed(0)
+        full = fw.Linear(8, out)
+        original = full.weight.numpy().copy()
+        shards = []
+        for rank in range(tp):
+            fw.manual_seed(0)
+
+            class Holder(fw.Module):
+                def __init__(self):
+                    super().__init__()
+                    self.fc = fw.Linear(8, out)
+
+                def forward(self, x):
+                    return self.fc(x)
+
+            holder = Holder()
+            mesh = DeviceMesh(ParallelConfig(tp=tp), rank=rank, sim=True)
+            # sim meshes are rank-0 views; slice manually per rank instead
+            from repro.slapo.primitives.sharding import _shard_parameter
+
+            shards.append(_shard_parameter(holder.fc.weight, 0, tp,
+                                           rank).numpy())
+        np.testing.assert_array_equal(np.concatenate(shards, axis=0),
+                                      original)
+
+
+class TestGraphProperties:
+    @given(depth=st.integers(1, 6), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_trace_execute_equivalence(self, depth, seed):
+        fw.manual_seed(seed)
+
+        class Chain(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = fw.ModuleList(
+                    [fw.Linear(4, 4) for _ in range(depth)])
+
+            def forward(self, x):
+                for layer in self.layers:
+                    x = F.gelu(layer(x))
+                return x
+
+        model = Chain()
+        gm = fx.symbolic_trace(model)
+        x = fw.randn(2, 4)
+        np.testing.assert_allclose(gm(x).numpy(), model(x).numpy(),
+                                   rtol=1e-5)
+
+    @given(depth=st.integers(2, 6), cut=st.integers(0, 4),
+           seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_split_equivalence_any_cut(self, depth, cut, seed):
+        cut = min(cut, depth - 2)
+        fw.manual_seed(seed)
+
+        class Chain(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = fw.ModuleList(
+                    [fw.Linear(4, 4) for _ in range(depth)])
+
+            def forward(self, x):
+                for layer in self.layers:
+                    x = layer(x) + x
+                return x
+
+        model = Chain()
+        gm = fx.symbolic_trace(model)
+        x = fw.randn(2, 4)
+        expected = gm(x).numpy()
+        nodes = [n for n in gm.graph if n.op == "call_module"]
+        stages = fx.split_graph_module(gm, [nodes[cut]])
+        value = stages[0](x)
+        out = stages[1](*value) if isinstance(value, tuple) \
+            else stages[1](value)
+        np.testing.assert_allclose(out.numpy(), expected, rtol=1e-5)
+
+
+class TestCostModelProperties:
+    @given(nbytes=st.floats(1e3, 1e10), n=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_collective_time_monotone_in_bytes(self, nbytes, n):
+        ranks = tuple(range(n))
+        smaller = P3DN_NODE.all_reduce_time(nbytes / 2, ranks)
+        larger = P3DN_NODE.all_reduce_time(nbytes, ranks)
+        assert larger >= smaller
+
+    @given(nbytes=st.floats(1e6, 1e9))
+    @settings(max_examples=20, deadline=None)
+    def test_inter_node_never_faster_than_intra(self, nbytes):
+        intra = P3DN_NODE.all_reduce_time(nbytes, tuple(range(8)))
+        inter = p3dn_cluster(2).all_reduce_time(nbytes, tuple(range(16)))
+        assert inter >= intra
+
+
+class TestTunerProperties:
+    @given(sizes=st.lists(st.integers(1, 4), min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_rectangular_space_cardinality(self, sizes):
+        def update(space):
+            for idx, size in enumerate(sizes):
+                space.create_symbol(f"s{idx}", list(range(size)))
+
+        configs = enumerate_space(update)
+        expected = 1
+        for size in sizes:
+            expected *= size
+        assert len(configs) == expected
+        assert len({tuple(sorted(c.items())) for c in configs}) == expected
