@@ -1,0 +1,21 @@
+PYTHON ?= python
+
+.PHONY: test bench docs docs-check
+
+# tier-1 verification (pyproject.toml already pins pythonpath=src)
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
+
+# Regenerate docs/primitives.md from the registry, then fail if the
+# committed copy was stale (so CI catches un-regenerated docs).
+docs:
+	$(PYTHON) docs/gen_primitives.py --check || \
+		{ $(PYTHON) docs/gen_primitives.py; \
+		  echo "docs/primitives.md was stale and has been regenerated;" \
+		       "review and commit it"; exit 1; }
+
+docs-check:
+	$(PYTHON) docs/gen_primitives.py --check

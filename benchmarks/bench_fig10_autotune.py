@@ -4,12 +4,19 @@ The search space is the paper's Fig. 6 polygon: batch size 104–176 (step 8)
 × checkpoint ratio {0.25..0.67}, extended with {0.84, 0.92, 1.0} when the
 batch is ≥ 120.  High batch with little checkpointing runs out of memory
 (the grey region); the tuner must find the throughput peak while exploring
-a small fraction of the 91-point space via randomized coordinate descent.
+a small fraction of the 91-point space.
 
-Shape claims: OOM region exists; ≥30% best-vs-worst gap among valid
-configs; coordinate descent explores ≲30% of the space, matches the
-exhaustive optimum closely, and cuts search time by a large factor
-(paper: 17/91 configs, 20 vs 139 minutes, −86%).
+Four strategies are compared on the same space: exhaustive (the
+baseline), randomized coordinate descent (as in the paper), cost-model-
+guided top-k (``simulator_guided``, the analytical simulator as a
+pruning-and-ranking oracle), and evolutionary search with a cost-model
+fitness prefilter.
+
+Shape claims: OOM region exists; ≥10% best-vs-worst gap among valid
+configs; coordinate descent explores ≲30% of the space and cuts search
+time by a large factor (paper: 17/91 configs, 20 vs 139 minutes, −86%);
+simulator-guided reaches ≥95% of the exhaustive optimum with ≤30% of the
+exhaustive trial count.
 """
 
 import pytest
@@ -19,8 +26,8 @@ from repro.distributed import DeviceMesh, P3DN_NODE, ParallelConfig
 from repro.models import MODEL_ZOO, data
 from repro.schedules import SCHEDULES
 from repro.sim import model_memory, throughput, trace_model
-from repro.sim.kernel_cost import cost_model_for
-from repro.slapo.tuner import AutoTuner, enumerate_space
+from repro.sim.kernel_cost import KernelCostModel, cost_model_for
+from repro.slapo.tuner import AutoTuner, SimCostModel, enumerate_space
 
 FAMILY = "OPT-350M"
 PARALLEL = ParallelConfig(dp=8)
@@ -111,6 +118,95 @@ def test_fig10_autotune(benchmark):
     assert cd.num_trials <= 0.45 * len(tuner.configs)
     assert cd.best_throughput >= 0.97 * exhaustive.best_throughput
     assert saving >= 0.5
+
+
+def make_cost_model() -> SimCostModel:
+    """The simulator as a pruning/ranking oracle for the Fig. 6 space.
+
+    The oracle prices kernels with the generic V100 cost model while the
+    "measurement" uses the slapo-tuned efficiency profile, so predictions
+    carry a small systematic bias — predicted-vs-measured error stays
+    nonzero, as it would be against a real cluster.
+    """
+    return SimCostModel(
+        trace_fn=lambda config: _traced(config["ckpt_ratio"]),
+        trace_key_fn=lambda config: config["ckpt_ratio"],
+        cluster=P3DN_NODE,
+        parallel=PARALLEL,
+        kernel_cost=KernelCostModel(P3DN_NODE.gpu),
+    )
+
+
+def test_fig10_strategy_comparison():
+    """All four strategies on the Fig. 6 space, reported on one footing."""
+    cost_model = make_cost_model()
+    exhaustive = AutoTuner(paper_fig6_space, evaluate_config).exhaustive()
+    cd = AutoTuner(paper_fig6_space, evaluate_config,
+                   seed=0).coordinate_descent()
+    sg = AutoTuner(paper_fig6_space, evaluate_config, seed=0,
+                   cost_model=cost_model).simulator_guided()
+    ev = AutoTuner(paper_fig6_space, evaluate_config, seed=0,
+                   cost_model=cost_model).evolutionary(
+                       population=8, generations=4)
+
+    results = [exhaustive, cd, sg, ev]
+    space = exhaustive.report.space_size
+    print(f"\nFig.10 strategy comparison on the {space}-config OPT-350M "
+          f"space (8×V100)")
+    print(f"{'strategy':>20} {'trials':>7} {'pruned':>7} {'best':>8} "
+          f"{'search_min':>10} {'saved':>6} {'pred_err':>8}")
+    for result in results:
+        report = result.report
+        saving = 1 - result.search_seconds / exhaustive.search_seconds
+        print(f"{report.strategy:>20} "
+              f"{report.num_trials:>7} {report.num_pruned:>7} "
+              f"{result.best_throughput:>8.1f} "
+              f"{result.search_seconds / 60:>10.1f} {saving:>6.0%} "
+              f"{report.mean_prediction_error:>8.1%}")
+
+    # Every strategy carries a complete report.
+    for result in results:
+        assert result.report is not None
+        assert result.report.num_trials == result.num_trials
+        assert result.report.search_seconds == result.search_seconds
+
+    # Acceptance: simulator-guided ≥95% of the exhaustive optimum with
+    # ≤30% of the exhaustive trial count, and far less search time.
+    assert sg.best_throughput >= 0.95 * exhaustive.best_throughput
+    assert sg.num_trials <= 0.30 * exhaustive.num_trials
+    # Seconds saving is smaller than the trial-count saving because the
+    # exhaustive baseline's OOM trials fail fast (20s vs 92s) while the
+    # oracle only ever schedules full-length, feasible measurements.
+    assert sg.search_seconds < 0.45 * exhaustive.search_seconds
+    # The OOM region is pruned by the oracle, never measured.
+    assert sg.report.num_pruned > 0
+    assert all(t.valid for t in sg.trials)
+    # Predictions track measurements (same memory model, slightly
+    # different kernel-efficiency profile).
+    assert 0.0 < sg.report.mean_prediction_error < 0.15
+    # Evolutionary search competes within the same budget regime.
+    assert ev.best_throughput >= 0.95 * exhaustive.best_throughput
+    assert ev.num_trials < exhaustive.num_trials
+
+
+def test_fig10_trial_cache_roundtrip(tmp_path):
+    """A second tuning run over the same space costs zero search seconds."""
+    from repro.slapo.tuner import TrialCache
+
+    path = tmp_path / "fig10_trials.json"
+    cost_model = make_cost_model()
+    first = AutoTuner(paper_fig6_space, evaluate_config, seed=0,
+                      cost_model=cost_model,
+                      cache=TrialCache(path)).simulator_guided()
+    assert first.search_seconds > 0
+    cache = TrialCache(path)
+    assert len(cache) == first.num_trials
+    second = AutoTuner(paper_fig6_space, evaluate_config, seed=0,
+                       cost_model=cost_model,
+                       cache=cache).simulator_guided()
+    assert second.best_config == first.best_config
+    assert second.search_seconds == 0.0
+    assert second.report.num_cache_hits == second.num_trials
 
 
 def test_fig10_oom_at_high_batch_low_ckpt():

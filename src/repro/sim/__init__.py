@@ -8,7 +8,13 @@ any parallel configuration → plan micro-batches → report throughput.
 from .events import CommEvent, ModelTrace, OpEvent, TraceRecorder, trace_model
 from .kernel_cost import KernelCostModel
 from .memory import MemoryBreakdown, model_memory
-from .planner import MICRO_BATCH_CANDIDATES, Plan, plan_micro_batch
+from .planner import (
+    MICRO_BATCH_CANDIDATES,
+    Plan,
+    Prediction,
+    plan_micro_batch,
+    predict_config,
+)
 from .throughput import StepBreakdown, step_time, throughput
 
 __all__ = [
@@ -16,4 +22,5 @@ __all__ = [
     "KernelCostModel", "MemoryBreakdown", "model_memory",
     "StepBreakdown", "step_time", "throughput",
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
+    "Prediction", "predict_config",
 ]

@@ -33,6 +33,69 @@ class Plan:
         return self.micro_batch > 0
 
 
+@dataclass
+class Prediction:
+    """The simulator's answer to "how would this configuration perform?".
+
+    This is the auto-tuner's pruning-and-ranking oracle (paper §3.4 /
+    Fig. 10): ``fits=False`` configurations can be rejected without paying
+    for a measurement, and feasible ones can be ordered by ``throughput``
+    so only the most promising are measured.
+    """
+
+    throughput: float
+    fits: bool
+    memory: MemoryBreakdown | None = None
+    micro_batch: int = 0
+
+    @property
+    def memory_bytes(self) -> float:
+        return 0.0 if self.memory is None else self.memory.total
+
+
+def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
+                   parallel: ParallelConfig, micro_batch: int | None = None,
+                   zero_stage: int = 0, num_micro_batches: int = 1,
+                   global_batch: int | None = None,
+                   cost_model: KernelCostModel | None = None) -> Prediction:
+    """Price one configuration: predicted throughput + memory feasibility.
+
+    With ``micro_batch=None`` the planner sweeps
+    :data:`MICRO_BATCH_CANDIDATES` and reports the best feasible choice;
+    otherwise exactly the requested micro-batch is priced (the tuner's
+    usual case, where the batch size is itself a search coordinate).
+    ``global_batch`` derives the micro-batch count exactly as
+    :func:`plan_micro_batch` does — an indivisible split or a pipeline
+    that cannot be filled is reported infeasible.
+    """
+    if micro_batch is None:
+        plan = plan_micro_batch(trace, model, cluster, parallel, zero_stage,
+                                num_micro_batches, global_batch, cost_model)
+        if plan is None:
+            return Prediction(throughput=0.0, fits=False)
+        return Prediction(throughput=plan.throughput, fits=True,
+                          memory=plan.memory, micro_batch=plan.micro_batch)
+    if global_batch is not None:
+        denom = parallel.dp * micro_batch
+        if global_batch % denom != 0:
+            return Prediction(throughput=0.0, fits=False,
+                              micro_batch=micro_batch)
+        num_micro_batches = global_batch // denom
+        if parallel.pp > 1 and num_micro_batches < parallel.pp:
+            return Prediction(throughput=0.0, fits=False,
+                              micro_batch=micro_batch)
+    inflight = parallel.pp  # 1F1B keeps up to pp micro-batches alive
+    memory = model_memory(model, trace, micro_batch, zero_stage, parallel.dp,
+                          parallel.pp, inflight_micro_batches=inflight)
+    if memory.total > cluster.gpu.usable_memory:
+        return Prediction(throughput=0.0, fits=False, memory=memory,
+                          micro_batch=micro_batch)
+    rate = throughput(trace, model, cluster, parallel, micro_batch,
+                      zero_stage, num_micro_batches, cost_model)
+    return Prediction(throughput=rate, fits=True, memory=memory,
+                      micro_batch=micro_batch)
+
+
 def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                      parallel: ParallelConfig, zero_stage: int = 0,
                      num_micro_batches: int = 1,

@@ -27,19 +27,29 @@ from .registry import (
     SchedulingError,
     get_primitive,
     list_primitives,
+    primitive_table,
     register_primitive,
 )
 from .schedule import PrimitiveRecord, Schedule, ScheduleContext, create_schedule
-from .tuner import AutoTuner, Space, TuneResult, enumerate_space
+from .tuner import (
+    AutoTuner,
+    SimCostModel,
+    Space,
+    TrialCache,
+    TuneReport,
+    TuneResult,
+    enumerate_space,
+)
 from .verify import VerificationError, verify
 
 __all__ = [
     "create_schedule", "Schedule", "ScheduleContext", "PrimitiveRecord",
     "build", "BuiltModel",
     "Primitive", "register_primitive", "get_primitive", "list_primitives",
-    "SchedulingError",
+    "primitive_table", "SchedulingError",
     "verify", "VerificationError",
-    "AutoTuner", "Space", "TuneResult", "enumerate_space",
+    "AutoTuner", "Space", "TuneResult", "TuneReport", "enumerate_space",
+    "SimCostModel", "TrialCache",
     "ShardSpec", "PipelineModule", "partition_pipeline", "DecomposedLinear",
     "op", "pattern",
 ]

@@ -69,6 +69,8 @@ class FindPrimitive(Primitive):
     """
 
     name = "find"
+    requires_static_graph = True
+    dialect = "static"
 
     @staticmethod
     def check(sch, pattern) -> None:
@@ -87,6 +89,8 @@ class FusePrimitive(Primitive):
     """``.fuse(subgraph, compiler="TorchScript", name=...)`` (paper §3.3.1)."""
 
     name = "fuse"
+    requires_static_graph = True
+    dialect = "static"
 
     @staticmethod
     def check(sch, subgraph, compiler: str = "TorchScript",

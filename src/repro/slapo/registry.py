@@ -30,6 +30,9 @@ class Primitive:
     name: str = ""
     #: whether this primitive requires the module to be traced first
     requires_static_graph: bool = False
+    #: paper Table 2 column: "dynamic" primitives schedule modules and
+    #: parameters directly; "static" ones operate on a traced dataflow graph
+    dialect: str = "dynamic"
 
     @staticmethod
     def check(sch, *args, **kwargs) -> None:
@@ -38,6 +41,12 @@ class Primitive:
     @staticmethod
     def apply(sch, *args, **kwargs):
         raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        """One-line semantics: the first line of the class docstring."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0].strip() if doc else ""
 
 
 _PRIMITIVES: dict[str, Type[Primitive]] = {}
@@ -65,3 +74,20 @@ def get_primitive(name: str) -> Type[Primitive] | None:
 
 def list_primitives() -> list[str]:
     return sorted(_PRIMITIVES)
+
+
+def primitive_table() -> list[dict]:
+    """Metadata rows for every registered primitive (paper Table 2 analogue).
+
+    Drives ``docs/gen_primitives.py``; each row has ``name``, ``dialect``,
+    ``requires_trace``, and ``semantics`` (the class docstring's first line).
+    """
+    return [
+        {
+            "name": name,
+            "dialect": cls.dialect,
+            "requires_trace": cls.requires_static_graph,
+            "semantics": cls.describe(),
+        }
+        for name, cls in sorted(_PRIMITIVES.items())
+    ]

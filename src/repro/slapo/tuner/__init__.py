@@ -1,16 +1,34 @@
-"""repro.slapo.tuner — the schedule auto-tuner (paper §3.4)."""
+"""repro.slapo.tuner — the schedule auto-tuner (paper §3.4).
 
+Four strategies (exhaustive, coordinate descent, simulator-guided,
+evolutionary) over define-by-run spaces, a cost-model oracle adapting
+the :mod:`repro.sim` simulator, and a persistent JSON trial cache.
+See ``docs/tuning.md`` for the guide.
+"""
+
+from .cache import TrialCache, config_key
+from .cost_model import (
+    CallableCostModel,
+    CostEstimate,
+    CostModel,
+    SimCostModel,
+    as_cost_model,
+)
 from .space import Space, SpaceError, enumerate_space, symbol_values
 from .tuner import (
     SECONDS_PER_FAILED_TRIAL,
     SECONDS_PER_TRIAL,
     AutoTuner,
     Trial,
+    TuneReport,
     TuneResult,
 )
 
 __all__ = [
     "Space", "SpaceError", "enumerate_space", "symbol_values",
-    "AutoTuner", "Trial", "TuneResult",
+    "AutoTuner", "Trial", "TuneResult", "TuneReport",
+    "CostModel", "CostEstimate", "SimCostModel", "CallableCostModel",
+    "as_cost_model",
+    "TrialCache", "config_key",
     "SECONDS_PER_TRIAL", "SECONDS_PER_FAILED_TRIAL",
 ]

@@ -1,0 +1,124 @@
+"""Persistent trial cache: measured configurations survive tuner runs.
+
+A measured trial (92 simulated seconds in the paper's Fig. 10 setup) is
+far more expensive than a JSON lookup, and the same (model, space) pair
+is tuned repeatedly across benchmarks and sessions.  The cache stores
+every measurement keyed by the canonical JSON of its configuration so a
+re-run — or a different strategy over the same space — pays nothing for
+configs already measured.
+
+File format (``version`` guards future migrations)::
+
+    {
+      "version": 1,
+      "trials": [
+        {"config": {"batch_size": 136, "ckpt_ratio": 0.5},
+         "throughput": 94.2, "valid": true},
+        ...
+      ]
+    }
+
+Config values must be JSON-representable (numbers, strings, booleans)
+to be cacheable; a cache-less ``AutoTuner`` accepts any hashable
+candidate values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def config_key(config: dict) -> str:
+    """Canonical, order-independent JSON key for a configuration."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
+
+
+class TrialCache:
+    """A dict of measured trials backed by a JSON file.
+
+    Missing or unreadable files start an empty cache (a cold cache is
+    never an error); :meth:`save` writes atomically (temp file + rename)
+    so a crash mid-save cannot corrupt earlier measurements.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        #: lookups answered from the cache (reset per process, not saved)
+        self.hits = 0
+        self.load()
+
+    # ------------------------------------------------------------------ #
+    def _read_disk(self) -> dict[str, dict]:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict) or \
+                payload.get("version") != self.VERSION:
+            return {}
+        entries: dict[str, dict] = {}
+        for entry in payload.get("trials", []):
+            try:
+                entries[config_key(entry["config"])] = {
+                    "config": dict(entry["config"]),
+                    "throughput": float(entry["throughput"]),
+                    "valid": bool(entry["valid"]),
+                }
+            except (KeyError, TypeError, ValueError):
+                continue  # skip malformed rows, keep the rest
+        return entries
+
+    def load(self) -> None:
+        self._entries.update(self._read_disk())
+
+    def save(self) -> None:
+        # Merge-on-save: another cache instance (a concurrent benchmark,
+        # a second tuner on the same path) may have written since we
+        # loaded — fold its measurements in rather than clobbering them.
+        # Our own entries win on conflict.
+        merged = self._read_disk()
+        merged.update(self._entries)
+        self._entries = merged
+        payload = {
+            "version": self.VERSION,
+            "trials": [self._entries[key] for key in sorted(self._entries)],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def get(self, config: dict) -> dict | None:
+        entry = self._entries.get(config_key(config))
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def put(self, config: dict, throughput: float, valid: bool) -> None:
+        self._entries[config_key(config)] = {
+            "config": dict(config),
+            "throughput": float(throughput),
+            "valid": bool(valid),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, config: dict) -> bool:
+        return config_key(config) in self._entries

@@ -1,0 +1,179 @@
+"""Cost models: cheap config→prediction oracles for the auto-tuner.
+
+A cost model maps a tuner configuration dict onto a predicted throughput
+and a memory-feasibility verdict *without* running a trial.  The tuner
+uses it two ways (paper §3.4; Steiner et al.'s value-function-guided
+search is the same idea with a learned model):
+
+* **pruning** — predicted-infeasible configs are rejected for free, so
+  the OOM region of the space (the grey area of paper Fig. 6) never
+  costs a failed launch;
+* **ranking** — feasible configs are measured best-predicted-first, so
+  a small measurement budget concentrates where the optimum plausibly is.
+
+The contract is one method::
+
+    estimate(config: dict) -> CostEstimate
+
+:class:`SimCostModel` is the first-class implementation: it adapts a
+config dict onto the analytical simulator in :mod:`repro.sim`
+(``ModelTrace`` / ``ParallelConfig`` / ``predict_config``).  Any callable
+``config -> float`` also works (wrapped by :class:`CallableCostModel`);
+return ``0``/``None`` to mark a config infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.distributed.mesh import ParallelConfig
+from repro.distributed.topology import ClusterSpec
+from repro.sim.kernel_cost import KernelCostModel
+from repro.sim.planner import predict_config
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """A cost model's prediction for one configuration."""
+
+    #: predicted training throughput in samples/sec (0 if infeasible)
+    throughput: float
+    #: does the configuration fit in device memory?
+    fits: bool = True
+    #: predicted peak memory in bytes (0 if the model does not track it)
+    memory_bytes: float = 0.0
+
+
+class CostModel:
+    """Base contract: subclass and implement :meth:`estimate`."""
+
+    def estimate(self, config: dict) -> CostEstimate:
+        raise NotImplementedError
+
+    def __call__(self, config: dict) -> float:
+        """Convenience: a cost model is usable wherever an evaluate_fn is."""
+        estimate = self.estimate(config)
+        return estimate.throughput if estimate.fits else 0.0
+
+
+class CallableCostModel(CostModel):
+    """Wrap a plain ``config -> float`` callable (``<= 0``/None = infeasible)."""
+
+    def __init__(self, fn: Callable[[dict], float | None]):
+        self._fn = fn
+
+    def estimate(self, config: dict) -> CostEstimate:
+        value = self._fn(config)
+        rate = float(value or 0.0)
+        return CostEstimate(throughput=rate, fits=rate > 0)
+
+
+def as_cost_model(obj) -> CostModel:
+    """Normalize a CostModel instance or bare callable to the contract."""
+    if isinstance(obj, CostModel):
+        return obj
+    if callable(obj):
+        return CallableCostModel(obj)
+    raise TypeError(
+        f"expected a CostModel or a callable(config) -> float, "
+        f"got {type(obj).__name__}"
+    )
+
+
+class SimCostModel(CostModel):
+    """Price tuner configs with the analytical simulator (:mod:`repro.sim`).
+
+    Parameters
+    ----------
+    trace_fn:
+        ``trace_fn(config) -> (model, ModelTrace)``.  Called lazily and
+        memoized per distinct return key (see ``trace_key_fn``), so spaces
+        whose trace only depends on a subset of coordinates (e.g. the
+        checkpoint ratio but not the batch size) re-trace only when that
+        subset changes.
+    cluster:
+        The :class:`~repro.distributed.topology.ClusterSpec` to price on.
+    parallel:
+        Fixed :class:`~repro.distributed.mesh.ParallelConfig`, or
+        ``parallel_fn(config) -> ParallelConfig`` when tp/dp/pp are
+        themselves search coordinates.
+    micro_batch_fn:
+        ``micro_batch_fn(config, parallel) -> int | None``.  The default
+        reads ``config["batch_size"]`` as a global batch and divides by
+        the data-parallel degree; when neither is available the planner
+        sweeps micro-batch candidates itself.
+    zero_stage / num_micro_batches / kernel_cost:
+        Forwarded to :func:`repro.sim.predict_config`.
+    trace_key_fn:
+        ``trace_key_fn(config) -> hashable`` memoization key for
+        ``trace_fn``.  Defaults to the full config, i.e. one trace per
+        distinct configuration.
+    """
+
+    def __init__(self, trace_fn: Callable[[dict], tuple],
+                 cluster: ClusterSpec,
+                 parallel: ParallelConfig | Callable[[dict], ParallelConfig]
+                 = ParallelConfig(),
+                 micro_batch_fn: Callable[[dict, ParallelConfig], int | None]
+                 | None = None,
+                 zero_stage: int = 0,
+                 num_micro_batches: int = 1,
+                 kernel_cost: KernelCostModel | None = None,
+                 trace_key_fn: Callable[[dict], object] | None = None):
+        self._trace_fn = trace_fn
+        self.cluster = cluster
+        self._parallel = parallel
+        self._micro_batch_fn = micro_batch_fn
+        self.zero_stage = zero_stage
+        self.num_micro_batches = num_micro_batches
+        self.kernel_cost = kernel_cost
+        self._trace_key_fn = trace_key_fn
+        self._traces: dict = {}
+        self._estimates: dict[tuple, CostEstimate] = {}
+        #: how many estimate() calls were answered (cheap oracle probes)
+        self.num_estimates = 0
+
+    # ------------------------------------------------------------------ #
+    def _resolve_parallel(self, config: dict) -> ParallelConfig:
+        if callable(self._parallel):
+            return self._parallel(config)
+        return self._parallel
+
+    def _resolve_micro_batch(self, config: dict,
+                             parallel: ParallelConfig) -> int | None:
+        if self._micro_batch_fn is not None:
+            return self._micro_batch_fn(config, parallel)
+        if "micro_batch" in config:
+            return int(config["micro_batch"])
+        if "batch_size" in config:
+            return max(1, int(config["batch_size"]) // parallel.dp)
+        return None  # let the planner sweep candidates
+
+    def _traced(self, config: dict):
+        key = tuple(sorted(config.items())) if self._trace_key_fn is None \
+            else self._trace_key_fn(config)
+        if key not in self._traces:
+            self._traces[key] = self._trace_fn(config)
+        return self._traces[key]
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, config: dict) -> CostEstimate:
+        key = tuple(sorted(config.items()))
+        if key in self._estimates:
+            return self._estimates[key]
+        self.num_estimates += 1
+        parallel = self._resolve_parallel(config)
+        micro = self._resolve_micro_batch(config, parallel)
+        model, trace = self._traced(config)
+        prediction = predict_config(
+            trace, model, self.cluster, parallel, micro,
+            zero_stage=self.zero_stage,
+            num_micro_batches=self.num_micro_batches,
+            cost_model=self.kernel_cost,
+        )
+        estimate = CostEstimate(throughput=prediction.throughput,
+                                fits=prediction.fits,
+                                memory_bytes=prediction.memory_bytes)
+        self._estimates[key] = estimate
+        return estimate

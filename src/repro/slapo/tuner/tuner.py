@@ -1,10 +1,27 @@
-"""The auto-tuner (paper §3.4): exhaustive and randomized coordinate descent.
+"""The auto-tuner (paper §3.4): four search strategies over one space.
 
 The tuner evaluates configurations through a user-supplied callable
 returning throughput in samples/sec (``0``/``None`` means invalid — e.g.
 out of memory, which the tuner prunes quickly).  It records every trial and
 a simulated wall-clock cost so benchmarks can report search-time savings
 (paper Fig. 10: 17/91 configs, 20 vs 139 minutes).
+
+Strategies:
+
+* :meth:`AutoTuner.exhaustive` — measure everything (the baseline).
+* :meth:`AutoTuner.coordinate_descent` — randomized coordinate descent
+  (Nesterov 2012), as in the paper.
+* :meth:`AutoTuner.simulator_guided` — rank the whole space with a cheap
+  cost model (:mod:`.cost_model`), measure only the top-k plus a small
+  exploration quota; predicted-infeasible configs are pruned for free.
+* :meth:`AutoTuner.evolutionary` — mutation/crossover over space
+  coordinates with the cost model as a fitness prefilter.
+
+Every strategy returns a :class:`TuneResult` carrying a
+:class:`TuneReport` (trial/prune/cache counts, predicted-vs-measured
+pairs, simulated search seconds) so benchmarks compare strategies on the
+same footing.  A :class:`.cache.TrialCache` makes measurements persistent
+across runs: cached trials cost zero search seconds.
 """
 
 from __future__ import annotations
@@ -15,7 +32,19 @@ from typing import Callable
 
 import numpy as np
 
+from .cache import TrialCache
+from .cost_model import CostModel, as_cost_model
 from .space import enumerate_space
+
+
+def _trial_key(config: dict) -> tuple:
+    """In-memory identity of a configuration.
+
+    Values need only be hashable and comparable for equality (as in the
+    seed tuner); JSON-serializability is required only when a
+    :class:`.cache.TrialCache` is attached.
+    """
+    return tuple(sorted(config.items(), key=lambda item: item[0]))
 
 
 @dataclass
@@ -23,6 +52,52 @@ class Trial:
     config: dict
     throughput: float
     valid: bool
+    #: cost-model prediction at measurement time (None if none was made)
+    predicted: float | None = None
+    #: served from the persistent TrialCache (costs zero search seconds)
+    cached: bool = False
+
+
+@dataclass
+class TuneReport:
+    """Bookkeeping for one strategy run, consumed by the benchmarks.
+
+    Covers only the trials recorded *during that run*: reusing one
+    :class:`AutoTuner` across strategies accumulates trials in the
+    result (measurements are shared) but each report stays scoped to
+    its own strategy's work.
+    """
+
+    strategy: str
+    space_size: int
+    num_trials: int = 0
+    #: trials actually paid for (num_trials − num_cache_hits)
+    num_measured: int = 0
+    num_cache_hits: int = 0
+    #: configs the cost model deemed infeasible (never measured)
+    num_pruned: int = 0
+    #: feasible configs skipped for budget reasons (prefilter cutoff,
+    #: below top-k) — distinct from cost-model rejections
+    num_skipped: int = 0
+    search_seconds: float = 0.0
+    #: estimated cost of measuring the whole space exhaustively:
+    #: measured configs at their observed cost, predicted-infeasible ones
+    #: at the fast-fail rate, the rest at the full-trial rate
+    exhaustive_seconds: float = 0.0
+    #: (predicted, measured) throughput pairs for cost-model-guided trials
+    predictions: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def seconds_saved(self) -> float:
+        return self.exhaustive_seconds - self.search_seconds
+
+    @property
+    def mean_prediction_error(self) -> float:
+        """Mean relative |predicted − measured| / measured over valid trials."""
+        pairs = [(p, m) for p, m in self.predictions if m > 0]
+        if not pairs:
+            return 0.0
+        return sum(abs(p - m) / m for p, m in pairs) / len(pairs)
 
 
 @dataclass
@@ -32,6 +107,7 @@ class TuneResult:
     trials: list[Trial] = field(default_factory=list)
     #: simulated wall-clock seconds spent benchmarking
     search_seconds: float = 0.0
+    report: TuneReport | None = None
 
     @property
     def num_trials(self) -> int:
@@ -45,49 +121,151 @@ SECONDS_PER_FAILED_TRIAL = 20.0
 
 
 class AutoTuner:
+    """Search one define-by-run space with any of the four strategies.
+
+    ``cost_model`` is a :class:`.cost_model.CostModel` (or a bare
+    ``config -> float`` callable) used by :meth:`simulator_guided` and, as
+    a fitness prefilter, by :meth:`evolutionary`.  ``cache`` is an
+    optional :class:`.cache.TrialCache`; hits cost zero search seconds
+    and the cache is saved after every strategy run.
+    """
+
     def __init__(self, update_space_fn: Callable,
                  evaluate_fn: Callable[[dict], float | None],
-                 seed: int = 0):
+                 seed: int = 0,
+                 cost_model: CostModel | Callable | None = None,
+                 cache: TrialCache | None = None):
         self.update_space_fn = update_space_fn
         self.evaluate_fn = evaluate_fn
         self.configs = enumerate_space(update_space_fn)
+        self.cost_model = None if cost_model is None \
+            else as_cost_model(cost_model)
+        self.cache = cache
         self._rng = np.random.default_rng(seed)
-        self._cache: dict[tuple, Trial] = {}
+        self._memo: dict[tuple, Trial] = {}
         self._trials: list[Trial] = []
+        #: O(|space|) passes over the config list (construction counts one)
+        self.space_scans = 1
+        #: feasibility probes answered (each is O(1) via the index)
+        self.feasibility_checks = 0
+        # One pass builds both indices; every later feasibility or
+        # coordinate-candidate query is a dict/set lookup, not a rescan.
+        self._feasible: set[tuple] = set()
+        self._coord_index: dict[tuple[str, frozenset], list] = {}
+        for config in self.configs:
+            self._feasible.add(_trial_key(config))
+            items = config.items()
+            for coord, value in items:
+                others = frozenset((k, v) for k, v in items if k != coord)
+                values = self._coord_index.setdefault((coord, others), [])
+                if value not in values:
+                    values.append(value)
 
     # ------------------------------------------------------------------ #
-    def _evaluate(self, config: dict) -> Trial:
-        key = tuple(sorted(config.items()))
-        if key in self._cache:
-            return self._cache[key]
-        throughput = self.evaluate_fn(config)
-        valid = throughput is not None and throughput > 0
-        trial = Trial(config=dict(config),
-                      throughput=float(throughput or 0.0), valid=valid)
-        self._cache[key] = trial
+    def _evaluate(self, config: dict, predicted: float | None = None
+                  ) -> Trial:
+        key = _trial_key(config)
+        if key in self._memo:
+            return self._memo[key]
+        cached_entry = None if self.cache is None else self.cache.get(config)
+        if cached_entry is not None:
+            trial = Trial(config=dict(config),
+                          throughput=cached_entry["throughput"],
+                          valid=cached_entry["valid"],
+                          predicted=predicted, cached=True)
+        else:
+            throughput = self.evaluate_fn(config)
+            valid = throughput is not None and throughput > 0
+            trial = Trial(config=dict(config),
+                          throughput=float(throughput or 0.0), valid=valid,
+                          predicted=predicted)
+            if self.cache is not None:
+                self.cache.put(config, trial.throughput, trial.valid)
+        self._memo[key] = trial
         self._trials.append(trial)
         return trial
 
-    def _result(self) -> TuneResult:
+    def _report(self, strategy: str, pruned: int = 0,
+                skipped: int = 0) -> TuneReport:
+        return TuneReport(strategy=strategy, space_size=len(self.configs),
+                          num_pruned=pruned, num_skipped=skipped)
+
+    def _score(self, configs: list[dict]
+               ) -> tuple[list[tuple[float, dict]], list[dict]]:
+        """Price ``configs`` with the cost model.
+
+        Returns the feasible configs ranked deterministically (predicted
+        throughput descending, config key as the tiebreak) and the list
+        of predicted-infeasible ones.
+        """
+        scored: list[tuple[float, dict]] = []
+        pruned: list[dict] = []
+        for config in configs:
+            estimate = self.cost_model.estimate(config)
+            if not estimate.fits or estimate.throughput <= 0:
+                pruned.append(config)
+                continue
+            scored.append((estimate.throughput, config))
+        # repr() keeps the tiebreak comparable for arbitrary value types.
+        scored.sort(key=lambda pair: (-pair[0], repr(_trial_key(pair[1]))))
+        return scored, pruned
+
+    @staticmethod
+    def _trial_seconds(trials: list[Trial]) -> float:
+        return sum(
+            0.0 if t.cached else
+            (SECONDS_PER_TRIAL if t.valid else SECONDS_PER_FAILED_TRIAL)
+            for t in trials
+        )
+
+    def _result(self, report: TuneReport | None = None,
+                start: int = 0) -> TuneResult:
+        """Result over all trials so far; report scoped to ``start:`` only."""
         best = max((t for t in self._trials if t.valid),
                    key=lambda t: t.throughput, default=None)
-        seconds = sum(
-            SECONDS_PER_TRIAL if t.valid else SECONDS_PER_FAILED_TRIAL
-            for t in self._trials
-        )
+        seconds = self._trial_seconds(self._trials)
+        if report is not None:
+            run_trials = self._trials[start:]
+            report.num_trials = len(run_trials)
+            report.num_cache_hits = sum(1 for t in run_trials if t.cached)
+            report.num_measured = report.num_trials - report.num_cache_hits
+            report.search_seconds = self._trial_seconds(run_trials)
+            report.predictions = [(t.predicted, t.throughput)
+                                  for t in run_trials
+                                  if t.predicted is not None]
+            # Exhaustive baseline from what is actually known: measured
+            # configs at their observed cost (a cached hit would still
+            # cost full price without the cache), predicted-infeasible
+            # unmeasured ones at the fast-fail rate, the rest assumed to
+            # be full-length trials.  For the exhaustive strategy itself
+            # this reduces to its own cost — seconds_saved = 0.
+            known = sum(
+                SECONDS_PER_TRIAL if t.valid else SECONDS_PER_FAILED_TRIAL
+                for t in self._memo.values()
+            )
+            unknown = max(0, report.space_size - len(self._memo))
+            fast_fail = min(report.num_pruned, unknown)
+            report.exhaustive_seconds = (
+                known + fast_fail * SECONDS_PER_FAILED_TRIAL
+                + (unknown - fast_fail) * SECONDS_PER_TRIAL
+            )
+        if self.cache is not None:
+            self.cache.save()
         return TuneResult(
             best_config=None if best is None else best.config,
             best_throughput=0.0 if best is None else best.throughput,
             trials=list(self._trials),
             search_seconds=seconds,
+            report=report,
         )
 
     # ------------------------------------------------------------------ #
     def exhaustive(self) -> TuneResult:
-        """Evaluate every configuration in the space (the default)."""
+        """Evaluate every configuration in the space (the baseline)."""
+        start = len(self._trials)
         for config in self.configs:
             self._evaluate(config)
-        return self._result()
+        return self._result(self._report("exhaustive"), start)
 
     def coordinate_descent(self, restarts: int = 1,
                            max_rounds: int = 8) -> TuneResult:
@@ -97,7 +275,9 @@ class AutoTuner:
         a time over its feasible values (holding the rest fixed), move to
         the best, and repeat until a full round makes no progress.
         """
+        start = len(self._trials)
         names = sorted({k for config in self.configs for k in config})
+        self.space_scans += 1  # the coordinate-name sweep above
         for _ in range(restarts):
             start_idx = int(self._rng.integers(len(self.configs)))
             current = dict(self.configs[start_idx])
@@ -124,18 +304,167 @@ class AutoTuner:
                             improved = True
                 if not improved:
                     break
-        return self._result()
+        return self._result(self._report("coordinate_descent"), start)
+
+    def simulator_guided(self, top_k: int | None = None,
+                         exploration: float = 0.05) -> TuneResult:
+        """Measure only the cost model's best picks plus an exploration quota.
+
+        Every config is priced by the cost model first (cheap — no trial):
+        predicted-infeasible configs are pruned outright, the rest are
+        ranked by predicted throughput.  The top ``top_k`` (default: 15% of
+        the space) are measured, plus ``exploration`` × |space| random picks
+        from the remainder to hedge against cost-model ranking errors.
+        """
+        if self.cost_model is None:
+            raise ValueError(
+                "simulator_guided() needs a cost model; pass cost_model= "
+                "to AutoTuner (see slapo.tuner.cost_model)"
+            )
+        start = len(self._trials)
+        self.space_scans += 1  # one oracle pass over the whole space
+        scored, pruned_configs = self._score(self.configs)
+        pruned = len(pruned_configs)
+        if top_k is None:
+            top_k = max(1, math.ceil(0.15 * len(self.configs)))
+        chosen = scored[:top_k]
+        rest = scored[top_k:]
+        quota = min(len(rest), math.ceil(exploration * len(self.configs)))
+        if quota > 0:
+            picks = self._rng.choice(len(rest), size=quota, replace=False)
+            chosen += [rest[int(i)] for i in sorted(picks)]
+        for predicted, config in chosen:
+            self._evaluate(config, predicted=predicted)
+        skipped = len(scored) - len(chosen)
+        return self._result(
+            self._report("simulator_guided", pruned=pruned, skipped=skipped),
+            start)
+
+    def evolutionary(self, population: int = 12, generations: int = 8,
+                     mutation_rate: float = 0.3, elite: int = 2,
+                     prefilter: float = 0.5) -> TuneResult:
+        """Evolutionary search over space coordinates.
+
+        Each generation breeds ``population`` offspring by uniform
+        crossover of tournament-selected parents followed by coordinate
+        mutation (mutations draw from the coordinate index, so children
+        stay inside the polygon space).  With a cost model attached,
+        predicted-infeasible candidates are pruned for free and each
+        brood is ranked by predicted throughput with only the top
+        ``prefilter`` fraction measured (the remainder count as budget
+        skips).  Deterministic under a fixed construction seed.
+        """
+        start = len(self._trials)
+        # Distinct configs only: the same infeasible config can be bred
+        # again in a later generation but is pruned once, not per brood.
+        pruned_keys: set[tuple] = set()
+        skipped_keys: set[tuple] = set()
+        pop_size = max(2, min(population, len(self.configs)))
+
+        def rank_key(trial: Trial):
+            return (-trial.throughput if trial.valid else math.inf,
+                    repr(_trial_key(trial.config)))
+
+        def finish() -> TuneResult:
+            skipped_keys.difference_update(self._memo)  # measured after all
+            return self._result(
+                self._report("evolutionary", pruned=len(pruned_keys),
+                             skipped=len(skipped_keys)),
+                start)
+
+        # -- seed population ------------------------------------------- #
+        sample = min(len(self.configs),
+                     3 * pop_size if self.cost_model else pop_size)
+        picks = self._rng.choice(len(self.configs), size=sample,
+                                 replace=False)
+        seeds = [self.configs[int(i)] for i in sorted(picks)]
+        if self.cost_model is not None:
+            scored, seed_pruned = self._score(seeds)
+            pruned_keys.update(_trial_key(c) for c in seed_pruned)
+            skipped_keys.update(_trial_key(c)
+                                for _, c in scored[pop_size:])
+            current = [self._evaluate(c, predicted=p)
+                       for p, c in scored[:pop_size]]
+        else:
+            current = [self._evaluate(c) for c in seeds]
+        if not current:  # cost model rejected the entire sample
+            return finish()
+
+        # -- generations ------------------------------------------------ #
+        for _gen in range(generations):
+            parents = sorted(current, key=rank_key)
+            brood: list[dict] = []
+            seen_brood: set[tuple] = set()
+            attempts = 0
+            while len(brood) < pop_size and attempts < 20 * pop_size:
+                attempts += 1
+                a = parents[self._tournament(len(parents))]
+                b = parents[self._tournament(len(parents))]
+                child = self._crossover(a.config, b.config)
+                child = self._mutate(child, mutation_rate)
+                key = _trial_key(child)
+                if key in seen_brood or key in self._memo:
+                    continue
+                seen_brood.add(key)
+                brood.append(child)
+            if not brood:
+                break  # neighbourhood exhausted
+            if self.cost_model is not None:
+                scored, brood_pruned = self._score(brood)
+                pruned_keys.update(_trial_key(c) for c in brood_pruned)
+                keep = max(1, math.ceil(prefilter * len(scored))) \
+                    if scored else 0
+                skipped_keys.update(_trial_key(c) for _, c in scored[keep:])
+                offspring = [self._evaluate(c, predicted=p)
+                             for p, c in scored[:keep]]
+            else:
+                offspring = [self._evaluate(c) for c in brood]
+            # Generational replacement with elitism: the best `elite`
+            # parents always survive, the rest of the slots go to the
+            # fittest of (offspring ∪ remaining parents).
+            pool = sorted(offspring + parents[elite:], key=rank_key)
+            current = parents[:elite] + pool[:pop_size - elite]
+        return finish()
+
+    # ------------------------------------------------------------------ #
+    # Genetic operators (all feasibility-preserving via the indices)
+    # ------------------------------------------------------------------ #
+    def _tournament(self, size: int, k: int = 3) -> int:
+        """Index of the best of ``k`` random entrants (lower index = fitter)."""
+        entrants = self._rng.integers(size, size=min(k, size))
+        return int(min(entrants))
+
+    def _crossover(self, a: dict, b: dict) -> dict:
+        """Uniform crossover; falls back to parent ``a`` when the mix
+        leaves the polygon space (conditional candidate lists)."""
+        child = {}
+        for coord in a:
+            take_b = coord in b and self._rng.random() < 0.5
+            child[coord] = b[coord] if take_b else a[coord]
+        if self._is_feasible(child):
+            return child
+        return dict(a)
+
+    def _mutate(self, config: dict, rate: float) -> dict:
+        """Re-draw each coordinate with probability ``rate`` from its
+        feasible alternatives (holding the others fixed)."""
+        mutated = dict(config)
+        for coord in sorted(mutated):
+            if self._rng.random() >= rate:
+                continue
+            candidates = self._coordinate_candidates(mutated, coord)
+            others = [v for v in candidates if v != mutated[coord]]
+            if others:
+                mutated[coord] = others[int(self._rng.integers(len(others)))]
+        return mutated
 
     # ------------------------------------------------------------------ #
     def _is_feasible(self, config: dict) -> bool:
-        key = set(config.items())
-        return any(key == set(c.items()) for c in self.configs)
+        self.feasibility_checks += 1
+        return _trial_key(config) in self._feasible
 
     def _coordinate_candidates(self, current: dict, coord: str) -> list:
-        values = []
-        others = {k: v for k, v in current.items() if k != coord}
-        for config in self.configs:
-            if all(config.get(k) == v for k, v in others.items()) \
-                    and coord in config and config[coord] not in values:
-                values.append(config[coord])
-        return values
+        if coord not in current:
+            return []
+        others = frozenset((k, v) for k, v in current.items() if k != coord)
+        return list(self._coord_index.get((coord, others), ()))
