@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench docs docs-check
+.PHONY: test bench perf docs docs-check
 
 # tier-1 verification (pyproject.toml already pins pythonpath=src)
 test:
@@ -8,6 +8,10 @@ test:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
+
+# Simulator speed trajectory: refreshes BENCH_sim_speed.json at the root.
+perf:
+	$(PYTHON) benchmarks/bench_sim_speed.py
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

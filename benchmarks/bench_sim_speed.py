@@ -1,0 +1,109 @@
+"""Simulator speed benchmark — the perf trajectory of the pricing oracle.
+
+Times the two hot paths the tuner and the paper-figure benchmarks lean on:
+
+* one full ``EVALUATORS`` sweep (every Fig. 7 family × all four systems on
+  8 GPUs) — exercises build-once tracing, analytic checkpoint re-pricing,
+  and the planner's micro-batch sweep;
+* a 64-configuration ``predict_config`` sweep over one BERT trace — the
+  auto-tuner's oracle loop, which must never re-walk the model or op list;
+* the combined Fig. 7 + Fig. 8 benchmark wall-clock (one pytest run of
+  both files) — the end-to-end number the paper-figure suite pays.
+
+Writes ``BENCH_sim_speed.json`` at the repo root (run via ``make perf``);
+committing the refreshed file records the perf trajectory over PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_sim_speed.json"
+
+FAMILIES = ("BERT", "RoBERTa", "GPT", "OPT", "T5", "WideResNet")
+
+
+def time_evaluators_sweep() -> dict:
+    """One full Fig. 7-style sweep: families × systems at 8 GPUs."""
+    from repro.baselines import EVALUATORS
+    from repro.baselines.systems import _TRACE_CACHE
+    from repro.distributed import P3DN_NODE
+
+    _TRACE_CACHE.clear()  # measure cold, like a fresh process
+    evaluations = 0
+    start = time.perf_counter()
+    for family in FAMILIES:
+        for evaluate in EVALUATORS.values():
+            evaluate(family, P3DN_NODE, 8)
+            evaluations += 1
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "evaluations": evaluations,
+            "families": len(FAMILIES)}
+
+
+def time_predict_sweep(num_configs: int = 64) -> dict:
+    """The tuner's oracle loop: price many configs off one trace."""
+    from repro.distributed import P3DN_NODE, ParallelConfig
+    from repro.models import MODEL_ZOO, data
+    from repro.sim import predict_config, trace_model
+
+    cls, config = MODEL_ZOO["BERT"]
+    model = cls(config, device="meta")
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    trace = trace_model(model, ids)
+    configs = []
+    for micro_batch in (1, 2, 4, 8, 12, 16, 24, 32):
+        for zero_stage in (0, 3):
+            for dp in (2, 4, 8, 16):
+                configs.append((micro_batch, zero_stage, dp))
+    configs = configs[:num_configs]
+    assert len(configs) == num_configs
+    start = time.perf_counter()
+    feasible = 0
+    for micro_batch, zero_stage, dp in configs:
+        prediction = predict_config(trace, model, P3DN_NODE,
+                                    ParallelConfig(dp=dp), micro_batch,
+                                    zero_stage=zero_stage)
+        feasible += prediction.fits
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "configs": num_configs, "feasible": feasible}
+
+
+def time_fig7_fig8_wall_clock() -> dict:
+    """Combined pytest wall-clock of the Fig. 7 + Fig. 8 benchmark files."""
+    start = time.perf_counter()
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         "benchmarks/bench_fig7_single_node.py",
+         "benchmarks/bench_fig8_multi_node.py"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "passed": result.returncode == 0}
+
+
+def main() -> None:
+    sweep = time_evaluators_sweep()
+    predict = time_predict_sweep()
+    figs = time_fig7_fig8_wall_clock()
+    report = {
+        "benchmark": "sim_speed",
+        "python": platform.python_version(),
+        "evaluators_sweep": sweep,
+        "predict_config_64": predict,
+        "fig7_fig8_wall_clock": figs,
+        "total_seconds": sweep["seconds"] + predict["seconds"],
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

@@ -246,6 +246,7 @@ class MegatronLanguageModel(fw.Module):
     def set_checkpointing(self, enabled: bool = True) -> None:
         """Megatron checkpoints whole layers — all of them or none."""
         for layer in self.layers:
+            layer._slapo_meta["ckpt_unit"] = True  # simulator layer marker
             if enabled:
                 layer._slapo_meta["checkpoint"] = True
             else:
@@ -321,6 +322,7 @@ class MegatronT5Model(fw.Module):
 
     def set_checkpointing(self, enabled: bool = True) -> None:
         for layer in list(self.encoder) + list(self.decoder):
+            layer._slapo_meta["ckpt_unit"] = True  # simulator layer marker
             if enabled:
                 layer._slapo_meta["checkpoint"] = True
             else:

@@ -30,6 +30,7 @@ from repro.distributed.topology import ClusterSpec
 from repro.models import MODEL_ZOO, data
 from repro.schedules import SCHEDULES
 from repro.sim import Plan, plan_micro_batch, trace_model
+from repro.sim.compiled import reprice_checkpoint_ratio
 from repro.sim.kernel_cost import cost_model_for
 
 from .megatron import SUPPORTED_FAMILIES as MEGATRON_FAMILIES
@@ -69,16 +70,42 @@ def _example_inputs(family, config, device="meta"):
     return (ids,)
 
 
+#: (system kind, family, trace-relevant parallelism) -> (model, base trace).
+#: A meta-device trace depends only on the model and its TP sharding — not
+#: on dp/pp/cluster size, which the planner prices analytically — so one
+#: build serves every scale that shares the key.
+_TRACE_CACHE: dict[tuple, tuple] = {}
+
+
 def _plan_over_ratios(build_fn, family, config, cluster, parallel,
                       zero_stage, ratios, global_batch=None,
-                      framework: str = "hf") -> SystemResult:
-    """Build the model at each checkpoint ratio, keep the fastest plan."""
+                      framework: str = "hf",
+                      cache_key: tuple | None = None) -> SystemResult:
+    """Price every checkpoint ratio from (at most) ONE model build + trace.
+
+    The model is built and traced once, un-checkpointed; its checkpoint
+    units (marked by the schedule / ``set_checkpointing``) are recorded as
+    layer-region spans, so every other ratio is derived analytically by
+    :func:`~repro.sim.compiled.reprice_checkpoint_ratio` — no per-ratio
+    rebuild, re-schedule, or re-trace.  With a ``cache_key``, the
+    (model, trace) pair is also reused across evaluations whose traces
+    are provably identical (same family and TP sharding).
+    """
+    if 0.0 not in ratios:
+        raise ValueError(f"ratio sweep must include the base ratio 0: "
+                         f"{ratios}")
     best: Plan | None = None
     best_ratio = 0.0
     cost = cost_model_for(framework, cluster.gpu)
+    if cache_key is not None and cache_key in _TRACE_CACHE:
+        model, base_trace = _TRACE_CACHE[cache_key]
+    else:
+        model = build_fn(0.0)
+        base_trace = trace_model(model, *_example_inputs(family, config))
+        if cache_key is not None:
+            _TRACE_CACHE[cache_key] = (model, base_trace)
     for ratio in ratios:
-        model = build_fn(ratio)
-        trace = trace_model(model, *_example_inputs(family, config))
+        trace = reprice_checkpoint_ratio(base_trace, ratio)
         plan = plan_micro_batch(trace, model, cluster, parallel,
                                 zero_stage=zero_stage,
                                 global_batch=global_batch,
@@ -122,7 +149,8 @@ def evaluate_megatron(family: str, cluster: ClusterSpec, num_gpus: int,
     result = _plan_over_ratios(build, family, config, cluster, parallel,
                                zero_stage=0, ratios=FULL_OR_NOTHING,
                                global_batch=global_batch,
-                               framework="megatron")
+                               framework="megatron",
+                               cache_key=("megatron", family, parallel.tp))
     result.system = "megatron"
     return result
 
@@ -135,21 +163,23 @@ def evaluate_deepspeed(family: str, cluster: ClusterSpec, num_gpus: int,
 
     def build(ratio):
         model = cls(config, device="meta")
-        if ratio >= 1.0:
-            # Vanilla HF layer checkpointing only: no kernels, no fusion.
-            kwargs = {"ckpt_ratio": 1.0, "use_tp": False}
-            if family != "WideResNet":
-                kwargs["use_flash"] = False
-            if family in ("BERT", "RoBERTa", "GPT", "OPT", "GPT-10B",
-                          "LLaMA-7B"):
-                kwargs["use_fusion"] = False
-            sch = slapo.create_schedule(model)
-            SCHEDULES[family](sch, config, **kwargs)
+        # Vanilla HF layer checkpointing only: no kernels, no fusion, no
+        # TP — with every feature off the schedule reduces to checkpoint
+        # (unit) marking, leaving the trace identical to the bare model.
+        kwargs = {"ckpt_ratio": ratio, "use_tp": False}
+        if family != "WideResNet":
+            kwargs["use_flash"] = False
+        if family in ("BERT", "RoBERTa", "GPT", "OPT", "GPT-10B",
+                      "LLaMA-7B"):
+            kwargs["use_fusion"] = False
+        sch = slapo.create_schedule(model)
+        SCHEDULES[family](sch, config, **kwargs)
         return model
 
     result = _plan_over_ratios(build, family, config, cluster, parallel,
                                zero_stage=3, ratios=FULL_OR_NOTHING,
-                               global_batch=global_batch, framework="hf")
+                               global_batch=global_batch, framework="hf",
+                               cache_key=("deepspeed", family))
     result.system = "deepspeed"
     return result
 
@@ -173,7 +203,7 @@ def evaluate_slapo_tp(family: str, cluster: ClusterSpec, num_gpus: int,
                                              ratio, use_tp=True),
         family, config, cluster, parallel, zero_stage=0,
         ratios=SELECTIVE_RATIOS, global_batch=global_batch,
-        framework="slapo")
+        framework="slapo", cache_key=("slapo-tp", family, parallel.tp))
     result.system = "slapo-tp"
     return result
 
@@ -188,7 +218,7 @@ def evaluate_slapo_zero3(family: str, cluster: ClusterSpec, num_gpus: int,
                                              ratio, use_tp=False),
         family, config, cluster, parallel, zero_stage=3,
         ratios=SELECTIVE_RATIOS, global_batch=global_batch,
-        framework="slapo")
+        framework="slapo", cache_key=("slapo-zero3", family))
     result.system = "slapo-zero3"
     return result
 

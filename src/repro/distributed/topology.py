@@ -115,6 +115,27 @@ class ClusterSpec:
             else self.inter_node_bandwidth
         return nbytes / bw + self.link_latency
 
+    def collective_coeffs(self, kind: str, ranks: tuple[int, ...]
+                          ) -> tuple[float, float]:
+        """(α, β) of the ring collective: ``time = α + β·nbytes``.
+
+        Valid for ``nbytes > 0`` (empty collectives cost nothing).  This
+        is the same α–β model the per-call methods above evaluate; having
+        the coefficients lets a batch of ``k`` collectives totalling ``B``
+        bytes be priced as ``k·α + β·B`` in one step.
+        """
+        n = len(ranks)
+        if n <= 1:
+            return 0.0, 0.0
+        bw = self._ring_bandwidth(ranks)
+        if kind == "all_reduce":
+            return 2 * (n - 1) * self.link_latency, 2 * (n - 1) / n / bw
+        if kind in ("all_gather", "reduce_scatter"):
+            return (n - 1) * self.link_latency, (n - 1) / n / bw
+        if kind == "broadcast":
+            return (n - 1) * self.link_latency, 1.0 / bw
+        raise ValueError(f"unknown collective kind: {kind}")
+
     def collective_time(self, kind: str, nbytes: float,
                         ranks: tuple[int, ...]) -> float:
         dispatch = {

@@ -64,6 +64,24 @@ def fused_region(name, backend="custom"):
 
 
 @contextmanager
+def layer_region():
+    """Mark the ops inside as one checkpointable layer (a checkpoint unit).
+
+    Modules flagged ``_slapo_meta["ckpt_unit"]`` emit this around their
+    forward; the simulator's recorder turns it into an op-index span so
+    checkpoint ratios can be re-priced without re-tracing the model.
+    """
+    if _RECORDER is None or not hasattr(_RECORDER, "begin_layer"):
+        yield
+        return
+    _RECORDER.begin_layer()
+    try:
+        yield
+    finally:
+        _RECORDER.end_layer()
+
+
+@contextmanager
 def checkpoint_region():
     """Mark the ops inside as running under activation checkpointing."""
     if _RECORDER is None or not hasattr(_RECORDER, "begin_checkpoint"):

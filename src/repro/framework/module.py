@@ -13,6 +13,7 @@ from collections import OrderedDict
 from typing import Callable, Iterator
 
 from . import autograd
+from . import events as fw_events
 from .parameter import Parameter
 from .tensor import Tensor
 
@@ -267,17 +268,24 @@ class Module:
                 _attach_backward_hooks(a, self) if isinstance(a, Tensor) else a
                 for a in args
             )
-        if self._slapo_meta.get("checkpoint"):
-            from .checkpoint import checkpoint_run
-
-            output = checkpoint_run(self.forward, *args, **kwargs)
+        if self._slapo_meta.get("ckpt_unit") \
+                and fw_events.get_recorder() is not None:
+            with fw_events.layer_region():
+                output = self._run_forward(args, kwargs)
         else:
-            output = self.forward(*args, **kwargs)
+            output = self._run_forward(args, kwargs)
         for hook in self._forward_hooks:
             result = hook(self, args, output)
             if result is not None:
                 output = result
         return output
+
+    def _run_forward(self, args, kwargs):
+        if self._slapo_meta.get("checkpoint"):
+            from .checkpoint import checkpoint_run
+
+            return checkpoint_run(self.forward, *args, **kwargs)
+        return self.forward(*args, **kwargs)
 
     def extra_repr(self) -> str:
         return ""

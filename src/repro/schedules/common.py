@@ -166,8 +166,17 @@ def set_local_heads(attn_sch, config, tp: int,
 
 
 def checkpoint_layers(sch, layer_paths: list[str], ratio: float) -> int:
-    """Checkpoint the first ``ratio`` fraction of the given layers."""
+    """Checkpoint the first ``ratio`` fraction of the given layers.
+
+    Every path is also marked as a checkpoint *unit* — the layer-region
+    marker the simulator records as an op span — so the planner can
+    re-price any other ratio analytically from a single ratio-0 trace
+    (:func:`repro.sim.compiled.reprice_checkpoint_ratio`).
+    """
     count = int(round(ratio * len(layer_paths)))
-    for path in layer_paths[:count]:
-        sch[path].checkpoint()
+    for i, path in enumerate(layer_paths):
+        layer = sch[path]
+        layer.mod._slapo_meta["ckpt_unit"] = True
+        if i < count:
+            layer.checkpoint()
     return count

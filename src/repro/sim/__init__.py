@@ -1,13 +1,24 @@
 """repro.sim — the V100-cluster performance & memory simulator.
 
 Pipeline: instantiate a (scheduled) model on the meta device → record one
-forward pass into a :class:`ModelTrace` → price compute/memory/comms for
-any parallel configuration → plan micro-batches → report throughput.
+forward pass into a :class:`ModelTrace` → fold it into a vectorized
+:class:`CompiledTrace` (built once per trace) → price compute/memory/comms
+for any parallel configuration → plan micro-batches → report throughput.
+Checkpoint-ratio variants are derived analytically from the base trace
+(:func:`reprice_checkpoint_ratio`) instead of re-tracing the model.
 """
 
-from .events import CommEvent, ModelTrace, OpEvent, TraceRecorder, trace_model
+from .compiled import CompiledTrace, reprice_checkpoint_ratio
+from .events import (
+    CommEvent,
+    LayerSpan,
+    ModelTrace,
+    OpEvent,
+    TraceRecorder,
+    trace_model,
+)
 from .kernel_cost import KernelCostModel
-from .memory import MemoryBreakdown, model_memory
+from .memory import MemoryBreakdown, ModelStats, compute_model_stats, model_memory
 from .planner import (
     MICRO_BATCH_CANDIDATES,
     Plan,
@@ -18,8 +29,11 @@ from .planner import (
 from .throughput import StepBreakdown, step_time, throughput
 
 __all__ = [
-    "OpEvent", "CommEvent", "ModelTrace", "TraceRecorder", "trace_model",
-    "KernelCostModel", "MemoryBreakdown", "model_memory",
+    "OpEvent", "CommEvent", "ModelTrace", "LayerSpan", "TraceRecorder",
+    "trace_model",
+    "CompiledTrace", "reprice_checkpoint_ratio",
+    "KernelCostModel", "MemoryBreakdown", "ModelStats",
+    "compute_model_stats", "model_memory",
     "StepBreakdown", "step_time", "throughput",
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
     "Prediction", "predict_config",

@@ -1,0 +1,163 @@
+"""Compiled trace aggregates: the simulator's vectorized evaluation pipeline.
+
+Pricing a configuration used to walk the Python ``OpEvent`` list once per
+micro-batch candidate (kernel times, activation bytes, boundary sizes) and
+re-build + re-trace the model once per checkpoint ratio.  This module
+removes both:
+
+* :class:`CompiledTrace` folds a :class:`~repro.sim.events.ModelTrace`'s
+  ops/comms into numpy arrays **once**; kernel-time, activation and
+  comm aggregates become array expressions over it.
+* :func:`reprice_checkpoint_ratio` derives the ratio-``r`` checkpointed
+  variant of a ratio-0 trace analytically from the recorded layer-region
+  spans — no model rebuild, no re-trace.
+
+Caching contract: a ``CompiledTrace`` is built lazily by
+``ModelTrace.compiled()`` and memoized on the trace, so a trace's ``ops``
+and ``comms`` must not be mutated after recording finishes.  Per-(cost
+model, batch scale) kernel-time sums are further memoized in
+``_time_cache``; both caches live and die with the trace object, and
+:func:`reprice_checkpoint_ratio` returns a *new* trace (sharing untouched
+events and the ``ModelStats``) so derived variants never invalidate the
+base trace's caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .events import ModelTrace, _save_factor
+
+#: dtypes whose outputs participate in activation/backward accounting
+_ACT_DTYPES = ("float16", "float32", "float64")
+#: dtypes considered when sizing the pipeline-stage boundary tensor
+_BOUNDARY_DTYPES = ("float16", "float32")
+
+
+@dataclass
+class CompiledTrace:
+    """Per-op numpy columns + pre-folded aggregates of one ``ModelTrace``."""
+
+    flops: np.ndarray
+    bytes_moved: np.ndarray
+    out_bytes: np.ndarray
+    save_factor: np.ndarray
+    is_fp16: np.ndarray
+    is_gemm: np.ndarray
+    is_flash: np.ndarray
+    #: output dtype participates in activation accounting (fp16/32/64)
+    is_float_act: np.ndarray
+    in_checkpoint: np.ndarray
+    checkpoint_boundary: np.ndarray
+    #: (group_tag, kind) -> (count of non-empty comms, summed bytes)
+    comm_totals: dict[tuple[str, str], tuple[int, float]]
+    #: median fp16/fp32 output size — the pipeline boundary tensor (ref batch)
+    boundary_bytes: float
+    #: widest op output (transient-workspace sizing), any dtype
+    max_out_bytes: float
+    total_flops: float
+    checkpointed_flops: float
+    activation_bytes: float
+    #: (KernelCostModel, batch_scale) -> (total, checkpointed) kernel seconds
+    _time_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.flops)
+
+    @classmethod
+    def from_trace(cls, trace: ModelTrace) -> "CompiledTrace":
+        ops = trace.ops
+        n = len(ops)
+        flops = np.empty(n)
+        bytes_moved = np.empty(n)
+        out_bytes = np.empty(n)
+        save_factor = np.empty(n)
+        is_fp16 = np.empty(n, dtype=bool)
+        is_gemm = np.empty(n, dtype=bool)
+        is_flash = np.empty(n, dtype=bool)
+        is_float_act = np.empty(n, dtype=bool)
+        in_checkpoint = np.empty(n, dtype=bool)
+        checkpoint_boundary = np.empty(n, dtype=bool)
+        boundary_sizes = []
+        for i, op in enumerate(ops):
+            flops[i] = op.flops
+            bytes_moved[i] = op.bytes_moved
+            out_bytes[i] = op.out_bytes
+            save_factor[i] = _save_factor(op)
+            is_fp16[i] = op.dtype_name == "float16"
+            is_gemm[i] = op.kernel == "gemm"
+            is_flash[i] = op.kernel == "flash_attention"
+            is_float_act[i] = op.dtype_name in _ACT_DTYPES
+            in_checkpoint[i] = op.in_checkpoint
+            checkpoint_boundary[i] = op.checkpoint_boundary
+            if op.dtype_name in _BOUNDARY_DTYPES:
+                boundary_sizes.append(op.out_bytes)
+
+        comm_totals: dict[tuple[str, str], tuple[int, float]] = {}
+        for comm in trace.comms:
+            key = (comm.group_tag, comm.kind)
+            count, total = comm_totals.get(key, (0, 0.0))
+            if comm.bytes_moved > 0:
+                count += 1
+            comm_totals[key] = (count, total + comm.bytes_moved)
+
+        boundary_sizes.sort()
+        boundary = boundary_sizes[len(boundary_sizes) // 2] \
+            if boundary_sizes else 0.0
+        retained = is_float_act & ~(in_checkpoint & ~checkpoint_boundary)
+        return cls(
+            flops=flops, bytes_moved=bytes_moved, out_bytes=out_bytes,
+            save_factor=save_factor, is_fp16=is_fp16, is_gemm=is_gemm,
+            is_flash=is_flash, is_float_act=is_float_act,
+            in_checkpoint=in_checkpoint,
+            checkpoint_boundary=checkpoint_boundary,
+            comm_totals=comm_totals,
+            boundary_bytes=boundary,
+            max_out_bytes=float(out_bytes.max()) if n else 0.0,
+            total_flops=float(flops.sum()),
+            checkpointed_flops=float(flops[in_checkpoint].sum()),
+            activation_bytes=float(
+                (out_bytes[retained] * save_factor[retained]).sum()),
+        )
+
+
+def reprice_checkpoint_ratio(trace: ModelTrace, ratio: float) -> ModelTrace:
+    """Derive the ratio-``r`` checkpointed variant of an un-checkpointed trace.
+
+    ``trace`` must have been recorded at checkpoint ratio 0 from a model
+    whose checkpoint units are marked (``_slapo_meta["ckpt_unit"]``), so
+    its ``layers`` spans name every candidate region in execution order.
+    The first ``round(r·L)`` spans — exactly the set ``checkpoint_layers``
+    would flag — get their ops re-tagged ``in_checkpoint`` with the final
+    op as the retained boundary, matching a fresh build+trace at ratio
+    ``r`` event-for-event.
+
+    Returns ``trace`` itself at ratio 0; otherwise a new trace sharing the
+    untouched events and the cached ``ModelStats`` (parameters don't move
+    when checkpointing does).
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(f"checkpoint ratio must be in [0, 1], got {ratio}")
+    count = int(round(ratio * len(trace.layers)))
+    if count == 0:
+        return trace
+    if any(op.in_checkpoint for op in trace.ops):
+        raise ValueError(
+            "reprice_checkpoint_ratio needs a ratio-0 base trace "
+            "(some ops are already checkpointed)"
+        )
+    ops = list(trace.ops)
+    comms = list(trace.comms)
+    for span in trace.layers[:count]:
+        for i in range(span.op_start, span.op_end):
+            ops[i] = replace(ops[i], in_checkpoint=True)
+        if span.op_end > span.op_start:
+            ops[span.op_end - 1] = replace(ops[span.op_end - 1],
+                                           checkpoint_boundary=True)
+        for i in range(span.comm_start, span.comm_end):
+            comms[i] = replace(comms[i], in_checkpoint=True)
+    return ModelTrace(ops=ops, comms=comms, ref_batch=trace.ref_batch,
+                      layers=list(trace.layers), stats=trace.stats)

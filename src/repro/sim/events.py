@@ -3,9 +3,10 @@
 The framework reports every op/collective through
 :mod:`repro.framework.events`; the :class:`TraceRecorder` here folds those
 reports into a :class:`ModelTrace`, honouring fused regions (ops inside
-collapse into one launch with boundary-only memory traffic) and checkpoint
+collapse into one launch with boundary-only memory traffic), checkpoint
 regions (interior activations are not retained; recompute cost is owed in
-the backward pass).
+the backward pass), and layer regions (checkpoint-unit spans the planner
+uses to re-price checkpoint ratios without re-tracing).
 """
 
 from __future__ import annotations
@@ -13,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.framework import events as fw_events
-from repro.framework.tensor import Tensor
 
 
 @dataclass
@@ -43,20 +43,56 @@ class CommEvent:
 
 
 @dataclass
+class LayerSpan:
+    """Half-open op/comm index ranges of one checkpointable layer region.
+
+    Modules flagged ``_slapo_meta["ckpt_unit"]`` (the units a schedule's
+    ``checkpoint_layers`` may checkpoint) emit one span each while tracing.
+    Spans are recorded in execution order, which is also the order
+    ``checkpoint_layers`` consumes its path list — so flipping the first
+    ``⌈r·L⌉`` spans reproduces a ratio-``r`` schedule exactly (see
+    :func:`repro.sim.compiled.reprice_checkpoint_ratio`).
+    """
+
+    op_start: int
+    op_end: int
+    comm_start: int
+    comm_end: int
+
+
+@dataclass
 class ModelTrace:
     """A forward pass recorded at a reference batch size.
 
     All flops/bytes scale linearly in batch, so one trace prices every
-    micro-batch size.
+    micro-batch size.  Aggregates are served from the memoized
+    :meth:`compiled` view — treat ``ops``/``comms`` as frozen once
+    recording finishes (derive variants with
+    :func:`repro.sim.compiled.reprice_checkpoint_ratio` instead of
+    mutating in place).
     """
 
     ops: list[OpEvent] = field(default_factory=list)
     comms: list[CommEvent] = field(default_factory=list)
     ref_batch: int = 1
+    #: checkpoint-unit spans, in execution order (empty when unmarked)
+    layers: list[LayerSpan] = field(default_factory=list)
+    #: statics of the traced model (params, layer count), computed once
+    stats: "ModelStats | None" = None
+    _compiled: "CompiledTrace | None" = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def compiled(self) -> "CompiledTrace":
+        """The vectorized array view of this trace, built once."""
+        if self._compiled is None:
+            from .compiled import CompiledTrace  # late import, avoids cycle
+
+            self._compiled = CompiledTrace.from_trace(self)
+        return self._compiled
 
     @property
     def total_flops(self) -> float:
-        return sum(op.flops for op in self.ops)
+        return self.compiled().total_flops
 
     @property
     def num_launches(self) -> int:
@@ -80,18 +116,11 @@ class ModelTrace:
           HBM);
         * integer/bool outputs (indices, masks) are ignored.
         """
-        total = 0.0
-        for op in self.ops:
-            if op.dtype_name not in ("float16", "float32", "float64"):
-                continue
-            if op.in_checkpoint and not op.checkpoint_boundary:
-                continue
-            total += op.out_bytes * _save_factor(op)
-        return total
+        return self.compiled().activation_bytes
 
     def checkpointed_flops(self) -> float:
         """Forward flops that must be recomputed during backward."""
-        return sum(op.flops for op in self.ops if op.in_checkpoint)
+        return self.compiled().checkpointed_flops
 
 
 def _nbytes(shape, dtype) -> float:
@@ -106,8 +135,13 @@ class TraceRecorder:
 
     def __init__(self):
         self.trace = ModelTrace()
-        self._fused_stack: list[list[OpEvent]] = []
+        #: stack of open fused regions: (name, backend, buffered ops)
+        self._fused_stack: list[tuple[str, str, list[OpEvent]]] = []
         self._checkpoint_depth = 0
+        #: op index where the current outermost checkpoint region began
+        self._checkpoint_start = 0
+        #: stack of open layer regions: (op index, comm index) at entry
+        self._layer_stack: list[tuple[int, int]] = []
 
     # -- framework hooks ------------------------------------------------ #
     def record_op(self, name, out_shape, dtype, flops, bytes_moved, meta):
@@ -122,7 +156,7 @@ class TraceRecorder:
             in_checkpoint=self._checkpoint_depth > 0,
         )
         if self._fused_stack:
-            self._fused_stack[-1].append(event)
+            self._fused_stack[-1][2].append(event)
         else:
             self.trace.ops.append(event)
 
@@ -137,14 +171,12 @@ class TraceRecorder:
         ))
 
     def begin_fused(self, name, backend):
-        self._fused_stack.append([])
-        self._pending_fused = (name, backend)
+        self._fused_stack.append((name, backend, []))
 
     def end_fused(self):
-        ops = self._fused_stack.pop()
+        name, backend, ops = self._fused_stack.pop()
         if not ops:
             return
-        name, backend = self._pending_fused
         last = ops[-1]
         gemm_flops = sum(op.flops for op in ops if op.kernel == "gemm")
         fused = OpEvent(
@@ -161,21 +193,33 @@ class TraceRecorder:
             fused_count=sum(op.fused_count for op in ops),
         )
         if self._fused_stack:
-            self._fused_stack[-1].append(fused)
+            self._fused_stack[-1][2].append(fused)
         else:
             self.trace.ops.append(fused)
 
     def begin_checkpoint(self):
+        if self._checkpoint_depth == 0:
+            self._checkpoint_start = len(self.trace.ops)
         self._checkpoint_depth += 1
 
     def end_checkpoint(self):
         self._checkpoint_depth -= 1
-        if self._checkpoint_depth == 0 and self.trace.ops:
+        if self._checkpoint_depth == 0 \
+                and len(self.trace.ops) > self._checkpoint_start:
             # The region's final output is the retained boundary tensor.
-            for op in reversed(self.trace.ops):
-                if op.in_checkpoint:
-                    op.checkpoint_boundary = True
-                    break
+            self.trace.ops[-1].checkpoint_boundary = True
+
+    def begin_layer(self):
+        self._layer_stack.append((len(self.trace.ops),
+                                  len(self.trace.comms)))
+
+    def end_layer(self):
+        op_start, comm_start = self._layer_stack.pop()
+        if self._layer_stack:
+            return  # nested units collapse into the outermost span
+        self.trace.layers.append(LayerSpan(
+            op_start=op_start, op_end=len(self.trace.ops),
+            comm_start=comm_start, comm_end=len(self.trace.comms)))
 
 
 #: fraction of the output tensor autograd retains, by op name
@@ -210,9 +254,19 @@ def _classify(name: str) -> str:
 
 
 def trace_model(model, *example_inputs, ref_batch: int = 1) -> ModelTrace:
-    """Record one forward pass of (typically meta-device) ``model``."""
+    """Record one forward pass of (typically meta-device) ``model``.
+
+    The returned trace carries a :class:`~repro.sim.memory.ModelStats`
+    computed here, once — downstream pricing (memory, step time, the
+    planner sweep) reads the cached statics instead of re-walking the
+    module tree per configuration.
+    """
     recorder = TraceRecorder()
     with fw_events.recording(recorder):
         model(*example_inputs)
-    recorder.trace.ref_batch = ref_batch
-    return recorder.trace
+    trace = recorder.trace
+    trace.ref_batch = ref_batch
+    from .memory import compute_model_stats  # late import, avoids cycle
+
+    trace.stats = compute_model_stats(model)
+    return trace

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.distributed.topology import GPUSpec
 
 from .events import ModelTrace, OpEvent
@@ -81,19 +83,53 @@ class KernelCostModel:
         stream = bytes_moved / (self.gpu.memory_bandwidth * self.hbm_eff)
         return stream + launch
 
+    def _op_time_sums(self, trace: ModelTrace, batch_scale: float
+                      ) -> tuple[float, float]:
+        """(total, checkpointed) kernel seconds over the whole trace.
+
+        Vectorized over the trace's :class:`~repro.sim.compiled
+        .CompiledTrace` columns — the same roofline as :meth:`op_time`
+        applied to every launch at once — and memoized per (cost model,
+        batch scale) on the compiled view, so a planner sweep prices each
+        micro-batch size exactly once.
+        """
+        compiled = trace.compiled()
+        key = (self, batch_scale)
+        cached = compiled._time_cache.get(key)
+        if cached is not None:
+            return cached
+        flops = compiled.flops * batch_scale
+        stream = (compiled.bytes_moved * batch_scale
+                  / (self.gpu.memory_bandwidth * self.hbm_eff))
+        times = stream + self.gpu.kernel_launch_overhead
+        peak = np.where(compiled.is_fp16, self.gpu.peak_fp16_flops,
+                        self.gpu.peak_fp32_flops)
+        if compiled.is_gemm.any():
+            plateau = np.where(compiled.is_fp16, self.gemm_eff_fp16,
+                               self.gemm_eff_fp32)
+            eff = np.maximum(plateau * flops / (flops + self.gemm_knee_flops),
+                             0.01)
+            gemm = np.maximum(flops / (peak * eff), stream) \
+                + self.gpu.kernel_launch_overhead
+            times = np.where(compiled.is_gemm, gemm, times)
+        if compiled.is_flash.any():
+            flash = np.maximum(flops / (peak * self.flash_eff), stream) \
+                + self.gpu.kernel_launch_overhead
+            times = np.where(compiled.is_flash, flash, times)
+        result = (float(times.sum()),
+                  float(times[compiled.in_checkpoint].sum()))
+        compiled._time_cache[key] = result
+        return result
+
     def forward_time(self, trace: ModelTrace, batch_scale: float = 1.0
                      ) -> float:
-        return sum(self.op_time(op, batch_scale) for op in trace.ops)
+        return self._op_time_sums(trace, batch_scale)[0]
 
     def backward_time(self, trace: ModelTrace, batch_scale: float = 1.0
                       ) -> float:
         """Backward pass: ~2× forward, plus recompute of checkpointed spans."""
-        base = self.forward_time(trace, batch_scale) * self.backward_multiplier
-        recompute = sum(
-            self.op_time(op, batch_scale)
-            for op in trace.ops if op.in_checkpoint
-        )
-        return base + recompute
+        total, recompute = self._op_time_sums(trace, batch_scale)
+        return total * self.backward_multiplier + recompute
 
     def optimizer_time(self, param_count: float,
                        bytes_per_param: float = 18.0) -> float:

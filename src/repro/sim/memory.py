@@ -59,6 +59,39 @@ def _param_bytes(model: Module) -> tuple[float, float]:
     return total_bytes, count
 
 
+@dataclass(frozen=True)
+class ModelStats:
+    """Statics of a built model — pure functions of the module tree.
+
+    Computed once (by :func:`repro.sim.trace_model`, or lazily on first
+    use) and cached on the trace, so pricing a configuration never
+    re-walks ``named_parameters``/``named_modules``.  Invalidation is by
+    replacement: a trace's stats are valid as long as the traced model's
+    parameters and module structure are unchanged — re-trace after any
+    schedule transform that moves parameters (shard, replace, decompose).
+    """
+
+    #: bytes of parameters, tied weights counted once
+    param_bytes: float
+    #: scalar parameter count, tied weights counted once
+    param_count: float
+    #: repeated-block count (ZeRO-3's layer-at-a-time gathering unit)
+    layer_count: int
+
+
+def compute_model_stats(model: Module) -> ModelStats:
+    param_bytes, param_count = _param_bytes(model)
+    return ModelStats(param_bytes=param_bytes, param_count=param_count,
+                      layer_count=_layer_count_estimate(model))
+
+
+def model_stats_for(trace: ModelTrace, model: Module) -> ModelStats:
+    """The trace's cached :class:`ModelStats`, computing (once) if absent."""
+    if trace.stats is None:
+        trace.stats = compute_model_stats(model)
+    return trace.stats
+
+
 def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
                  zero_stage: int = 0, dp_size: int = 1,
                  num_pipeline_stages: int = 1,
@@ -69,9 +102,9 @@ def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
     scale linearly to ``micro_batch`` and with the number of in-flight
     micro-batches (1F1B keeps up to ``pp`` alive on the first stage).
     """
-    param_bytes, param_count = _param_bytes(model)
-    param_bytes /= num_pipeline_stages
-    param_count /= num_pipeline_stages
+    stats = model_stats_for(trace, model)
+    param_bytes = stats.param_bytes / num_pipeline_stages
+    param_count = stats.param_count / num_pipeline_stages
     grad_bytes = param_bytes
     # fp32 master + m + v for fp16 params; m + v for fp32 params = 16B/param
     # total minus what params+grads already account for.
@@ -84,7 +117,7 @@ def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
     working = 0.0
     if zero_stage >= 3:
         # Parameters live sharded; one layer's worth is gathered at a time.
-        layer_params = param_bytes / max(_layer_count_estimate(model), 1)
+        layer_params = param_bytes / max(stats.layer_count, 1)
         working += 2 * layer_params  # current + prefetched next layer
         param_bytes /= dp_size
 
@@ -93,7 +126,7 @@ def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
     activations = trace.activation_bytes() / num_pipeline_stages * act_scale
 
     # Transient workspace: gradient of the widest activation + temp buffers.
-    widest = max((op.out_bytes for op in trace.ops), default=0.0)
+    widest = trace.compiled().max_out_bytes
     working += widest * (micro_batch / trace.ref_batch) * 2
 
     return MemoryBreakdown(params=param_bytes, grads=grad_bytes,

@@ -14,7 +14,7 @@ from repro.distributed.topology import ClusterSpec
 
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
-from .memory import MemoryBreakdown, model_memory
+from .memory import MemoryBreakdown, model_memory, model_stats_for
 from .throughput import throughput
 
 #: candidate micro-batch sizes swept by the planner
@@ -106,8 +106,11 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
 
     With ``global_batch`` set (strong scaling, paper §5.2), the number of
     micro-batches is derived as ``global / (dp × micro)`` and infeasible
-    divisions are skipped.
+    divisions are skipped.  The sweep prices every candidate from the
+    trace's compiled aggregates and cached :class:`ModelStats` — the model
+    itself is never re-walked per candidate.
     """
+    model_stats_for(trace, model)  # compute statics once, before the sweep
     best: Plan | None = None
     budget = cluster.gpu.usable_memory
     inflight = parallel.pp  # 1F1B keeps up to pp micro-batches alive

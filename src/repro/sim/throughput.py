@@ -23,7 +23,7 @@ from repro.distributed.topology import ClusterSpec
 
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
-from .memory import _param_bytes
+from .memory import model_stats_for
 
 #: fraction of DP gradient all-reduce hidden under backward compute
 DP_OVERLAP = 0.7
@@ -81,18 +81,23 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     if parallel.tp > 1:
         tp_ranks = _axis_ranks(cluster, parallel, "tp")
         per_micro = 0.0
-        for comm in trace.comms:
-            if comm.group_tag != "tp":
+        # The trace's comm events are pre-folded into per-(tag, kind)
+        # (count, byte-sum) pairs; each collective is affine in its size
+        # (α latency + β·bytes), so the per-event scan collapses to one
+        # α–β evaluation per collective kind.
+        for (tag, kind), (count, total) in \
+                trace.compiled().comm_totals.items():
+            if tag != "tp" or count == 0:
                 continue
-            nbytes = comm.bytes_moved * scale
-            per_micro += cluster.collective_time(comm.kind, nbytes, tp_ranks)
+            alpha, beta = cluster.collective_coeffs(kind, tp_ranks)
+            per_micro += count * alpha + beta * (total * scale)
         # forward collectives + their backward counterparts
         breakdown.tp_comm = 2 * per_micro / pp * num_micro_batches
 
     # -- ZeRO-3 parameter traffic --------------------------------------- #
-    param_bytes, param_count = _param_bytes(model)
-    param_bytes /= pp
-    param_count /= pp
+    stats = model_stats_for(trace, model)
+    param_bytes = stats.param_bytes / pp
+    param_count = stats.param_count / pp
     if zero_stage >= 3 and parallel.dp > 1:
         dp_ranks = _axis_ranks(cluster, parallel, "dp")
         gather = cluster.all_gather_time(param_bytes, dp_ranks)
@@ -126,13 +131,13 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
 
 
 def _boundary_bytes(trace: ModelTrace, scale: float) -> float:
-    """Bytes crossing a pipeline boundary ≈ the typical hidden activation."""
-    float_ops = [op for op in trace.ops
-                 if op.dtype_name in ("float16", "float32")]
-    if not float_ops:
-        return 0.0
-    sizes = sorted(op.out_bytes for op in float_ops)
-    return sizes[len(sizes) // 2] * scale
+    """Bytes crossing a pipeline boundary ≈ the typical hidden activation.
+
+    The median float-op output size is folded into the trace's
+    :class:`~repro.sim.compiled.CompiledTrace` once, instead of re-sorting
+    the op sizes on every call.
+    """
+    return trace.compiled().boundary_bytes * scale
 
 
 def throughput(trace: ModelTrace, model, cluster: ClusterSpec,

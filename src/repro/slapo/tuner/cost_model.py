@@ -30,6 +30,7 @@ from typing import Callable
 from repro.distributed.mesh import ParallelConfig
 from repro.distributed.topology import ClusterSpec
 from repro.sim.kernel_cost import KernelCostModel
+from repro.sim.memory import model_stats_for
 from repro.sim.planner import predict_config
 
 
@@ -154,7 +155,11 @@ class SimCostModel(CostModel):
         key = tuple(sorted(config.items())) if self._trace_key_fn is None \
             else self._trace_key_fn(config)
         if key not in self._traces:
-            self._traces[key] = self._trace_fn(config)
+            model, trace = self._trace_fn(config)
+            # Pin the model statics to the trace now, so every estimate
+            # served from this entry prices without re-walking parameters.
+            model_stats_for(trace, model)
+            self._traces[key] = (model, trace)
         return self._traces[key]
 
     # ------------------------------------------------------------------ #

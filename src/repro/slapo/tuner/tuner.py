@@ -152,14 +152,29 @@ class AutoTuner:
         # coordinate-candidate query is a dict/set lookup, not a rescan.
         self._feasible: set[tuple] = set()
         self._coord_index: dict[tuple[str, frozenset], list] = {}
-        for config in self.configs:
+        self._config_order: dict[tuple, int] = {}
+        for position, config in enumerate(self.configs):
             self._feasible.add(_trial_key(config))
+            self._config_order.setdefault(_trial_key(config), position)
             items = config.items()
             for coord, value in items:
                 others = frozenset((k, v) for k, v in items if k != coord)
                 values = self._coord_index.setdefault((coord, others), [])
                 if value not in values:
                     values.append(value)
+
+    def _config_rank(self, config: dict) -> tuple:
+        """Deterministic tiebreak for equally-predicted configurations.
+
+        Uses the config's enumeration position in the space — stable
+        across processes, unlike ``repr`` of arbitrary candidate objects
+        (whose default repr embeds memory addresses).  Configs bred
+        outside the enumerated space sort after, by key repr.
+        """
+        index = self._config_order.get(_trial_key(config))
+        if index is not None:
+            return (0, index, "")
+        return (1, 0, repr(_trial_key(config)))
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, config: dict, predicted: float | None = None
@@ -206,8 +221,7 @@ class AutoTuner:
                 pruned.append(config)
                 continue
             scored.append((estimate.throughput, config))
-        # repr() keeps the tiebreak comparable for arbitrary value types.
-        scored.sort(key=lambda pair: (-pair[0], repr(_trial_key(pair[1]))))
+        scored.sort(key=lambda pair: (-pair[0], self._config_rank(pair[1])))
         return scored, pruned
 
     @staticmethod
@@ -363,7 +377,7 @@ class AutoTuner:
 
         def rank_key(trial: Trial):
             return (-trial.throughput if trial.valid else math.inf,
-                    repr(_trial_key(trial.config)))
+                    self._config_rank(trial.config))
 
         def finish() -> TuneResult:
             skipped_keys.difference_update(self._memo)  # measured after all
