@@ -2,16 +2,19 @@ PYTHON ?= python
 
 .PHONY: test bench perf docs docs-check
 
-# tier-1 verification (pyproject.toml already pins pythonpath=src)
+# tier-1 verification (pyproject.toml already pins pythonpath=src), then
+# guard the committed BENCH_*.json perf trajectory against regressions
 test:
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) scripts/check_bench.py
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
 
-# Simulator speed trajectory: refreshes BENCH_sim_speed.json at the root.
+# Perf trajectory: refreshes BENCH_sim_speed.json + BENCH_pipeline.json.
 perf:
 	$(PYTHON) benchmarks/bench_sim_speed.py
+	$(PYTHON) benchmarks/bench_pipeline.py
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

@@ -1,0 +1,135 @@
+"""Pipeline-parallelism benchmark panel — stage-accurate planning payoff.
+
+Two questions, answered with numbers written to ``BENCH_pipeline.json``:
+
+* **Does stage accuracy matter?**  For a deliberately imbalanced 2-stage
+  GPT split, compare the stage-resolved ``step_time`` (bottleneck stage,
+  true cut-tensor bytes) against the old uniform ``compute/pp`` estimate
+  — the two must disagree, or the whole dimension is vacuous.
+* **Does planning pay?**  ``plan_pipeline_cuts`` must find a split whose
+  simulated throughput beats the naive even-layer split (the LM head
+  makes the last stage heavier, so the balanced cut is *not* the even
+  one), and the ``slapo-pp`` evaluator sweeps the zoo's transformer
+  families × GPU counts as a Fig. 7-style panel.
+
+Run via ``make perf``; committing the refreshed JSON records the
+trajectory over PRs (``scripts/check_bench.py`` guards regressions).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+FAMILIES = ("BERT", "RoBERTa", "GPT", "OPT", "T5", "WideResNet")
+GPU_COUNTS = (2, 4, 8)
+
+
+def stage_accuracy_probe() -> dict:
+    """Imbalanced 2-stage GPT: stage-resolved vs uniform /pp pricing."""
+    import repro.slapo as slapo
+    from repro.distributed import P3DN_NODE, ParallelConfig
+    from repro.models import MODEL_ZOO, data
+    from repro.schedules import SCHEDULES
+    from repro.sim import (even_cuts, plan_pipeline_cuts, step_time,
+                           throughput, trace_model)
+
+    cls, config = MODEL_ZOO["GPT"]
+    model = cls(config, device="meta")
+    sch = slapo.create_schedule(model)
+    SCHEDULES["GPT"](sch, config, ckpt_ratio=0.0, use_tp=False)
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    trace = trace_model(model, ids)
+    parallel = ParallelConfig(tp=4, pp=2)
+    micro, m = 1, 8
+
+    lopsided = (len(trace.layers) // 4,)  # deliberately imbalanced
+    uniform = step_time(trace, model, P3DN_NODE, parallel, micro,
+                        num_micro_batches=m)
+    staged = step_time(trace, model, P3DN_NODE, parallel, micro,
+                       num_micro_batches=m, pipeline_cuts=lopsided)
+    even = even_cuts(len(trace.layers), 2)
+    plan = plan_pipeline_cuts(trace, model, P3DN_NODE, parallel, micro, m)
+    thr_even = throughput(trace, model, P3DN_NODE, parallel, micro,
+                          num_micro_batches=m, pipeline_cuts=even)
+    thr_planned = throughput(trace, model, P3DN_NODE, parallel, micro,
+                             num_micro_batches=m, pipeline_cuts=plan.cuts)
+    return {
+        "num_layers": len(trace.layers),
+        "lopsided_cuts": list(lopsided),
+        "uniform_step_seconds": uniform.total,
+        "lopsided_step_seconds": staged.total,
+        "stage_times": list(staged.detail["stage_times"]),
+        "bottleneck_stage": staged.detail["bottleneck_stage"],
+        "even_cuts": list(even),
+        "planned_cuts": list(plan.cuts),
+        "throughput_even_split": thr_even,
+        "throughput_planned_split": thr_planned,
+        "planned_vs_even_speedup": thr_planned / thr_even,
+    }
+
+
+def slapo_pp_panel() -> dict:
+    """Fig. 7-style panel: slapo-pp across families × GPU counts."""
+    from repro.baselines import EVALUATORS
+    from repro.baselines.systems import _TRACE_CACHE
+    from repro.distributed import P3DN_NODE
+
+    _TRACE_CACHE.clear()  # measure cold, like a fresh process
+    panel: dict = {}
+    start = time.perf_counter()
+    print(f"\n{'family':>12} " + " ".join(f"{n:>10}" for n in GPU_COUNTS)
+          + "   (samples/sec, slapo-pp TP×PP=2)")
+    for family in FAMILIES:
+        row = {}
+        for num_gpus in GPU_COUNTS:
+            result = EVALUATORS["slapo-pp"](family, P3DN_NODE, num_gpus)
+            row[str(num_gpus)] = {
+                "supported": result.supported,
+                "throughput": result.throughput,
+                "micro_batch": result.micro_batch,
+                "num_micro_batches": result.num_micro_batches,
+                "ckpt_ratio": result.ckpt_ratio,
+                "pipeline_cuts": list(result.pipeline_cuts),
+            }
+        panel[family] = row
+        cells = " ".join(
+            f"{row[str(n)]['throughput']:>10.1f}"
+            if row[str(n)]["supported"] else f"{'X':>10}"
+            for n in GPU_COUNTS)
+        print(f"{family:>12} {cells}")
+    return {"seconds": time.perf_counter() - start, "panel": panel}
+
+
+def main() -> None:
+    probe = stage_accuracy_probe()
+    assert probe["uniform_step_seconds"] != probe["lopsided_step_seconds"], \
+        "stage-resolved pricing must differ from the uniform /pp estimate"
+    assert probe["planned_vs_even_speedup"] > 1.0, \
+        "the cut planner must beat the naive even-layer split"
+    panel = slapo_pp_panel()
+    report = {
+        "benchmark": "pipeline",
+        "python": platform.python_version(),
+        "stage_accuracy": probe,
+        "slapo_pp_panel": panel,
+        "headline": {
+            "planned_vs_even_speedup": probe["planned_vs_even_speedup"],
+            "gpt_8gpu_throughput":
+                panel["panel"]["GPT"]["8"]["throughput"],
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

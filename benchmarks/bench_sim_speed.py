@@ -27,6 +27,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_sim_speed.json"
 
 FAMILIES = ("BERT", "RoBERTa", "GPT", "OPT", "T5", "WideResNet")
+#: the original four contenders — pinned so the trajectory stays
+#: comparable across PRs (the slapo-pp panel is timed by
+#: bench_pipeline.py)
+SYSTEMS = ("megatron", "deepspeed", "slapo-tp", "slapo-zero3")
 
 
 def time_evaluators_sweep() -> dict:
@@ -39,8 +43,8 @@ def time_evaluators_sweep() -> dict:
     evaluations = 0
     start = time.perf_counter()
     for family in FAMILIES:
-        for evaluate in EVALUATORS.values():
-            evaluate(family, P3DN_NODE, 8)
+        for system in SYSTEMS:
+            EVALUATORS[system](family, P3DN_NODE, 8)
             evaluations += 1
     elapsed = time.perf_counter() - start
     return {"seconds": elapsed, "evaluations": evaluations,

@@ -1,0 +1,110 @@
+"""Guard the committed BENCH_*.json perf trajectory against regressions.
+
+Compares every ``BENCH_*.json`` at the repo root against the version
+committed at ``HEAD``.  Numeric leaves are classified by key name:
+
+* *lower-is-better*: keys containing ``seconds`` / ``_ms``;
+* *higher-is-better*: keys containing ``throughput`` / ``speedup``.
+
+A metric that regressed more than ``THRESHOLD`` (20%) fails the check —
+so a PR that refreshes a benchmark file with a slower result must either
+fix the regression or consciously raise the threshold here.  Files that
+are unchanged, new (not yet committed), or untracked pass trivially.
+
+Wired into ``make test``; run directly with ``python
+scripts/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THRESHOLD = 0.20
+#: wall-clock metrics shorter than this are pure noise at a 20% gate
+#: (a ±1 ms wobble on a 1 ms timer is ±100%) — skip them
+MIN_SECONDS = 0.05
+
+LOWER_BETTER = ("seconds", "_ms")
+HIGHER_BETTER = ("throughput", "speedup")
+
+
+def _committed(name: str) -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return None  # new file: nothing to regress against
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def _metrics(tree, path="") -> dict[str, tuple[float, str]]:
+    """Flatten a report to {dotted.path: (value, direction)} leaves."""
+    found: dict[str, tuple[float, str]] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            sub = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                found.update(_metrics(value, sub))
+            elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool):
+                lowered = key.lower()
+                if any(h in lowered for h in LOWER_BETTER):
+                    found[sub] = (float(value), "lower")
+                elif any(h in lowered for h in HIGHER_BETTER):
+                    found[sub] = (float(value), "higher")
+    elif isinstance(tree, list):
+        for i, value in enumerate(tree):
+            found.update(_metrics(value, f"{path}[{i}]"))
+    return found
+
+
+def check_file(path: Path) -> list[str]:
+    baseline = _committed(path.name)
+    if baseline is None:
+        return []
+    current = json.loads(path.read_text())
+    old, new = _metrics(baseline), _metrics(current)
+    failures = []
+    for name, (old_value, direction) in old.items():
+        if name not in new or old_value == 0:
+            continue
+        if direction == "lower" and old_value < MIN_SECONDS:
+            continue  # sub-noise-floor timing: 20% of ~nothing is noise
+        new_value, _ = new[name]
+        change = (new_value - old_value) / abs(old_value)
+        regressed = change > THRESHOLD if direction == "lower" \
+            else change < -THRESHOLD
+        if regressed:
+            failures.append(
+                f"{path.name}: {name} regressed "
+                f"{old_value:.4g} -> {new_value:.4g} "
+                f"({change * 100:+.1f}%, {direction} is better)"
+            )
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked = 0
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        failures.extend(check_file(path))
+        checked += 1
+    if failures:
+        print("benchmark regression check FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"benchmark regression check ok ({checked} BENCH_*.json files, "
+          f"threshold {THRESHOLD * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,11 @@ from .pipeline_runtime import (
 )
 from .systems import (
     EVALUATORS,
+    PIPELINE_LAYER_PATHS,
     SystemResult,
     evaluate_deepspeed,
     evaluate_megatron,
+    evaluate_slapo_pp,
     evaluate_slapo_tp,
     evaluate_slapo_zero3,
 )
@@ -35,5 +37,6 @@ __all__ = [
     "PipelineRuntime", "ScheduleTick", "gpipe_schedule",
     "one_f_one_b_schedule",
     "SystemResult", "EVALUATORS", "evaluate_megatron", "evaluate_deepspeed",
-    "evaluate_slapo_tp", "evaluate_slapo_zero3",
+    "evaluate_slapo_tp", "evaluate_slapo_zero3", "evaluate_slapo_pp",
+    "PIPELINE_LAYER_PATHS",
 ]

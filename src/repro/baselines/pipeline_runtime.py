@@ -40,24 +40,55 @@ def gpipe_schedule(num_stages: int, num_micro: int) -> list[ScheduleTick]:
 
 def one_f_one_b_schedule(num_stages: int, num_micro: int
                          ) -> list[ScheduleTick]:
-    """1F1B: warm-up forwards, steady-state alternation, cool-down.
+    """1F1B, stage-accurate: per-stage warm-up, steady 1F1B, cool-down.
 
-    Uses the last stage's perspective for ordering; functionally the order
-    only has to respect data dependencies, which this does.
+    Stage ``s`` (0-indexed) warms up with ``min(p - s - 1, m)`` forwards,
+    then alternates one forward / one backward, then drains its remaining
+    backwards — Megatron-LM's schedule.  Consequently stage ``s`` holds at
+    most ``min(p - s, m)`` micro-batches of activations in flight (the
+    first stage is the memory bottleneck, the last stage holds one);
+    :func:`repro.sim.memory.stage_inflight` prices exactly this invariant.
+
+    The returned flat tick list is a linearization of the per-stage
+    sequences that respects every cross-stage dependency: ``forward(s, i)``
+    after ``forward(s-1, i)``, and ``backward(s, i)`` after both
+    ``forward(s, i)`` and ``backward(s+1, i)``.
     """
+    p, m = num_stages, num_micro
+    local: list[list[tuple[str, int]]] = []
+    for s in range(p):
+        warmup = min(p - s - 1, m)
+        seq = [("forward", i) for i in range(warmup)]
+        for k in range(m - warmup):
+            seq.append(("forward", warmup + k))
+            seq.append(("backward", k))
+        for k in range(max(m - warmup, 0), m):
+            seq.append(("backward", k))
+        local.append(seq)
+
     ticks: list[ScheduleTick] = []
-    warmup = min(num_stages, num_micro)
-    for micro in range(warmup):
-        for stage in range(num_stages):
-            ticks.append(ScheduleTick(stage, "forward", micro))
-    next_fwd = warmup
-    for micro in range(num_micro):
-        for stage in reversed(range(num_stages)):
-            ticks.append(ScheduleTick(stage, "backward", micro))
-        if next_fwd < num_micro:
-            for stage in range(num_stages):
-                ticks.append(ScheduleTick(stage, "forward", next_fwd))
-            next_fwd += 1
+    done: set[tuple[str, int, int]] = set()
+    cursor = [0] * p
+    remaining = sum(len(seq) for seq in local)
+    while remaining:
+        progressed = False
+        for s in range(p):
+            while cursor[s] < len(local[s]):
+                kind, micro = local[s][cursor[s]]
+                if kind == "forward":
+                    ready = s == 0 or ("forward", s - 1, micro) in done
+                else:
+                    ready = ("forward", s, micro) in done and (
+                        s == p - 1 or ("backward", s + 1, micro) in done)
+                if not ready:
+                    break
+                ticks.append(ScheduleTick(s, kind, micro))
+                done.add((kind, s, micro))
+                cursor[s] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - schedule is deadlock-free
+            raise RuntimeError("1F1B schedule deadlocked")
     return ticks
 
 

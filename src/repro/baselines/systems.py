@@ -17,6 +17,10 @@ slapo-tp         schedule: TP + flash attention + compiler fusion +
                  selective checkpointing (auto-tuned ratio)
 slapo-zero3      schedule: kernels + selective ckpt, ZeRO-3 data
                  parallelism
+slapo-pp         schedule: TP×PP — kernels + selective ckpt +
+                 ``.pipeline_split()`` at planner-balanced cut points,
+                 priced stage-accurately (bottleneck stage, true
+                 cut-tensor bytes, per-stage 1F1B memory)
 ===============  ====================================================
 """
 
@@ -53,6 +57,8 @@ class SystemResult:
     ckpt_ratio: float = 0.0
     num_micro_batches: int = 1
     peak_memory_gb: float = 0.0
+    #: stage cut points (leading-layer counts) for pipelined systems
+    pipeline_cuts: tuple = ()
 
     @property
     def label(self) -> str:
@@ -80,7 +86,9 @@ _TRACE_CACHE: dict[tuple, tuple] = {}
 def _plan_over_ratios(build_fn, family, config, cluster, parallel,
                       zero_stage, ratios, global_batch=None,
                       framework: str = "hf",
-                      cache_key: tuple | None = None) -> SystemResult:
+                      cache_key: tuple | None = None,
+                      pipeline_cuts=None,
+                      num_micro_batches: int | None = 1) -> SystemResult:
     """Price every checkpoint ratio from (at most) ONE model build + trace.
 
     The model is built and traced once, un-checkpointed; its checkpoint
@@ -108,8 +116,10 @@ def _plan_over_ratios(build_fn, family, config, cluster, parallel,
         trace = reprice_checkpoint_ratio(base_trace, ratio)
         plan = plan_micro_batch(trace, model, cluster, parallel,
                                 zero_stage=zero_stage,
+                                num_micro_batches=num_micro_batches,
                                 global_batch=global_batch,
-                                cost_model=cost)
+                                cost_model=cost,
+                                pipeline_cuts=pipeline_cuts)
         if plan is not None and (best is None
                                  or plan.throughput > best.throughput):
             best = plan
@@ -124,6 +134,7 @@ def _plan_over_ratios(build_fn, family, config, cluster, parallel,
         micro_batch=best.micro_batch, ckpt_ratio=best_ratio,
         num_micro_batches=best.num_micro_batches,
         peak_memory_gb=best.memory.total / 1e9,
+        pipeline_cuts=tuple(best.pipeline_cuts),
     )
 
 
@@ -223,9 +234,90 @@ def evaluate_slapo_zero3(family: str, cluster: ClusterSpec, num_gpus: int,
     return result
 
 
+#: transformer families with a contiguous decoder/encoder layer stack the
+#: pipeline evaluator can cut: family → layer-unit schedule paths
+PIPELINE_LAYER_PATHS = {
+    "BERT": lambda c: [f"bert.encoder.layer.{i}"
+                       for i in range(c.num_layers)],
+    "RoBERTa": lambda c: [f"roberta.encoder.layer.{i}"
+                          for i in range(c.num_layers)],
+    "GPT": lambda c: [f"transformer.h.{i}" for i in range(c.num_layers)],
+    "GPT-10B": lambda c: [f"transformer.h.{i}"
+                          for i in range(c.num_layers)],
+    "OPT": lambda c: [f"model.decoder.layers.{i}"
+                      for i in range(c.num_layers)],
+    "LLaMA-7B": lambda c: [f"model.layers.{i}"
+                           for i in range(c.num_layers)],
+}
+
+
+def evaluate_slapo_pp(family: str, cluster: ClusterSpec, num_gpus: int,
+                      parallel: ParallelConfig | None = None,
+                      global_batch: int | None = None,
+                      validate_partition: bool = False) -> SystemResult:
+    """Slapo with TP×PP: ``.pipeline_split()`` at planner-balanced cuts.
+
+    The model is scheduled once (kernels + TP sharding + checkpoint-unit
+    marks), traced once, and every checkpoint ratio / micro-batch /
+    micro-batch-count candidate is priced **stage-accurately**: the
+    planner (:func:`repro.sim.plan_pipeline_cuts`, invoked via
+    ``pipeline_cuts="auto"``) balances cut points per candidate, the
+    bottleneck stage paces the step, and per-stage 1F1B in-flight counts
+    bound memory.  With ``validate_partition=True`` the chosen cuts are
+    additionally annotated with ``.pipeline_split()`` on a fresh schedule
+    and ``slapo.build()`` must produce exactly ``pp`` stage modules — the
+    end-to-end §3.3.2 path.
+    """
+    if family not in PIPELINE_LAYER_PATHS:
+        return SystemResult(system="slapo-pp", family=family,
+                            num_gpus=num_gpus, supported=False)
+    parallel = parallel or ParallelConfig(tp=max(num_gpus // 2, 1), pp=2)
+    if parallel.pp <= 1 or parallel.world_size != num_gpus:
+        return SystemResult(system="slapo-pp", family=family,
+                            num_gpus=num_gpus, supported=False)
+    _, config = MODEL_ZOO[family]
+    layer_paths = PIPELINE_LAYER_PATHS[family](config)
+    if len(layer_paths) < parallel.pp:
+        return SystemResult(system="slapo-pp", family=family,
+                            num_gpus=num_gpus, supported=False)
+    result = _plan_over_ratios(
+        lambda ratio: _slapo_scheduled_model(family, config, parallel,
+                                             ratio, use_tp=parallel.tp > 1),
+        family, config, cluster, parallel, zero_stage=0,
+        ratios=SELECTIVE_RATIOS, global_batch=global_batch,
+        framework="slapo", pipeline_cuts="auto",
+        num_micro_batches=None if global_batch is None else 1,
+        cache_key=("slapo-pp", family, parallel.tp))
+    result.system = "slapo-pp"
+    if validate_partition and result.pipeline_cuts:
+        from repro.slapo.registry import SchedulingError
+
+        if max(result.pipeline_cuts) > len(layer_paths):
+            raise SchedulingError(
+                f"planned cut {max(result.pipeline_cuts)} exceeds the "
+                f"{len(layer_paths)} schedulable layer units of {family} "
+                f"(trace layer marks and PIPELINE_LAYER_PATHS disagree)"
+            )
+        cls, _ = MODEL_ZOO[family]
+        model = cls(config, device="meta")
+        mesh = DeviceMesh(parallel, rank=0, sim=True)
+        sch = slapo.create_schedule(model, mesh=mesh)
+        for cut in result.pipeline_cuts:
+            sch[layer_paths[cut - 1]].pipeline_split()
+        built = slapo.build(sch)
+        if len(built.stages) != parallel.pp:
+            raise SchedulingError(
+                f"pipeline_split at planned cuts {result.pipeline_cuts} "
+                f"produced {len(built.stages)} stages, expected "
+                f"pp={parallel.pp}"
+            )
+    return result
+
+
 EVALUATORS = {
     "megatron": evaluate_megatron,
     "deepspeed": evaluate_deepspeed,
     "slapo-tp": evaluate_slapo_tp,
     "slapo-zero3": evaluate_slapo_zero3,
+    "slapo-pp": evaluate_slapo_pp,
 }

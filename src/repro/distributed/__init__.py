@@ -8,12 +8,12 @@ from .group import (
     SingleGroup,
     ThreadGroup,
 )
-from .mesh import DeviceMesh, ParallelConfig, single_device_mesh
+from .mesh import DeviceMesh, ParallelConfig, axis_ranks, single_device_mesh
 from .topology import P3DN_NODE, ClusterSpec, GPUSpec, p3dn_cluster
 
 __all__ = [
     "LocalCluster", "Communicator", "ClusterError",
     "BaseGroup", "SingleGroup", "ThreadGroup", "SimGroup", "RankContext",
-    "DeviceMesh", "ParallelConfig", "single_device_mesh",
+    "DeviceMesh", "ParallelConfig", "axis_ranks", "single_device_mesh",
     "GPUSpec", "ClusterSpec", "P3DN_NODE", "p3dn_cluster",
 ]

@@ -32,8 +32,15 @@ class ParallelConfig:
             )
 
 
-def _axis_ranks(rank: int, config: ParallelConfig) -> dict[str, tuple[int, ...]]:
-    """Ranks sharing each axis group with ``rank``."""
+def axis_ranks(rank: int, config: ParallelConfig
+               ) -> dict[str, tuple[int, ...]]:
+    """Ranks sharing each mesh-axis group with ``rank``.
+
+    This is the **single** source of truth for rank-group layout: both
+    :class:`DeviceMesh` (functional collectives) and the simulator's
+    collective pricing (:mod:`repro.sim.throughput`) derive their groups
+    here, so the two can never drift apart.
+    """
     tp, dp, pp = config.tp, config.dp, config.pp
     tp_idx = rank % tp
     dp_idx = (rank // tp) % dp
@@ -42,6 +49,10 @@ def _axis_ranks(rank: int, config: ParallelConfig) -> dict[str, tuple[int, ...]]
     dp_group = tuple(pp_idx * tp * dp + j * tp + tp_idx for j in range(dp))
     pp_group = tuple(k * tp * dp + dp_idx * tp + tp_idx for k in range(pp))
     return {"tp": tp_group, "dp": dp_group, "pp": pp_group}
+
+
+#: backwards-compatible alias (pre-unification internal name)
+_axis_ranks = axis_ranks
 
 
 class DeviceMesh:
@@ -59,7 +70,7 @@ class DeviceMesh:
         self.config = config
         self.cluster_spec = cluster_spec
         self.rank = ctx.rank if ctx is not None else rank
-        axis = _axis_ranks(self.rank, config)
+        axis = axis_ranks(self.rank, config)
         if ctx is not None:
             config.validate(ctx.world_size)
             self._groups = {

@@ -64,17 +64,20 @@ def fused_region(name, backend="custom"):
 
 
 @contextmanager
-def layer_region():
+def layer_region(module=None):
     """Mark the ops inside as one checkpointable layer (a checkpoint unit).
 
     Modules flagged ``_slapo_meta["ckpt_unit"]`` emit this around their
     forward; the simulator's recorder turns it into an op-index span so
     checkpoint ratios can be re-priced without re-tracing the model.
+    ``module`` (the unit itself, when available) lets the recorder also
+    attribute parameter bytes to the span — the pipeline-stage planner
+    uses those to price per-stage memory.
     """
     if _RECORDER is None or not hasattr(_RECORDER, "begin_layer"):
         yield
         return
-    _RECORDER.begin_layer()
+    _RECORDER.begin_layer(module)
     try:
         yield
     finally:

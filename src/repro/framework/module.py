@@ -270,7 +270,7 @@ class Module:
             )
         if self._slapo_meta.get("ckpt_unit") \
                 and fw_events.get_recorder() is not None:
-            with fw_events.layer_region():
+            with fw_events.layer_region(self):
                 output = self._run_forward(args, kwargs)
         else:
             output = self._run_forward(args, kwargs)

@@ -18,11 +18,27 @@ from .events import (
     trace_model,
 )
 from .kernel_cost import KernelCostModel
-from .memory import MemoryBreakdown, ModelStats, compute_model_stats, model_memory
+from .memory import (
+    MemoryBreakdown,
+    ModelStats,
+    compute_model_stats,
+    model_memory,
+    stage_inflight,
+)
+from .pipeline import (
+    PipelinePlan,
+    StageProfile,
+    even_cuts,
+    plan_pipeline_cuts,
+    stage_memory,
+    stage_profiles,
+    stage_step_times,
+)
 from .planner import (
     MICRO_BATCH_CANDIDATES,
     Plan,
     Prediction,
+    micro_batch_count_candidates,
     plan_micro_batch,
     predict_config,
 )
@@ -33,8 +49,11 @@ __all__ = [
     "trace_model",
     "CompiledTrace", "reprice_checkpoint_ratio",
     "KernelCostModel", "MemoryBreakdown", "ModelStats",
-    "compute_model_stats", "model_memory",
+    "compute_model_stats", "model_memory", "stage_inflight",
+    "StageProfile", "stage_profiles", "stage_step_times", "stage_memory",
+    "PipelinePlan", "plan_pipeline_cuts", "even_cuts",
     "StepBreakdown", "step_time", "throughput",
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
+    "micro_batch_count_candidates",
     "Prediction", "predict_config",
 ]

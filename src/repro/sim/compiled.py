@@ -53,6 +53,10 @@ class CompiledTrace:
     checkpoint_boundary: np.ndarray
     #: (group_tag, kind) -> (count of non-empty comms, summed bytes)
     comm_totals: dict[tuple[str, str], tuple[int, float]]
+    #: per-comm-event (group_tag, kind) keys, in recording order
+    comm_keys: tuple
+    #: per-comm-event payload bytes, in recording order
+    comm_bytes: np.ndarray
     #: median fp16/fp32 output size — the pipeline boundary tensor (ref batch)
     boundary_bytes: float
     #: widest op output (transient-workspace sizing), any dtype
@@ -62,10 +66,54 @@ class CompiledTrace:
     activation_bytes: float
     #: (KernelCostModel, batch_scale) -> (total, checkpointed) kernel seconds
     _time_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: lazily-built cumulative arrays for stage slicing (see ``cumulative``)
+    _cumulative: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_launches(self) -> int:
         return len(self.flops)
+
+    # -- cumulative views (stage slicing) ------------------------------- #
+    # A pipeline stage is a contiguous [start, end) op/comm range, so any
+    # per-stage aggregate is a difference of two prefix sums.  The arrays
+    # below are built once per trace, on first use; a planner sweeping
+    # O(L²·pp) candidate stage spans then prices each span in O(1).
+    def activation_cumsum(self) -> np.ndarray:
+        """Prefix sums (length n+1) of retained activation bytes per op."""
+        cached = self._cumulative.get("act")
+        if cached is None:
+            retained = self.is_float_act \
+                & ~(self.in_checkpoint & ~self.checkpoint_boundary)
+            per_op = np.where(retained, self.out_bytes * self.save_factor,
+                              0.0)
+            cached = np.concatenate(([0.0], np.cumsum(per_op)))
+            self._cumulative["act"] = cached
+        return cached
+
+    def comm_cumsums(self, tag: str) -> dict[str, tuple[np.ndarray,
+                                                        np.ndarray]]:
+        """Per-kind prefix sums of ``tag``-group collectives.
+
+        Returns ``{kind: (count_cum, bytes_cum)}`` where both arrays have
+        length ``num_comms + 1``; the count counts non-empty events (the
+        ones that pay the α latency term).
+        """
+        cached = self._cumulative.get(("comm", tag))
+        if cached is None:
+            cached = {}
+            for key in set(self.comm_keys):
+                if key[0] != tag:
+                    continue
+                mask = np.array([k == key for k in self.comm_keys],
+                                dtype=bool)
+                counts = np.where(mask & (self.comm_bytes > 0), 1.0, 0.0)
+                nbytes = np.where(mask, self.comm_bytes, 0.0)
+                cached[key[1]] = (
+                    np.concatenate(([0.0], np.cumsum(counts))),
+                    np.concatenate(([0.0], np.cumsum(nbytes))),
+                )
+            self._cumulative[("comm", tag)] = cached
+        return cached
 
     @classmethod
     def from_trace(cls, trace: ModelTrace) -> "CompiledTrace":
@@ -97,8 +145,12 @@ class CompiledTrace:
                 boundary_sizes.append(op.out_bytes)
 
         comm_totals: dict[tuple[str, str], tuple[int, float]] = {}
-        for comm in trace.comms:
+        comm_keys = []
+        comm_bytes = np.empty(len(trace.comms))
+        for j, comm in enumerate(trace.comms):
             key = (comm.group_tag, comm.kind)
+            comm_keys.append(key)
+            comm_bytes[j] = comm.bytes_moved
             count, total = comm_totals.get(key, (0, 0.0))
             if comm.bytes_moved > 0:
                 count += 1
@@ -115,6 +167,8 @@ class CompiledTrace:
             in_checkpoint=in_checkpoint,
             checkpoint_boundary=checkpoint_boundary,
             comm_totals=comm_totals,
+            comm_keys=tuple(comm_keys),
+            comm_bytes=comm_bytes,
             boundary_bytes=boundary,
             max_out_bytes=float(out_bytes.max()) if n else 0.0,
             total_flops=float(flops.sum()),

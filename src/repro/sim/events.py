@@ -58,6 +58,9 @@ class LayerSpan:
     op_end: int
     comm_start: int
     comm_end: int
+    #: parameter bytes of the unit's module (tied weights counted once per
+    #: unit) — lets the pipeline planner price per-stage memory exactly
+    param_bytes: float = 0.0
 
 
 @dataclass
@@ -123,6 +126,15 @@ class ModelTrace:
         return self.compiled().checkpointed_flops
 
 
+def _module_param_bytes(module) -> float:
+    """Parameter bytes of one layer unit (tied weights counted once)."""
+    if module is None or not hasattr(module, "parameters"):
+        return 0.0
+    from .memory import _param_bytes  # late import, avoids cycle
+
+    return _param_bytes(module)[0]
+
+
 def _nbytes(shape, dtype) -> float:
     n = 1
     for s in shape:
@@ -140,8 +152,8 @@ class TraceRecorder:
         self._checkpoint_depth = 0
         #: op index where the current outermost checkpoint region began
         self._checkpoint_start = 0
-        #: stack of open layer regions: (op index, comm index) at entry
-        self._layer_stack: list[tuple[int, int]] = []
+        #: stack of open layer regions: (op index, comm index, module)
+        self._layer_stack: list[tuple[int, int, object]] = []
 
     # -- framework hooks ------------------------------------------------ #
     def record_op(self, name, out_shape, dtype, flops, bytes_moved, meta):
@@ -209,17 +221,18 @@ class TraceRecorder:
             # The region's final output is the retained boundary tensor.
             self.trace.ops[-1].checkpoint_boundary = True
 
-    def begin_layer(self):
+    def begin_layer(self, module=None):
         self._layer_stack.append((len(self.trace.ops),
-                                  len(self.trace.comms)))
+                                  len(self.trace.comms), module))
 
     def end_layer(self):
-        op_start, comm_start = self._layer_stack.pop()
+        op_start, comm_start, module = self._layer_stack.pop()
         if self._layer_stack:
             return  # nested units collapse into the outermost span
         self.trace.layers.append(LayerSpan(
             op_start=op_start, op_end=len(self.trace.ops),
-            comm_start=comm_start, comm_end=len(self.trace.comms)))
+            comm_start=comm_start, comm_end=len(self.trace.comms),
+            param_bytes=_module_param_bytes(module)))
 
 
 #: fraction of the output tensor autograd retains, by op name

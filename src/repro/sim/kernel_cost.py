@@ -83,21 +83,8 @@ class KernelCostModel:
         stream = bytes_moved / (self.gpu.memory_bandwidth * self.hbm_eff)
         return stream + launch
 
-    def _op_time_sums(self, trace: ModelTrace, batch_scale: float
-                      ) -> tuple[float, float]:
-        """(total, checkpointed) kernel seconds over the whole trace.
-
-        Vectorized over the trace's :class:`~repro.sim.compiled
-        .CompiledTrace` columns — the same roofline as :meth:`op_time`
-        applied to every launch at once — and memoized per (cost model,
-        batch scale) on the compiled view, so a planner sweep prices each
-        micro-batch size exactly once.
-        """
-        compiled = trace.compiled()
-        key = (self, batch_scale)
-        cached = compiled._time_cache.get(key)
-        if cached is not None:
-            return cached
+    def _op_time_vector(self, compiled, batch_scale: float) -> np.ndarray:
+        """Per-launch kernel seconds — :meth:`op_time` over every column."""
         flops = compiled.flops * batch_scale
         stream = (compiled.bytes_moved * batch_scale
                   / (self.gpu.memory_bandwidth * self.hbm_eff))
@@ -116,8 +103,49 @@ class KernelCostModel:
             flash = np.maximum(flops / (peak * self.flash_eff), stream) \
                 + self.gpu.kernel_launch_overhead
             times = np.where(compiled.is_flash, flash, times)
+        return times
+
+    def _op_time_sums(self, trace: ModelTrace, batch_scale: float
+                      ) -> tuple[float, float]:
+        """(total, checkpointed) kernel seconds over the whole trace.
+
+        Vectorized over the trace's :class:`~repro.sim.compiled
+        .CompiledTrace` columns — the same roofline as :meth:`op_time`
+        applied to every launch at once — and memoized per (cost model,
+        batch scale) on the compiled view, so a planner sweep prices each
+        micro-batch size exactly once.
+        """
+        compiled = trace.compiled()
+        key = (self, batch_scale)
+        cached = compiled._time_cache.get(key)
+        if cached is not None:
+            return cached
+        times = self._op_time_vector(compiled, batch_scale)
         result = (float(times.sum()),
                   float(times[compiled.in_checkpoint].sum()))
+        compiled._time_cache[key] = result
+        return result
+
+    def op_time_cumsums(self, trace: ModelTrace, batch_scale: float = 1.0
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """(total, checkpointed) per-launch time prefix sums, length n+1.
+
+        A pipeline stage spanning ops ``[i, j)`` costs
+        ``cum[j] - cum[i]`` seconds forward; the checkpointed prefix sums
+        price its backward recompute the same way.  Memoized per
+        (cost model, batch scale) alongside the scalar sums.
+        """
+        compiled = trace.compiled()
+        key = ("cum", self, batch_scale)
+        cached = compiled._time_cache.get(key)
+        if cached is not None:
+            return cached
+        times = self._op_time_vector(compiled, batch_scale)
+        result = (
+            np.concatenate(([0.0], np.cumsum(times))),
+            np.concatenate(([0.0], np.cumsum(
+                np.where(compiled.in_checkpoint, times, 0.0)))),
+        )
         compiled._time_cache[key] = result
         return result
 

@@ -92,6 +92,49 @@ def model_stats_for(trace: ModelTrace, model: Module) -> ModelStats:
     return trace.stats
 
 
+def fixed_state_bytes(param_bytes: float, param_count: float,
+                      layer_count: int, zero_stage: int, dp_size: int
+                      ) -> tuple[float, float, float, float]:
+    """(params, grads, optimizer, ZeRO-working) bytes for one shard.
+
+    The single source of the mixed-precision AdamW + ZeRO accounting
+    (16 B/param total, stage 1 partitions optimizer state, stage 2 adds
+    gradients, stage 3 adds parameters with a 2-layer gathered working
+    set) — shared by the whole-model and per-pipeline-stage memory
+    models so their feasibility verdicts can never drift apart.
+    """
+    grad_bytes = param_bytes
+    # fp32 master + m + v for fp16 params; m + v for fp32 params = 16B/param
+    # total minus what params+grads already account for.
+    optimizer_bytes = param_count * 16.0 - param_bytes - grad_bytes
+    if zero_stage >= 1:
+        optimizer_bytes /= dp_size
+    if zero_stage >= 2:
+        grad_bytes /= dp_size
+    working = 0.0
+    if zero_stage >= 3:
+        # Parameters live sharded; one layer's worth is gathered at a time.
+        layer_params = param_bytes / max(layer_count, 1)
+        working += 2 * layer_params  # current + prefetched next layer
+        param_bytes /= dp_size
+    return param_bytes, grad_bytes, optimizer_bytes, working
+
+
+def stage_inflight(stage_index: int, num_stages: int,
+                   num_micro_batches: int) -> int:
+    """Peak in-flight forward activations held by one 1F1B pipeline stage.
+
+    Under 1F1B, stage ``s`` (0-indexed) warms up with ``p - s - 1``
+    forwards and then runs one more forward before its first backward
+    completes, so it holds up to ``p - s`` micro-batches of activations —
+    capped by the number of micro-batches actually in the step.  The
+    first stage is the memory bottleneck (``p`` in-flight), the last
+    holds exactly one.  Validated against the 1F1B tick schedule in
+    :mod:`repro.baselines.pipeline_runtime`.
+    """
+    return max(1, min(num_stages - stage_index, num_micro_batches))
+
+
 def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
                  zero_stage: int = 0, dp_size: int = 1,
                  num_pipeline_stages: int = 1,
@@ -103,23 +146,10 @@ def model_memory(model: Module, trace: ModelTrace, micro_batch: int,
     micro-batches (1F1B keeps up to ``pp`` alive on the first stage).
     """
     stats = model_stats_for(trace, model)
-    param_bytes = stats.param_bytes / num_pipeline_stages
-    param_count = stats.param_count / num_pipeline_stages
-    grad_bytes = param_bytes
-    # fp32 master + m + v for fp16 params; m + v for fp32 params = 16B/param
-    # total minus what params+grads already account for.
-    optimizer_bytes = param_count * 16.0 - param_bytes - grad_bytes
-
-    if zero_stage >= 1:
-        optimizer_bytes /= dp_size
-    if zero_stage >= 2:
-        grad_bytes /= dp_size
-    working = 0.0
-    if zero_stage >= 3:
-        # Parameters live sharded; one layer's worth is gathered at a time.
-        layer_params = param_bytes / max(stats.layer_count, 1)
-        working += 2 * layer_params  # current + prefetched next layer
-        param_bytes /= dp_size
+    param_bytes, grad_bytes, optimizer_bytes, working = fixed_state_bytes(
+        stats.param_bytes / num_pipeline_stages,
+        stats.param_count / num_pipeline_stages,
+        stats.layer_count, zero_stage, dp_size)
 
     act_scale = (micro_batch / trace.ref_batch) \
         * min(inflight_micro_batches, num_pipeline_stages)

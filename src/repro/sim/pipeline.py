@@ -1,0 +1,413 @@
+"""Stage-accurate pipeline pricing and cut planning (paper §3.3.2).
+
+A ``.pipeline_split()`` boundary always falls between two *layer units*
+(the modules ``checkpoint_layers`` marks ``ckpt_unit``), and a traced
+model records one :class:`~repro.sim.events.LayerSpan` per unit — so a
+pipeline partition is fully described by **cut points**: a strictly
+increasing tuple of layer counts, ``cuts[k]`` = number of leading layers
+placed before boundary ``k``.  Stage ``i`` of ``len(cuts) + 1`` then owns
+the contiguous op/comm range between its boundary layers, stage 0
+additionally owns everything before the first layer (embeddings), and the
+last stage everything after (pooler / LM head).
+
+This module slices a trace's :class:`~repro.sim.compiled.CompiledTrace`
+into per-stage sub-aggregates (:func:`stage_profiles`), prices each
+stage's compute, TP collectives, boundary sends and peak memory
+(:func:`stage_step_times`, :func:`stage_memory`), and searches cut
+placements with a dynamic program that minimizes the *bottleneck* stage
+time under per-stage memory budgets (:func:`plan_pipeline_cuts`) — the
+stage-imbalance-aware view Megatron-LM and OptPipe show matters beyond
+the ``(p-1)/(m+p-1)`` bubble.
+
+All aggregates are differences of prefix sums built once per trace
+(``CompiledTrace.activation_cumsum`` / ``comm_cumsums`` /
+``KernelCostModel.op_time_cumsums``), so the O(L²·pp) planner prices each
+candidate span in O(1) — the DP and the public per-stage helpers share
+one profile constructor and one steady-time formula, so they can never
+disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.distributed.mesh import ParallelConfig, axis_ranks
+from repro.distributed.topology import ClusterSpec
+
+from .events import ModelTrace
+from .kernel_cost import KernelCostModel
+from .memory import (
+    MemoryBreakdown,
+    fixed_state_bytes,
+    model_stats_for,
+    stage_inflight,
+)
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Per-stage sub-aggregates of one trace, at the reference batch."""
+
+    index: int
+    num_stages: int
+    #: layer-unit range [layer_start, layer_end) owned by this stage
+    layer_start: int
+    layer_end: int
+    #: op/comm index ranges (half-open) of the stage's slice of the trace
+    op_start: int
+    op_end: int
+    comm_start: int
+    comm_end: int
+    #: bytes of the activation tensor this stage sends to the next (the
+    #: actual cut-tensor size — not the trace-median heuristic); 0 for the
+    #: last stage
+    send_bytes: float
+    #: bytes of the activation tensor received from the previous stage
+    recv_bytes: float
+    #: retained activation bytes of this stage's ops
+    activation_bytes: float
+    #: parameter bytes (layer units exactly; the non-layer residual —
+    #: embeddings/head — is split evenly between first and last stage)
+    param_bytes: float
+    #: scalar parameter count (bytes scaled by the model's bytes/param)
+    param_count: float
+
+
+def validate_cuts(cuts: Sequence[int], num_layers: int) -> tuple[int, ...]:
+    """Check that ``cuts`` is a strictly increasing tuple inside (0, L)."""
+    cuts = tuple(int(c) for c in cuts)
+    if any(c <= 0 or c >= num_layers for c in cuts):
+        raise ValueError(
+            f"pipeline cuts must lie strictly inside (0, {num_layers}): "
+            f"{cuts}"
+        )
+    if any(b <= a for a, b in zip(cuts, cuts[1:])):
+        raise ValueError(f"pipeline cuts must strictly increase: {cuts}")
+    return cuts
+
+
+def even_cuts(num_layers: int, num_stages: int) -> tuple[int, ...]:
+    """The naive balanced-layer-count split (the planner's baseline)."""
+    if num_stages <= 1:
+        return ()
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot cut {num_layers} layers into {num_stages} stages"
+        )
+    return tuple(round(k * num_layers / num_stages)
+                 for k in range(1, num_stages))
+
+
+class _StageSlicer:
+    """Builds :class:`StageProfile` objects for arbitrary layer spans.
+
+    Holds the prefix sums a span profile needs (activation bytes, layer
+    parameter bytes) so each span costs O(1).  Shared by
+    :func:`stage_profiles` and the planner's DP — one constructor, one
+    set of attribution rules.
+    """
+
+    def __init__(self, trace: ModelTrace):
+        layers = trace.layers
+        if not layers:
+            raise ValueError(
+                "stage slicing needs a layer-marked trace (no LayerSpans "
+                "recorded; are the model's layer units tagged ckpt_unit?)"
+            )
+        self.trace = trace
+        self.layers = layers
+        self.num_layers = len(layers)
+        self.compiled = trace.compiled()
+        self.act_cum = self.compiled.activation_cumsum()
+        self.n_ops = len(trace.ops)
+        self.n_comms = len(trace.comms)
+        self.layer_param_cum = [0.0]
+        for span in layers:
+            self.layer_param_cum.append(self.layer_param_cum[-1]
+                                        + span.param_bytes)
+        stats = trace.stats
+        total_bytes = stats.param_bytes if stats is not None else 0.0
+        self.residual = max(total_bytes - self.layer_param_cum[-1], 0.0)
+        self.bytes_per_param = (
+            total_bytes / stats.param_count
+            if stats is not None and stats.param_count else 2.0)
+
+    def profile(self, lo: int, hi: int, index: int,
+                num_stages: int) -> StageProfile:
+        """The stage profile of layer span [lo, hi) at stage ``index``."""
+        layers, compiled = self.layers, self.compiled
+        op_start = 0 if index == 0 else layers[lo].op_start
+        op_end = self.n_ops if index == num_stages - 1 \
+            else layers[hi].op_start
+        comm_start = 0 if index == 0 else layers[lo].comm_start
+        comm_end = self.n_comms if index == num_stages - 1 \
+            else layers[hi].comm_start
+        send = 0.0 if index == num_stages - 1 or op_end == 0 \
+            else float(compiled.out_bytes[op_end - 1])
+        recv = 0.0 if index == 0 or op_start == 0 \
+            else float(compiled.out_bytes[op_start - 1])
+        params = self.layer_param_cum[hi] - self.layer_param_cum[lo]
+        if index == 0:
+            params += self.residual / 2
+        if index == num_stages - 1:
+            params += self.residual / 2
+        return StageProfile(
+            index=index, num_stages=num_stages,
+            layer_start=lo, layer_end=hi,
+            op_start=op_start, op_end=op_end,
+            comm_start=comm_start, comm_end=comm_end,
+            send_bytes=send, recv_bytes=recv,
+            activation_bytes=float(self.act_cum[op_end]
+                                   - self.act_cum[op_start]),
+            param_bytes=params,
+            param_count=params / self.bytes_per_param
+            if self.bytes_per_param else 0.0,
+        )
+
+
+def stage_profiles(trace: ModelTrace, cuts: Sequence[int]
+                   ) -> list[StageProfile]:
+    """Slice a layer-marked trace into per-stage sub-aggregates.
+
+    ``cuts`` are leading-layer counts (see module docstring); the
+    returned profiles partition the trace's ops and comms exactly.
+    """
+    slicer = _StageSlicer(trace)
+    cuts = validate_cuts(cuts, slicer.num_layers)
+    bounds = (0,) + cuts + (slicer.num_layers,)
+    num_stages = len(bounds) - 1
+    return [slicer.profile(bounds[i], bounds[i + 1], i, num_stages)
+            for i in range(num_stages)]
+
+
+@dataclass(frozen=True)
+class StageTime:
+    """Per-micro-batch seconds of one stage's slice of the step."""
+
+    forward: float
+    backward: float
+    tp_comm: float
+    pp_comm: float
+
+    @property
+    def steady(self) -> float:
+        return self.forward + self.backward + self.tp_comm + self.pp_comm
+
+
+class _StageTimer:
+    """Prices a stage profile's per-micro-batch steady time.
+
+    Built once per (trace, cluster, parallel, micro-batch, cost model):
+    kernel-time prefix sums, the α–β coefficients of every TP collective
+    kind (hoisted — they depend only on the rank group), and the P2P hop
+    stride are all precomputed, so pricing a span is O(kinds).
+    """
+
+    def __init__(self, trace: ModelTrace, cluster: ClusterSpec,
+                 parallel: ParallelConfig, micro_batch: int,
+                 cost_model: KernelCostModel | None = None,
+                 tp_ranks: tuple[int, ...] | None = None):
+        self.cost = cost_model or KernelCostModel(cluster.gpu)
+        self.cluster = cluster
+        self.scale = micro_batch / trace.ref_batch
+        self.time_cum, self.ckpt_cum = \
+            self.cost.op_time_cumsums(trace, self.scale)
+        if tp_ranks is None:
+            # same mesh layout DeviceMesh uses — never hand-rolled
+            tp_ranks = axis_ranks(0, parallel)["tp"]
+        if parallel.tp > 1:
+            self.comm_cums = trace.compiled().comm_cumsums("tp")
+            self.coeffs = {
+                kind: cluster.collective_coeffs(kind, tp_ranks)
+                for kind in self.comm_cums
+            }
+        else:
+            self.comm_cums, self.coeffs = {}, {}
+        #: adjacent pipeline stages sit tp·dp ranks apart (Megatron layout)
+        self.hop_stride = parallel.tp * parallel.dp
+
+    def stage_time(self, p: StageProfile) -> StageTime:
+        fwd = float(self.time_cum[p.op_end] - self.time_cum[p.op_start])
+        recompute = float(self.ckpt_cum[p.op_end]
+                          - self.ckpt_cum[p.op_start])
+        bwd = fwd * self.cost.backward_multiplier + recompute
+        tp_comm = 0.0
+        for kind, (count_cum, bytes_cum) in self.comm_cums.items():
+            count = count_cum[p.comm_end] - count_cum[p.comm_start]
+            if count == 0:
+                continue
+            alpha, beta = self.coeffs[kind]
+            nbytes = (bytes_cum[p.comm_end] - bytes_cum[p.comm_start]) \
+                * self.scale
+            tp_comm += count * alpha + beta * nbytes
+        tp_comm *= 2  # each forward collective has a backward twin
+        #: fwd activation send/recv + the matching bwd gradient traffic
+        pp_comm = 2 * (
+            self.cluster.p2p_time(p.send_bytes * self.scale, 0,
+                                  self.hop_stride)
+            + self.cluster.p2p_time(p.recv_bytes * self.scale, 0,
+                                    self.hop_stride))
+        return StageTime(forward=fwd, backward=bwd, tp_comm=tp_comm,
+                         pp_comm=pp_comm)
+
+
+def stage_step_times(trace: ModelTrace, profiles: Sequence[StageProfile],
+                     cluster: ClusterSpec, parallel: ParallelConfig,
+                     micro_batch: int,
+                     cost_model: KernelCostModel | None = None,
+                     tp_ranks: tuple[int, ...] | None = None
+                     ) -> list[StageTime]:
+    """Price each stage's per-micro-batch compute, TP comm and P2P sends."""
+    timer = _StageTimer(trace, cluster, parallel, micro_batch, cost_model,
+                        tp_ranks)
+    return [timer.stage_time(p) for p in profiles]
+
+
+def stage_memory(trace: ModelTrace, profile: StageProfile, micro_batch: int,
+                 num_micro_batches: int, zero_stage: int = 0,
+                 dp_size: int = 1) -> MemoryBreakdown:
+    """Peak memory of the GPU holding one pipeline stage.
+
+    Mirrors :func:`repro.sim.memory.model_memory` but with the stage's
+    *actual* parameter/activation slice and the 1F1B per-stage in-flight
+    count (stage ``s`` holds up to ``pp - s`` micro-batches of
+    activations, not a flat ``min(inflight, pp)``).
+    """
+    param_bytes, grad_bytes, optimizer_bytes, working = fixed_state_bytes(
+        profile.param_bytes, profile.param_count,
+        profile.layer_end - profile.layer_start, zero_stage, dp_size)
+
+    scale = micro_batch / trace.ref_batch
+    inflight = stage_inflight(profile.index, profile.num_stages,
+                              num_micro_batches)
+    activations = profile.activation_bytes * scale * inflight
+    working += trace.compiled().max_out_bytes * scale * 2
+    return MemoryBreakdown(params=param_bytes, grads=grad_bytes,
+                           optimizer=optimizer_bytes,
+                           activations=activations, workspace=working)
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """The cut placement chosen by :func:`plan_pipeline_cuts`."""
+
+    cuts: tuple[int, ...]
+    #: per-micro-batch steady seconds of each stage
+    stage_times: tuple[float, ...]
+    #: index of the slowest (bottleneck) stage
+    bottleneck: int
+    #: does every stage fit its memory budget?
+    fits: bool
+    #: the worst stage's peak memory (bytes)
+    peak_memory: float
+
+    @property
+    def bottleneck_time(self) -> float:
+        return self.stage_times[self.bottleneck]
+
+
+def plan_pipeline_cuts(trace: ModelTrace, model, cluster: ClusterSpec,
+                       parallel: ParallelConfig, micro_batch: int = 1,
+                       num_micro_batches: int | None = None,
+                       zero_stage: int = 0,
+                       cost_model: KernelCostModel | None = None
+                       ) -> PipelinePlan | None:
+    """Choose cut points minimizing the bottleneck stage's steady time.
+
+    Classic contiguous-partition DP: ``f[k][j]`` = the best achievable
+    max-stage-time covering the first ``j`` layer units with ``k``
+    stages, where a stage is only admissible if its peak memory (with
+    its 1F1B in-flight count) fits the GPU.  If no placement fits, the
+    unconstrained optimum is returned with ``fits=False`` so callers can
+    still report the least-bad split.  Returns ``None`` when the trace
+    has no layer spans or fewer layers than stages.
+
+    Segment admissibility and cost go through the same
+    :class:`StageProfile` / :func:`stage_memory` / steady-time helpers
+    the rest of the module exposes, so the DP's view of a stage is the
+    planner's view by construction.
+    """
+    pp = parallel.pp
+    num_layers = len(trace.layers)
+    if pp <= 1 or num_layers < pp:
+        return None
+    model_stats_for(trace, model)  # pin statics before slicing params
+    m = num_micro_batches if num_micro_batches is not None else pp
+    budget = cluster.gpu.usable_memory
+    # Planner sweeps call this once per (micro, m) candidate; the DP and
+    # its result are pure functions of the arguments, so memoize on the
+    # trace's compiled view (which lives and dies with the trace).
+    cost_key = cost_model if cost_model is not None else cluster.gpu
+    cache_key = ("plan", cluster, parallel, micro_batch, m, zero_stage,
+                 cost_key)
+    cache = trace.compiled()._cumulative
+    if cache_key in cache:
+        return cache[cache_key]
+
+    slicer = _StageSlicer(trace)
+    timer = _StageTimer(trace, cluster, parallel, micro_batch, cost_model)
+
+    def span_time(i: int, j: int, stage_index: int) -> float:
+        return timer.stage_time(slicer.profile(i, j, stage_index,
+                                               pp)).steady
+
+    def span_fits(i: int, j: int, stage_index: int) -> bool:
+        profile = slicer.profile(i, j, stage_index, pp)
+        return stage_memory(trace, profile, micro_batch, m, zero_stage,
+                            parallel.dp).total <= budget
+
+    INF = float("inf")
+
+    def solve(constrained: bool) -> tuple[int, ...] | None:
+        # f[j] after k segments = best max-time covering layers [0, j)
+        f = [INF] * (num_layers + 1)
+        choice: list[list[int]] = [[-1] * (num_layers + 1)
+                                   for _ in range(pp)]
+        f[0] = 0.0
+        prev = f
+        for k in range(pp):
+            cur = [INF] * (num_layers + 1)
+            # segment k covers [i, j); the last segment must end at L and
+            # every later segment still needs at least one layer
+            j_range = range(k + 1, num_layers - (pp - 1 - k) + 1) \
+                if k < pp - 1 else (num_layers,)
+            for j in j_range:
+                for i in range(k, j):  # earlier segments need ≥1 layer each
+                    if prev[i] == INF:
+                        continue
+                    if constrained and not span_fits(i, j, k):
+                        continue
+                    value = max(prev[i], span_time(i, j, k))
+                    if value < cur[j]:
+                        cur[j] = value
+                        choice[k][j] = i
+            prev = cur
+        if prev[num_layers] == INF:
+            return None
+        cuts = []
+        j = num_layers
+        for k in reversed(range(pp)):
+            i = choice[k][j]
+            if k > 0:
+                cuts.append(i)
+            j = i
+        return tuple(reversed(cuts))
+
+    def evaluate(cuts: tuple[int, ...]) -> PipelinePlan:
+        profiles = stage_profiles(trace, cuts)
+        steady = tuple(timer.stage_time(p).steady for p in profiles)
+        peaks = [stage_memory(trace, p, micro_batch, m, zero_stage,
+                              parallel.dp).total for p in profiles]
+        bottleneck = max(range(pp), key=lambda i: steady[i])
+        return PipelinePlan(cuts=cuts, stage_times=steady,
+                            bottleneck=bottleneck,
+                            fits=max(peaks) <= budget,
+                            peak_memory=max(peaks))
+
+    cuts = solve(constrained=True)
+    if cuts is None:
+        cuts = solve(constrained=False)
+    plan = evaluate(cuts) if cuts is not None else None
+    cache[cache_key] = plan
+    return plan

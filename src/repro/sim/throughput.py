@@ -12,13 +12,23 @@ samples.  The step time composes:
 * data-parallel gradient all-reduce (overlapped with backward),
 * the pipeline bubble ``(pp-1)/(m+pp-1)``,
 * the optimizer update.
+
+Pipelines are priced two ways.  Without cut points the model is assumed
+to split uniformly (compute, params and activations all ``/pp`` — the
+pre-stage-accurate behaviour, kept for parallelism-agnostic estimates).
+With ``pipeline_cuts`` (leading-layer counts, see
+:mod:`repro.sim.pipeline`) the step is priced off the **bottleneck
+stage**'s actual slice of the trace: its compute, its TP collectives,
+its parameters, and the true cut-tensor bytes crossing its boundaries —
+stage *imbalance*, not just the bubble, then shows up in the estimate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.distributed.mesh import ParallelConfig
+from repro.distributed.mesh import ParallelConfig, axis_ranks
 from repro.distributed.topology import ClusterSpec
 
 from .events import ModelTrace
@@ -52,23 +62,42 @@ class StepBreakdown:
 
 def _axis_ranks(cluster: ClusterSpec, parallel: ParallelConfig, axis: str
                 ) -> tuple[int, ...]:
-    """Representative rank set for one mesh axis (rank 0's group)."""
-    tp, dp, pp = parallel.tp, parallel.dp, parallel.pp
-    if axis == "tp":
-        return tuple(range(tp))
-    if axis == "dp":
-        return tuple(j * tp for j in range(dp))
-    return tuple(k * tp * dp for k in range(pp))
+    """Representative rank set for one mesh axis (rank 0's group).
+
+    Derived from the same :func:`repro.distributed.mesh.axis_ranks`
+    helper that lays out :class:`~repro.distributed.mesh.DeviceMesh`
+    groups, so simulator pricing and the functional runtime agree by
+    construction.
+    """
+    return axis_ranks(0, parallel)[axis]
 
 
 def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
               parallel: ParallelConfig, micro_batch: int,
               zero_stage: int = 0, num_micro_batches: int = 1,
-              cost_model: KernelCostModel | None = None) -> StepBreakdown:
-    """Seconds per optimizer step for one pipeline stage's GPU."""
+              cost_model: KernelCostModel | None = None,
+              pipeline_cuts: Sequence[int] | None = None) -> StepBreakdown:
+    """Seconds per optimizer step for one pipeline stage's GPU.
+
+    With ``pipeline_cuts`` set (and ``pp > 1``), the bottleneck stage is
+    priced from its actual trace slice; otherwise the legacy uniform
+    ``/pp`` estimate is used.
+    """
     cost = cost_model or KernelCostModel(cluster.gpu)
     scale = micro_batch / trace.ref_batch
     pp = parallel.pp
+    if isinstance(pipeline_cuts, str):
+        raise ValueError(
+            f"step_time/throughput take concrete cut points, got "
+            f"{pipeline_cuts!r}; \"auto\" cut planning is resolved by "
+            f"predict_config/plan_micro_batch (or call "
+            f"repro.sim.plan_pipeline_cuts yourself and pass plan.cuts)"
+        )
+    if pp > 1 and pipeline_cuts:
+        return _staged_step_time(trace, model, cluster, parallel,
+                                 micro_batch, zero_stage,
+                                 num_micro_batches, cost,
+                                 tuple(pipeline_cuts))
     breakdown = StepBreakdown()
 
     # -- compute (per micro-batch, per stage) --------------------------- #
@@ -98,6 +127,26 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     stats = model_stats_for(trace, model)
     param_bytes = stats.param_bytes / pp
     param_count = stats.param_count / pp
+    _shared_step_terms(breakdown, cluster, parallel, param_bytes,
+                       param_count, zero_stage, cost)
+
+    # -- pipeline: stage boundary sends + bubble ------------------------ #
+    if pp > 1:
+        boundary = _boundary_bytes(trace, scale)
+        hop = cluster.p2p_time(boundary, 0, parallel.tp * parallel.dp)
+        breakdown.pp_comm = 2 * hop * num_micro_batches  # fwd + bwd
+        steady = (breakdown.forward + breakdown.backward
+                  + breakdown.tp_comm + breakdown.pp_comm)
+        breakdown.bubble = steady * (pp - 1) / max(num_micro_batches, 1)
+    return breakdown
+
+
+def _shared_step_terms(breakdown: StepBreakdown, cluster: ClusterSpec,
+                       parallel: ParallelConfig, param_bytes: float,
+                       param_count: float, zero_stage: int,
+                       cost: KernelCostModel) -> None:
+    """ZeRO / DP gradient traffic and the optimizer update, for one
+    stage's local parameter shard."""
     if zero_stage >= 3 and parallel.dp > 1:
         dp_ranks = _axis_ranks(cluster, parallel, "dp")
         gather = cluster.all_gather_time(param_bytes, dp_ranks)
@@ -112,21 +161,47 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
             comm * (1 - DP_OVERLAP),
             comm - breakdown.backward * DP_OVERLAP,
         )
-
-    # -- pipeline: stage boundary sends + bubble ------------------------ #
-    if pp > 1:
-        boundary = _boundary_bytes(trace, scale)
-        hop = cluster.p2p_time(boundary, 0, parallel.tp * parallel.dp)
-        breakdown.pp_comm = 2 * hop * num_micro_batches  # fwd + bwd
-        steady = (breakdown.forward + breakdown.backward
-                  + breakdown.tp_comm + breakdown.pp_comm)
-        breakdown.bubble = steady * (pp - 1) / max(num_micro_batches, 1)
-
-    # -- optimizer ------------------------------------------------------- #
     opt_params = param_count
     if zero_stage >= 1 and parallel.dp > 1:
         opt_params /= parallel.dp
     breakdown.optimizer = cost.optimizer_time(opt_params)
+
+
+def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
+                      parallel: ParallelConfig, micro_batch: int,
+                      zero_stage: int, num_micro_batches: int,
+                      cost: KernelCostModel, cuts: tuple[int, ...]
+                      ) -> StepBreakdown:
+    """Stage-accurate pricing: the bottleneck stage paces the pipeline."""
+    from .pipeline import stage_profiles, stage_step_times
+
+    model_stats_for(trace, model)
+    profiles = stage_profiles(trace, cuts)
+    if len(profiles) != parallel.pp:
+        raise ValueError(
+            f"{len(cuts)} pipeline cuts make {len(profiles)} stages but "
+            f"the parallel config has pp={parallel.pp}"
+        )
+    tp_ranks = _axis_ranks(cluster, parallel, "tp")
+    times = stage_step_times(trace, profiles, cluster, parallel,
+                             micro_batch, cost, tp_ranks=tp_ranks)
+    steady = [t.steady for t in times]
+    b = max(range(len(steady)), key=lambda i: steady[i])
+    m = num_micro_batches
+    breakdown = StepBreakdown()
+    breakdown.forward = times[b].forward * m
+    breakdown.backward = times[b].backward * m
+    breakdown.tp_comm = times[b].tp_comm * m
+    breakdown.pp_comm = times[b].pp_comm * m
+    _shared_step_terms(breakdown, cluster, parallel,
+                       profiles[b].param_bytes, profiles[b].param_count,
+                       zero_stage, cost)
+    steady_step = (breakdown.forward + breakdown.backward
+                   + breakdown.tp_comm + breakdown.pp_comm)
+    breakdown.bubble = steady_step * (parallel.pp - 1) / max(m, 1)
+    breakdown.detail["stage_times"] = tuple(steady)
+    breakdown.detail["bottleneck_stage"] = b
+    breakdown.detail["pipeline_cuts"] = cuts
     return breakdown
 
 
@@ -135,7 +210,9 @@ def _boundary_bytes(trace: ModelTrace, scale: float) -> float:
 
     The median float-op output size is folded into the trace's
     :class:`~repro.sim.compiled.CompiledTrace` once, instead of re-sorting
-    the op sizes on every call.
+    the op sizes on every call.  Used only on the uniform (cut-less)
+    path; with cut points the *actual* boundary tensor is priced (see
+    :mod:`repro.sim.pipeline`).
     """
     return trace.compiled().boundary_bytes * scale
 
@@ -143,9 +220,11 @@ def _boundary_bytes(trace: ModelTrace, scale: float) -> float:
 def throughput(trace: ModelTrace, model, cluster: ClusterSpec,
                parallel: ParallelConfig, micro_batch: int,
                zero_stage: int = 0, num_micro_batches: int = 1,
-               cost_model: KernelCostModel | None = None) -> float:
+               cost_model: KernelCostModel | None = None,
+               pipeline_cuts: Sequence[int] | None = None) -> float:
     """Training throughput in samples/second."""
     breakdown = step_time(trace, model, cluster, parallel, micro_batch,
-                          zero_stage, num_micro_batches, cost_model)
+                          zero_stage, num_micro_batches, cost_model,
+                          pipeline_cuts=pipeline_cuts)
     samples = parallel.dp * micro_batch * num_micro_batches
     return samples / breakdown.total

@@ -67,6 +67,11 @@ def partition_pipeline(root: Module, cuts: list[str]) -> list[GraphModule]:
     """Partition ``root`` into ``len(cuts) + 1`` sequential stage modules."""
     if not cuts:
         raise SchedulingError("no .pipeline_split() annotations present")
+    if len(set(cuts)) != len(cuts):
+        raise SchedulingError(
+            f"duplicate pipeline cut annotations: {cuts!r} (each module "
+            f"boundary may be cut once)"
+        )
     tracer = _CutAwareTracer(cuts)
     graph = tracer.trace(root)
     gm = GraphModule(root, graph, class_name=f"{type(root).__name__}Pipeline")
@@ -79,7 +84,20 @@ def partition_pipeline(root: Module, cuts: list[str]) -> list[GraphModule]:
                 f"pipeline cut {cut!r} did not appear in the traced graph; "
                 f"is it reachable from the root forward?"
             )
-        boundary_nodes.append(candidates[-1])
+        if len(candidates) > 1:
+            # A module invoked from several call sites has no single
+            # "after this module" point — cutting after an arbitrary call
+            # (the old behaviour took the last) garbles the stage bodies.
+            raise SchedulingError(
+                f"pipeline cut {cut!r} has {len(candidates)} call sites in "
+                f"the traced graph; a stage boundary needs a module that "
+                f"runs exactly once per forward"
+            )
+        boundary_nodes.append(candidates[0])
+    # Cuts may be annotated in any order; stages must follow *execution*
+    # order, so sort the boundaries by graph position before splitting.
+    position = {id(n): idx for idx, n in enumerate(gm.graph)}
+    boundary_nodes.sort(key=lambda n: position[id(n)])
     return split_graph_module(gm, boundary_nodes)
 
 

@@ -14,7 +14,13 @@ from .cost_model import (
     SimCostModel,
     as_cost_model,
 )
-from .space import Space, SpaceError, enumerate_space, symbol_values
+from .space import (
+    Space,
+    SpaceError,
+    enumerate_space,
+    parallelism_symbols,
+    symbol_values,
+)
 from .tuner import (
     SECONDS_PER_FAILED_TRIAL,
     SECONDS_PER_TRIAL,
@@ -26,6 +32,7 @@ from .tuner import (
 
 __all__ = [
     "Space", "SpaceError", "enumerate_space", "symbol_values",
+    "parallelism_symbols",
     "AutoTuner", "Trial", "TuneResult", "TuneReport",
     "CostModel", "CostEstimate", "SimCostModel", "CallableCostModel",
     "as_cost_model",

@@ -105,7 +105,17 @@ class SimCostModel(CostModel):
         the data-parallel degree; when neither is available the planner
         sweeps micro-batch candidates itself.
     zero_stage / num_micro_batches / kernel_cost:
-        Forwarded to :func:`repro.sim.predict_config`.
+        Forwarded to :func:`repro.sim.predict_config`.  A
+        ``num_micro_batches`` key in the config (e.g. declared by
+        :func:`repro.slapo.tuner.space.parallelism_symbols`) overrides
+        the fixed default, so the micro-batch count can be a search
+        coordinate alongside ``pp``.
+    pipeline_cuts:
+        Forwarded to :func:`repro.sim.predict_config`; the default
+        ``"auto"`` runs the stage-balancing cut planner whenever the
+        resolved parallelism has ``pp > 1`` and the trace carries layer
+        marks, so pipelined configs are priced off their bottleneck
+        stage rather than a uniform ``/pp`` slice.
     trace_key_fn:
         ``trace_key_fn(config) -> hashable`` memoization key for
         ``trace_fn``.  Defaults to the full config, i.e. one trace per
@@ -121,7 +131,8 @@ class SimCostModel(CostModel):
                  zero_stage: int = 0,
                  num_micro_batches: int = 1,
                  kernel_cost: KernelCostModel | None = None,
-                 trace_key_fn: Callable[[dict], object] | None = None):
+                 trace_key_fn: Callable[[dict], object] | None = None,
+                 pipeline_cuts="auto"):
         self._trace_fn = trace_fn
         self.cluster = cluster
         self._parallel = parallel
@@ -129,6 +140,7 @@ class SimCostModel(CostModel):
         self.zero_stage = zero_stage
         self.num_micro_batches = num_micro_batches
         self.kernel_cost = kernel_cost
+        self.pipeline_cuts = pipeline_cuts
         self._trace_key_fn = trace_key_fn
         self._traces: dict = {}
         self._estimates: dict[tuple, CostEstimate] = {}
@@ -136,6 +148,36 @@ class SimCostModel(CostModel):
         self.num_estimates = 0
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def parallel_fn(world_size: int) -> Callable[[dict], ParallelConfig]:
+        """A ``parallel`` resolver reading tp/dp/pp search coordinates.
+
+        Missing axes are inferred: with two of the three given the third
+        is the co-factor of ``world_size``; with only ``tp``/``pp`` given
+        the leftover becomes data parallelism.  A config whose axes do
+        not factor ``world_size`` raises ``ValueError`` (the tuner treats
+        that as an infeasible trial).  Pair with
+        :func:`repro.slapo.tuner.space.parallelism_symbols`, which only
+        ever emits exact factorizations.
+        """
+        def resolve(config: dict) -> ParallelConfig:
+            tp = int(config.get("tp", 1))
+            pp = int(config.get("pp", 1))
+            if "dp" in config:
+                dp = int(config["dp"])
+            else:
+                if world_size % (tp * pp) != 0:
+                    raise ValueError(
+                        f"tp={tp} × pp={pp} does not divide world size "
+                        f"{world_size}"
+                    )
+                dp = world_size // (tp * pp)
+            parallel = ParallelConfig(tp=tp, dp=dp, pp=pp)
+            parallel.validate(world_size)
+            return parallel
+
+        return resolve
+
     def _resolve_parallel(self, config: dict) -> ParallelConfig:
         if callable(self._parallel):
             return self._parallel(config)
@@ -168,14 +210,22 @@ class SimCostModel(CostModel):
         if key in self._estimates:
             return self._estimates[key]
         self.num_estimates += 1
-        parallel = self._resolve_parallel(config)
+        try:
+            parallel = self._resolve_parallel(config)
+        except ValueError:
+            estimate = CostEstimate(throughput=0.0, fits=False)
+            self._estimates[key] = estimate
+            return estimate
         micro = self._resolve_micro_batch(config, parallel)
+        num_micro = int(config.get("num_micro_batches",
+                                   self.num_micro_batches))
         model, trace = self._traced(config)
         prediction = predict_config(
             trace, model, self.cluster, parallel, micro,
             zero_stage=self.zero_stage,
-            num_micro_batches=self.num_micro_batches,
+            num_micro_batches=num_micro,
             cost_model=self.kernel_cost,
+            pipeline_cuts=self.pipeline_cuts,
         )
         estimate = CostEstimate(throughput=prediction.throughput,
                                 fits=prediction.fits,

@@ -86,6 +86,42 @@ def enumerate_space(update_fn: Callable[[Space], object]
     return complete
 
 
+def _divisors(n: int) -> list[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def parallelism_symbols(space: Space, world_size: int,
+                        max_tp: int | None = None,
+                        max_pp: int | None = None,
+                        min_micro_batches: tuple[int, ...] = (1, 2, 4, 8),
+                        ) -> tuple[int, int, int]:
+    """Declare a ``tp``/``pp``/``dp`` mesh factorization as search symbols.
+
+    The three axes are declared *conditionally* (the polygon-space pattern
+    of paper Fig. 6): ``pp`` candidates depend on the chosen ``tp``, and
+    ``dp`` is the forced co-factor — so enumeration yields exactly the
+    factorizations ``tp·dp·pp = world_size``, never an invalid mesh.
+    With ``pp > 1`` a ``num_micro_batches`` symbol is also declared
+    (multiples of ``pp``, from ``min_micro_batches``), since a pipeline
+    is only fillable with at least one micro-batch per stage.
+
+    Returns the chosen ``(tp, dp, pp)`` for this trial.
+    """
+    tp_candidates = _divisors(world_size)
+    if max_tp is not None:
+        tp_candidates = [t for t in tp_candidates if t <= max_tp]
+    tp = space.create_symbol("tp", tp_candidates)
+    pp_candidates = _divisors(world_size // tp)
+    if max_pp is not None:
+        pp_candidates = [p for p in pp_candidates if p <= max_pp]
+    pp = space.create_symbol("pp", pp_candidates)
+    dp = space.create_symbol("dp", [world_size // (tp * pp)])
+    if pp > 1:
+        space.create_symbol("num_micro_batches",
+                            [pp * f for f in min_micro_batches])
+    return tp, dp, pp
+
+
 def symbol_values(update_fn: Callable[[Space], object], name: str
                   ) -> list:
     """The union of candidate values symbol ``name`` takes across branches."""

@@ -120,6 +120,28 @@ class TestZeroOptimizer:
             ZeroOptimizer(_TwoLayer(), SingleGroup(), stage=4)
 
 
+class TestSlapoPPEvaluator:
+    def test_supported_family_reports_cuts_and_validates_partition(self):
+        """validate_partition=True drives .pipeline_split() → build() at
+        the planned cuts and checks the stage count end to end."""
+        from repro.baselines import evaluate_slapo_pp
+        from repro.distributed import P3DN_NODE
+
+        result = evaluate_slapo_pp("GPT", P3DN_NODE, 8,
+                                   validate_partition=True)
+        assert result.supported
+        assert result.throughput > 0
+        assert result.pipeline_cuts  # stage-accurate pricing was used
+        assert result.num_micro_batches >= 2  # pipeline is filled
+
+    def test_unsupported_families(self):
+        from repro.baselines import evaluate_slapo_pp
+        from repro.distributed import P3DN_NODE
+
+        for family in ("T5", "WideResNet"):
+            assert not evaluate_slapo_pp(family, P3DN_NODE, 8).supported
+
+
 class TestPipelineRuntime:
     def test_schedules_cover_all_work(self):
         for maker in (gpipe_schedule, one_f_one_b_schedule):

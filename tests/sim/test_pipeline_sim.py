@@ -1,0 +1,307 @@
+"""Stage-accurate pipeline simulation: slicing, planning, consistency.
+
+Covers the §3.3.2 planning dimension end to end: per-stage trace
+sub-aggregates, bottleneck-stage pricing vs the old uniform ``/pp``
+estimate, the cut-balancing DP, the ``m ≥ pp`` fillability rule on every
+planner path, per-stage 1F1B in-flight accounting validated against the
+runtime's tick schedule, and the mesh/simulator rank-group agreement.
+"""
+
+import pytest
+
+import repro.slapo as slapo
+from repro.baselines import one_f_one_b_schedule
+from repro.distributed import P3DN_NODE, DeviceMesh, ParallelConfig, axis_ranks
+from repro.models import MODEL_ZOO, data
+from repro.schedules import SCHEDULES
+from repro.sim import (
+    even_cuts,
+    plan_micro_batch,
+    plan_pipeline_cuts,
+    predict_config,
+    stage_inflight,
+    stage_memory,
+    stage_profiles,
+    stage_step_times,
+    step_time,
+    throughput,
+    trace_model,
+)
+from repro.sim.throughput import _axis_ranks as sim_axis_ranks
+
+
+@pytest.fixture(scope="module")
+def gpt_trace():
+    """A layer-marked GPT trace (the schedule tags every block ckpt_unit)."""
+    cls, config = MODEL_ZOO["GPT"]
+    model = cls(config, device="meta")
+    sch = slapo.create_schedule(model)
+    SCHEDULES["GPT"](sch, config, ckpt_ratio=0.0, use_tp=False)
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    return model, trace_model(model, ids)
+
+
+PP2 = ParallelConfig(tp=4, pp=2)
+
+
+class TestStageProfiles:
+    def test_profiles_partition_the_trace(self, gpt_trace):
+        model, trace = gpt_trace
+        num_layers = len(trace.layers)
+        profiles = stage_profiles(trace, (num_layers // 3,
+                                          2 * num_layers // 3))
+        assert profiles[0].op_start == 0
+        assert profiles[-1].op_end == len(trace.ops)
+        for a, b in zip(profiles, profiles[1:]):
+            assert a.op_end == b.op_start
+            assert a.comm_end == b.comm_start
+            # the tensor stage a sends is exactly what stage b receives
+            assert a.send_bytes == b.recv_bytes
+
+    def test_aggregates_sum_to_trace_totals(self, gpt_trace):
+        model, trace = gpt_trace
+        profiles = stage_profiles(trace, even_cuts(len(trace.layers), 4))
+        total_act = sum(p.activation_bytes for p in profiles)
+        assert total_act == pytest.approx(trace.activation_bytes(),
+                                          rel=1e-9)
+        total_params = sum(p.param_bytes for p in profiles)
+        assert total_params == pytest.approx(trace.stats.param_bytes,
+                                             rel=1e-9)
+
+    def test_boundary_is_actual_cut_tensor_not_median(self, gpt_trace):
+        """The cut tensor is the hidden state at the boundary op, read
+        from the trace — not the median-op-size heuristic."""
+        model, trace = gpt_trace
+        cut = len(trace.layers) // 2
+        profiles = stage_profiles(trace, (cut,))
+        boundary_op = profiles[1].op_start
+        assert profiles[0].send_bytes == \
+            float(trace.compiled().out_bytes[boundary_op - 1])
+        assert profiles[0].send_bytes > 0
+
+    def test_bad_cuts_rejected(self, gpt_trace):
+        model, trace = gpt_trace
+        num_layers = len(trace.layers)
+        with pytest.raises(ValueError, match="strictly"):
+            stage_profiles(trace, (0,))
+        with pytest.raises(ValueError, match="strictly"):
+            stage_profiles(trace, (num_layers,))
+        with pytest.raises(ValueError, match="increase"):
+            stage_profiles(trace, (8, 4))
+
+    def test_unmarked_trace_rejected(self):
+        cls, config = MODEL_ZOO["BERT"]
+        model = cls(config, device="meta")  # no schedule → no layer marks
+        ids, _ = data.lm_batch(config, 1, device="meta")
+        trace = trace_model(model, ids)
+        with pytest.raises(ValueError, match="layer-marked"):
+            stage_profiles(trace, (2,))
+
+
+class TestStageAccurateStepTime:
+    def test_imbalanced_split_differs_from_uniform_estimate(self,
+                                                            gpt_trace):
+        """Acceptance: a lopsided 2-stage split's bottleneck pricing must
+        not collapse to the uniform compute/pp guess."""
+        model, trace = gpt_trace
+        lopsided = (len(trace.layers) // 4,)
+        uniform = step_time(trace, model, P3DN_NODE, PP2, 1,
+                            num_micro_batches=8)
+        staged = step_time(trace, model, P3DN_NODE, PP2, 1,
+                           num_micro_batches=8, pipeline_cuts=lopsided)
+        assert staged.total != pytest.approx(uniform.total, rel=1e-3)
+        # the heavy stage (3/4 of the layers + LM head) is the bottleneck
+        assert staged.detail["bottleneck_stage"] == 1
+        times = staged.detail["stage_times"]
+        assert times[1] > times[0]
+
+    def test_stage_times_sum_close_to_whole_model(self, gpt_trace):
+        """Per-stage forward/backward slices must add up to the whole
+        trace's compute (they are a partition of the same op list)."""
+        from repro.sim import KernelCostModel
+
+        model, trace = gpt_trace
+        cost = KernelCostModel(P3DN_NODE.gpu)
+        profiles = stage_profiles(trace, even_cuts(len(trace.layers), 2))
+        times = stage_step_times(trace, profiles, P3DN_NODE, PP2, 1, cost)
+        assert sum(t.forward for t in times) == pytest.approx(
+            cost.forward_time(trace, 1.0), rel=1e-9)
+        assert sum(t.backward for t in times) == pytest.approx(
+            cost.backward_time(trace, 1.0), rel=1e-9)
+
+    def test_cut_count_must_match_pp(self, gpt_trace):
+        model, trace = gpt_trace
+        with pytest.raises(ValueError, match="pp="):
+            step_time(trace, model, P3DN_NODE, PP2, 1,
+                      num_micro_batches=8, pipeline_cuts=(4, 8, 12))
+
+
+class TestCutPlanner:
+    def test_planner_beats_naive_even_split(self, gpt_trace):
+        """Acceptance: the DP recovers a balanced split that out-runs the
+        even-layer split (GPT's LM head makes the last stage heavier)."""
+        model, trace = gpt_trace
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, 1, 8)
+        even = even_cuts(len(trace.layers), 2)
+        assert plan is not None and plan.fits
+        assert plan.cuts != even  # the model is *not* uniform
+        thr_even = throughput(trace, model, P3DN_NODE, PP2, 1,
+                              num_micro_batches=8, pipeline_cuts=even)
+        thr_planned = throughput(trace, model, P3DN_NODE, PP2, 1,
+                                 num_micro_batches=8,
+                                 pipeline_cuts=plan.cuts)
+        assert thr_planned > thr_even
+
+    def test_planner_balances_bottleneck(self, gpt_trace):
+        model, trace = gpt_trace
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, 1, 8)
+        even = even_cuts(len(trace.layers), 2)
+        even_times = [t.steady for t in stage_step_times(
+            trace, stage_profiles(trace, even), P3DN_NODE, PP2, 1)]
+        assert plan.bottleneck_time <= max(even_times)
+
+    def test_memory_constraint_shapes_the_cut(self, gpt_trace):
+        """When the balanced split would blow the first stage's budget
+        (1F1B holds pp in-flight there), the DP sheds layers off it."""
+        model, trace = gpt_trace
+        micro = 2
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, micro, 8)
+        assert plan is not None and plan.fits
+        peaks = [stage_memory(trace, p, micro, 8).total
+                 for p in stage_profiles(trace, plan.cuts)]
+        assert max(peaks) <= P3DN_NODE.gpu.usable_memory
+
+    def test_four_stage_plan(self, gpt_trace):
+        model, trace = gpt_trace
+        parallel = ParallelConfig(tp=2, pp=4)
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, parallel, 1, 8)
+        assert plan is not None
+        assert len(plan.cuts) == 3
+        assert len(plan.stage_times) == 4
+
+    def test_unmarked_trace_returns_none(self):
+        cls, config = MODEL_ZOO["BERT"]
+        model = cls(config, device="meta")
+        ids, _ = data.lm_batch(config, 1, device="meta")
+        trace = trace_model(model, ids)
+        assert plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, 1, 8) \
+            is None
+
+
+class TestPipelineFillability:
+    """Satellite: ``m >= pp`` must hold on *every* planner path."""
+
+    def test_explicit_micro_batch_path_rejects_unfillable(self, gpt_trace):
+        model, trace = gpt_trace
+        parallel = ParallelConfig(tp=2, pp=4)
+        pred = predict_config(trace, model, P3DN_NODE, parallel,
+                              micro_batch=1, num_micro_batches=1)
+        assert not pred.fits
+        assert pred.throughput == 0.0
+        # exactly pp micro-batches fills the pipeline again
+        ok = predict_config(trace, model, P3DN_NODE, parallel,
+                            micro_batch=1, num_micro_batches=4)
+        assert ok.fits
+
+    def test_plan_micro_batch_rejects_unfillable(self, gpt_trace):
+        model, trace = gpt_trace
+        parallel = ParallelConfig(tp=2, pp=4)
+        assert plan_micro_batch(trace, model, P3DN_NODE, parallel,
+                                num_micro_batches=1) is None
+
+    def test_global_batch_path_still_rejects(self, gpt_trace):
+        model, trace = gpt_trace
+        parallel = ParallelConfig(tp=2, pp=4)
+        pred = predict_config(trace, model, P3DN_NODE, parallel,
+                              micro_batch=2, global_batch=4)  # m = 2 < 4
+        assert not pred.fits
+
+    def test_bad_explicit_cuts_are_infeasible_not_fatal(self, gpt_trace):
+        """The oracle must survive a malformed coordinate: wrong stage
+        count or out-of-range cuts report fits=False, never raise."""
+        model, trace = gpt_trace
+        parallel = ParallelConfig(tp=2, pp=4)
+        wrong_count = predict_config(trace, model, P3DN_NODE, parallel,
+                                     micro_batch=1, num_micro_batches=8,
+                                     pipeline_cuts=(10, 20))  # 3 ≠ pp=4
+        assert not wrong_count.fits and wrong_count.throughput == 0.0
+        out_of_range = predict_config(trace, model, P3DN_NODE, PP2,
+                                      micro_batch=1, num_micro_batches=8,
+                                      pipeline_cuts=(0,))
+        assert not out_of_range.fits
+        assert plan_micro_batch(trace, model, P3DN_NODE, parallel,
+                                num_micro_batches=8,
+                                pipeline_cuts=(10, 20)) is None
+
+    def test_joint_sweep_returns_filled_pipeline(self, gpt_trace):
+        model, trace = gpt_trace
+        plan = plan_micro_batch(trace, model, P3DN_NODE, PP2,
+                                num_micro_batches=None,
+                                pipeline_cuts="auto")
+        assert plan is not None
+        assert plan.num_micro_batches >= PP2.pp
+        assert plan.num_micro_batches % PP2.pp == 0
+        assert plan.pipeline_cuts  # stage-accurate pricing was used
+
+
+class TestStageMemory:
+    def test_first_stage_holds_most_activations(self, gpt_trace):
+        model, trace = gpt_trace
+        profiles = stage_profiles(trace, even_cuts(len(trace.layers), 2))
+        first = stage_memory(trace, profiles[0], 1, 8)
+        last = stage_memory(trace, profiles[1], 1, 8)
+        # 2 in-flight on stage 0, 1 on stage 1 — roughly twice the
+        # activations for a similar layer slice
+        assert first.activations > 1.5 * last.activations
+
+    def test_inflight_matches_1f1b_tick_schedule(self):
+        """Satellite: the analytic per-stage in-flight count equals the
+        runtime schedule's actual peak, for every (pp, m)."""
+        for p in (2, 3, 4):
+            for m in (1, 2, 4, 8):
+                inflight = [0] * p
+                peak = [0] * p
+                for tick in one_f_one_b_schedule(p, m):
+                    delta = 1 if tick.kind == "forward" else -1
+                    inflight[tick.stage] += delta
+                    peak[tick.stage] = max(peak[tick.stage],
+                                           inflight[tick.stage])
+                assert peak == [stage_inflight(s, p, m) for s in range(p)]
+
+
+class TestAxisRanksAgreement:
+    """Satellite: simulator pricing and DeviceMesh share one group layout."""
+
+    @pytest.mark.parametrize("world_size", [8, 16])
+    def test_all_factorizations_agree(self, world_size):
+        factorizations = [
+            (tp, dp, pp)
+            for tp in range(1, world_size + 1)
+            for dp in range(1, world_size + 1)
+            for pp in range(1, world_size + 1)
+            if tp * dp * pp == world_size
+        ]
+        assert factorizations
+        for tp, dp, pp in factorizations:
+            config = ParallelConfig(tp=tp, dp=dp, pp=pp)
+            mesh = DeviceMesh(config, rank=0, sim=True)
+            shared = axis_ranks(0, config)
+            for axis in ("tp", "dp", "pp"):
+                sim_view = sim_axis_ranks(P3DN_NODE, config, axis)
+                assert sim_view == shared[axis]
+                assert tuple(mesh.group(axis).ranks) == shared[axis]
+
+
+class TestLegacyPathUnchanged:
+    def test_no_cuts_means_uniform_estimate(self, gpt_trace):
+        """Without cut points the pre-stage-accurate formula must be
+        reproduced exactly (Fig. 7/8 numbers depend on it)."""
+        from repro.sim import KernelCostModel
+
+        model, trace = gpt_trace
+        cost = KernelCostModel(P3DN_NODE.gpu)
+        breakdown = step_time(trace, model, P3DN_NODE, PP2, 2,
+                              num_micro_batches=8, cost_model=cost)
+        assert breakdown.forward == pytest.approx(
+            cost.forward_time(trace, 2.0) / PP2.pp * 8, rel=1e-12)
+        assert breakdown.detail == {}

@@ -133,6 +133,55 @@ class TestPipelineSplit:
         assert model.embeddings.weight.grad is not None
         assert model.pooler.weight.grad is not None
 
+    def test_cuts_annotated_out_of_order_follow_graph_order(self):
+        """Stage bodies follow *execution* order, not annotation order."""
+        fw.manual_seed(2)
+        model = Bert(layers=6)
+        ids = fw.randint(0, 16, (2, 3))
+        expected = model(ids).numpy()
+        sch = slapo.create_schedule(model, mesh=make_mesh(3))
+        # annotate the later cut first
+        sch["encoder.layer.3"].pipeline_split()
+        sch["encoder.layer.1"].pipeline_split()
+        built = slapo.build(sch)
+        assert len(built.stages) == 3
+        stage_targets = [
+            [n.target for n in stage.graph if n.op == "call_module"]
+            for stage in built.stages
+        ]
+        assert "encoder.layer.1" in stage_targets[0]
+        assert "encoder.layer.3" in stage_targets[1]
+        assert "pooler" in stage_targets[2]
+        np.testing.assert_allclose(built(ids).numpy(), expected, rtol=1e-5)
+
+    def test_cut_on_multi_call_site_module_rejected(self):
+        """A module invoked twice has no single 'after this' boundary."""
+
+        class WeightShared(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.shared = Layer()
+                self.tail = Layer()
+
+            def forward(self, x):
+                x = self.shared(x)
+                x = self.shared(x)  # second call site
+                return self.tail(x)
+
+        model = WeightShared()
+        sch = slapo.create_schedule(model, mesh=make_mesh(2))
+        sch["shared"].pipeline_split()
+        with pytest.raises(SchedulingError, match="call sites"):
+            slapo.build(sch)
+
+    def test_duplicate_cut_rejected(self):
+        from repro.slapo.primitives.pipeline import partition_pipeline
+
+        model = Bert()
+        with pytest.raises(SchedulingError, match="duplicate"):
+            partition_pipeline(model, ["encoder.layer.1",
+                                       "encoder.layer.1"])
+
     def test_cut_inside_untraced_sibling_ok(self):
         """Siblings without cuts stay opaque (untraceable code is fine)."""
 
