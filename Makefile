@@ -1,12 +1,23 @@
 PYTHON ?= python
 
-.PHONY: test bench perf docs docs-check
+.PHONY: test test-fast fuzz bench perf docs docs-check
 
-# tier-1 verification (pyproject.toml already pins pythonpath=src), then
-# guard the committed BENCH_*.json perf trajectory against regressions
+# tier-1 verification (pyproject.toml already pins pythonpath=src) — the
+# full suite includes the seeded fuzz corpus (marked `slow`) — then the
+# fast fuzz sweep and the BENCH_*.json perf-trajectory guard
 test:
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) fuzz
 	$(PYTHON) scripts/check_bench.py
+
+# everything except `slow` tests (cluster-heavy corpus, example subprocesses)
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# the seeded fuzz corpus at a fast budget; failing schedules land in
+# scripts/repros/ as replayable JSON (see docs/verify.md)
+fuzz:
+	$(PYTHON) scripts/fuzz_schedules.py --budget 40 --seed 0
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s

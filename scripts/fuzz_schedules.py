@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Run the schedule fuzzer from the command line (``make fuzz``).
+
+Modes:
+
+* default — sample and differentially verify a seeded corpus::
+
+      python scripts/fuzz_schedules.py --budget 40 --seed 0
+
+  Failures are written as replayable JSON repro files (plus a shrunk
+  ``.shrunk.json`` minimal form) under ``scripts/repros/`` and the run
+  exits non-zero.
+
+* replay — re-run a saved repro file::
+
+      python scripts/fuzz_schedules.py --replay scripts/repros/fuzz-GPT-123.json
+
+* shrink — minimize a saved repro by greedy primitive deletion::
+
+      python scripts/fuzz_schedules.py --shrink scripts/repros/fuzz-GPT-123.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.slapo.verify import (  # noqa: E402
+    DEFAULT_FAMILIES,
+    ScheduleSpec,
+    VerificationError,
+    replay,
+    run_fuzz,
+    shrink,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=40,
+                        help="number of schedules to sample and verify")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--families", nargs="*", default=None,
+                        help=f"subset of {', '.join(DEFAULT_FAMILIES)}")
+    parser.add_argument("--world-sizes", type=int, nargs="*",
+                        default=(1, 2, 4))
+    parser.add_argument("--out-dir", default=str(REPO_ROOT / "scripts"
+                                                 / "repros"))
+    parser.add_argument("--no-sim", action="store_true",
+                        help="skip the simulator invariant cross-checks")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="do not shrink failing schedules")
+    parser.add_argument("--replay", metavar="REPRO_JSON",
+                        help="re-run one saved repro file and exit")
+    parser.add_argument("--shrink", dest="shrink_path",
+                        metavar="REPRO_JSON",
+                        help="minimize one saved repro file and exit")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        try:
+            report = replay(args.replay)
+        except VerificationError as error:
+            print(f"still fails: {error}")
+            return 1
+        print(f"no longer reproduces (checked {report.grads_checked} "
+              f"gradients, {report.params_checked} post-step parameters)")
+        return 0
+
+    if args.shrink_path:
+        spec = ScheduleSpec.load(args.shrink_path)
+        small = shrink(spec)
+        out = Path(args.shrink_path)
+        out = out.with_name(out.stem + ".shrunk.json")
+        small.save(out)
+        print(f"{len(spec.steps)} -> {len(small.steps)} steps; "
+              f"wrote {out}")
+        return 0
+
+    started = time.time()
+
+    def progress(index, spec):
+        print(f"[{index + 1:4d}/{args.budget}] {spec.family:10s} "
+              f"tp={spec.tp} dp={spec.dp} pp={spec.pp} "
+              f"zero={spec.zero_stage} steps={len(spec.steps)}",
+              flush=True)
+
+    result = run_fuzz(
+        args.budget,
+        families=tuple(args.families) if args.families else DEFAULT_FAMILIES,
+        world_sizes=tuple(args.world_sizes),
+        seed=args.seed,
+        out_dir=args.out_dir,
+        check_sim=not args.no_sim,
+        shrink_failures=not args.no_shrink,
+        progress=progress,
+    )
+    elapsed = time.time() - started
+    print(f"\n{result.passed}/{result.total} schedules verified in "
+          f"{elapsed:.1f}s ({result.steps_verified} primitive applications"
+          f"; families: {dict(sorted(result.families.items()))})")
+    for failure in result.failures:
+        print(f"FAIL [{failure.kind}] {failure.spec.family} "
+              f"tp={failure.spec.tp} dp={failure.spec.dp} "
+              f"pp={failure.spec.pp} zero={failure.spec.zero_stage}: "
+              f"{failure.error}")
+        if failure.repro_path:
+            print(f"  repro:  {failure.repro_path}")
+        if failure.shrunk is not None:
+            print(f"  shrunk: {len(failure.shrunk.steps)} steps")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

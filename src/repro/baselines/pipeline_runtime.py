@@ -110,6 +110,18 @@ class PipelineRuntime:
             else gpipe_schedule
         return maker(len(self.stages), self.num_micro)
 
+    @property
+    def fillable(self) -> bool:
+        """Whether every stage can hold work at once (``m >= stages``).
+
+        The planner rejects unfillable pipelines as infeasible
+        (:func:`repro.sim.planner.predict_config`); the runtime still
+        *executes* them (the schedule degenerates), so this property is
+        the runtime-side half of that feasibility agreement — asserted
+        for every fuzzed configuration.
+        """
+        return self.num_micro >= len(self.stages)
+
     # ------------------------------------------------------------------ #
     def train_step(self, micro_batches: Sequence[tuple],
                    loss_fn: Callable) -> float:

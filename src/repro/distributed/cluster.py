@@ -16,7 +16,16 @@ import numpy as np
 
 
 class ClusterError(RuntimeError):
-    """Raised on the caller when any rank fails."""
+    """Raised on the caller when any rank fails.
+
+    ``original`` carries the failing rank's exception so callers (the
+    verifier, the schedule fuzzer) can classify the root cause without
+    parsing the message; it is also chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, original: Exception | None = None):
+        super().__init__(message)
+        self.original = original
 
 
 class Communicator:
@@ -75,7 +84,11 @@ class Communicator:
 
     def broadcast(self, rank: int, array, src: int):
         def combine(arrays):
-            return arrays[self._local_index(src)]
+            # Copy: returning the source rank's buffer by reference lets
+            # receivers (which copy *after* the final barrier) race any
+            # later in-place mutation by the source — e.g. an optimizer
+            # broadcasting parameters it keeps updating.
+            return np.array(arrays[self._local_index(src)])
 
         return self._exchange(rank, array, combine)
 
@@ -153,5 +166,6 @@ class LocalCluster:
             root = [(r, e) for r, e in failures
                     if not isinstance(e, threading.BrokenBarrierError)]
             rank, error = (root or failures)[0]
-            raise ClusterError(f"rank {rank} failed: {error!r}") from error
+            raise ClusterError(f"rank {rank} failed: {error!r}",
+                               original=error) from error
         return results

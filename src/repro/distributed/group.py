@@ -132,6 +132,12 @@ class BaseGroup:
         return out
 
     def broadcast(self, value, src: int = 0):
+        """Share ``src``'s value with the group.
+
+        ``src`` is the source's **local index** within this group (0 ≤
+        src < size), not a global rank — the two differ on strided
+        groups (e.g. dp groups under tp > 1).
+        """
         if isinstance(value, np.ndarray):
             self._record("broadcast", value.nbytes)
             return self._broadcast_array(value, src)
@@ -211,7 +217,13 @@ class ThreadGroup(BaseGroup):
         return self._comm.reduce_scatter(self.rank, array, axis)
 
     def _broadcast_array(self, array, src):
-        return self._comm.broadcast(self.rank, array, src)
+        # ``src`` is the *local* index within this group (the convention
+        # of every caller: ZeRO owners are ``index % group.size``); the
+        # communicator speaks global ranks.  Translating here keeps
+        # broadcasts correct on strided groups — e.g. a data-parallel
+        # group of ranks (0, 2) when tp > 1 — where the two numberings
+        # no longer coincide.
+        return self._comm.broadcast(self.rank, array, self.ranks[src])
 
     def barrier(self) -> None:
         self._comm.barrier(self.rank)

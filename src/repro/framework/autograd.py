@@ -15,40 +15,42 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
 import numpy as np
 
-_grad_enabled = True
+# Per-thread, like torch's grad mode: LocalCluster runs simulated ranks as
+# threads, and one rank entering no_grad() (activation checkpointing's
+# first forward) must not strip grad_fns off a concurrent rank's tape.
+_GRAD_MODE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 @contextmanager
 def no_grad():
-    """Context manager that disables tape construction."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = False
+    """Context manager that disables tape construction (this thread)."""
+    prev = is_grad_enabled()
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _GRAD_MODE.enabled = prev
 
 
 @contextmanager
 def enable_grad():
     """Context manager that re-enables tape construction (inside no_grad)."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = True
+    prev = is_grad_enabled()
+    _GRAD_MODE.enabled = True
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _GRAD_MODE.enabled = prev
 
 
 class GradNode:

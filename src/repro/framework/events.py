@@ -7,42 +7,45 @@ hooks are near-zero-cost no-ops, so ordinary eager execution is unaffected.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
-_RECORDER = None
+# Per-thread, so a simulator trace on one thread never observes kernel
+# events from LocalCluster rank threads running concurrently.
+_ACTIVE = threading.local()
 
 
 def set_recorder(recorder) -> None:
-    global _RECORDER
-    _RECORDER = recorder
+    _ACTIVE.recorder = recorder
 
 
 def get_recorder():
-    return _RECORDER
+    return getattr(_ACTIVE, "recorder", None)
 
 
 @contextmanager
 def recording(recorder):
-    """Install ``recorder`` for the duration of the block."""
-    global _RECORDER
-    prev = _RECORDER
-    _RECORDER = recorder
+    """Install ``recorder`` on this thread for the duration of the block."""
+    prev = get_recorder()
+    _ACTIVE.recorder = recorder
     try:
         yield recorder
     finally:
-        _RECORDER = prev
+        _ACTIVE.recorder = prev
 
 
 def record_op(name, out_shape, dtype, flops=0, bytes_moved=0, meta=None):
     """Report one kernel launch to the active recorder, if any."""
-    if _RECORDER is not None:
-        _RECORDER.record_op(name, out_shape, dtype, flops, bytes_moved, meta)
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.record_op(name, out_shape, dtype, flops, bytes_moved, meta)
 
 
 def record_comm(kind, bytes_, group_size, meta=None):
     """Report one collective to the active recorder, if any."""
-    if _RECORDER is not None:
-        _RECORDER.record_comm(kind, bytes_, group_size, meta)
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.record_comm(kind, bytes_, group_size, meta)
 
 
 @contextmanager
@@ -53,14 +56,15 @@ def fused_region(name, backend="custom"):
     launch and drop intermediate memory round-trips; recorders that do not
     (or no recorder at all) see ordinary execution.
     """
-    if _RECORDER is None or not hasattr(_RECORDER, "begin_fused"):
+    recorder = get_recorder()
+    if recorder is None or not hasattr(recorder, "begin_fused"):
         yield
         return
-    _RECORDER.begin_fused(name, backend)
+    recorder.begin_fused(name, backend)
     try:
         yield
     finally:
-        _RECORDER.end_fused()
+        recorder.end_fused()
 
 
 @contextmanager
@@ -74,24 +78,26 @@ def layer_region(module=None):
     attribute parameter bytes to the span — the pipeline-stage planner
     uses those to price per-stage memory.
     """
-    if _RECORDER is None or not hasattr(_RECORDER, "begin_layer"):
+    recorder = get_recorder()
+    if recorder is None or not hasattr(recorder, "begin_layer"):
         yield
         return
-    _RECORDER.begin_layer(module)
+    recorder.begin_layer(module)
     try:
         yield
     finally:
-        _RECORDER.end_layer()
+        recorder.end_layer()
 
 
 @contextmanager
 def checkpoint_region():
     """Mark the ops inside as running under activation checkpointing."""
-    if _RECORDER is None or not hasattr(_RECORDER, "begin_checkpoint"):
+    recorder = get_recorder()
+    if recorder is None or not hasattr(recorder, "begin_checkpoint"):
         yield
         return
-    _RECORDER.begin_checkpoint()
+    recorder.begin_checkpoint()
     try:
         yield
     finally:
-        _RECORDER.end_checkpoint()
+        recorder.end_checkpoint()

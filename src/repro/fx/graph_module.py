@@ -16,13 +16,25 @@ from .node import Node, map_arg
 
 
 class GraphModule(Module):
-    def __init__(self, root: Module, graph: Graph, class_name: str = "GraphModule"):
+    def __init__(self, root: Module, graph: Graph,
+                 class_name: str = "GraphModule",
+                 carry_hooks: bool = True):
         super().__init__()
         self._class_name = class_name
         self.graph = graph
         self._copy_referenced_attrs(root)
         # Keep original annotations (checkpointing flags etc).
         self._slapo_meta.update(root._slapo_meta)
+        if carry_hooks:
+            # Tracing must be semantics-preserving: hooks registered on
+            # the traced module (e.g. tensor-parallel ``.sync()``
+            # collectives) keep firing around the interpreted graph.
+            # Callers building a *piece* of the root (subgraph extraction,
+            # pipeline-stage splitting) pass carry_hooks=False — the
+            # root's hooks belong to its boundary, not to every fragment.
+            self._forward_pre_hooks.extend(root._forward_pre_hooks)
+            self._forward_hooks.extend(root._forward_hooks)
+            self._backward_hooks.extend(root._backward_hooks)
 
     # ------------------------------------------------------------------ #
     def _copy_referenced_attrs(self, root: Module) -> None:

@@ -65,7 +65,8 @@ def extract_match_as_module(gm: GraphModule, match: Match,
         new_node.meta.update(node.meta)
         env[id(node)] = new_node
     subgraph.output(env[id(match.output_node)])
-    return GraphModule(gm, subgraph, class_name=class_name)
+    return GraphModule(gm, subgraph, class_name=class_name,
+                       carry_hooks=False)
 
 
 def _id_set(nodes) -> "_IdSet":
@@ -195,7 +196,8 @@ def split_graph_module(gm: GraphModule, boundary_nodes: list[Node]
             outs = tuple(env[id(v)] for v in live[stage_idx + 1])
             stage_graph.output(outs)
         stage = GraphModule(gm, stage_graph,
-                            class_name=f"PipelineStage{stage_idx}")
+                            class_name=f"PipelineStage{stage_idx}",
+                            carry_hooks=False)
         stages.append(stage)
     return stages
 

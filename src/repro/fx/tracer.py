@@ -13,6 +13,7 @@ tracing succeeds where whole-model tracing would fail.
 from __future__ import annotations
 
 import inspect
+import threading
 
 from repro.framework import layers as fw_layers
 from repro.framework.module import Module
@@ -41,12 +42,16 @@ DEFAULT_LEAF_TYPES = (
 )
 
 
-_ACTIVE_TRACER: "Tracer | None" = None
+# One active tracer *per thread*: LocalCluster runs simulated ranks as
+# threads and every rank traces during schedule application, so a shared
+# global would let one rank's trace intercept (or reset) another's —
+# parameter reads would silently bake as constants mid-trace.
+_ACTIVE = threading.local()
 
 
 def active_tracer() -> "Tracer | None":
-    """The tracer currently executing a forward, if any."""
-    return _ACTIVE_TRACER
+    """The tracer currently executing a forward on this thread, if any."""
+    return getattr(_ACTIVE, "tracer", None)
 
 
 class Tracer:
@@ -71,12 +76,17 @@ class Tracer:
             return True
         if isinstance(module, self.leaf_types):
             return True
+        if module._forward_pre_hooks or module._forward_hooks \
+                or module._backward_hooks:
+            # Inlining runs ``module.forward`` directly, which would
+            # silently skip the module's hooks — and ``.sync()`` installs
+            # tensor-parallel collectives exactly there.  A hooked module
+            # must stay opaque.
+            return True
         return bool(module._slapo_meta.get("is_leaf", False))
 
     def trace(self, root: Module, concrete_args: dict | None = None,
               include_defaults: tuple = ()) -> Graph:
-        global _ACTIVE_TRACER
-
         self.graph = Graph()
         self.root = root
         self._get_attr_cache: dict[str, Proxy] = {}
@@ -102,12 +112,12 @@ class Tracer:
             if param.default is not inspect.Parameter.empty:
                 node.meta["default"] = param.default
             proxies.append(Proxy(node, self))
-        previous = _ACTIVE_TRACER
-        _ACTIVE_TRACER = self
+        previous = active_tracer()
+        _ACTIVE.tracer = self
         try:
             output = root.forward(*proxies, **kwproxies)
         finally:
-            _ACTIVE_TRACER = previous
+            _ACTIVE.tracer = previous
         self.graph.output(self._unwrap(output))
         return self.graph
 

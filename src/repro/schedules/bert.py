@@ -39,10 +39,13 @@ def schedule_bert(sch, config, ckpt_ratio: float = 0.0,
         if use_fusion:
             layer["intermediate.dense"].decompose()
             layer.trace(flatten=True)
-            layer.fuse(layer.find(common.bias_gelu),
-                       compiler="TorchInductor", name="BiasGeLU")
-            layer.fuse(layer.find(common.dropout_residual_ln),
-                       compiler="TorchInductor", name="LNResidual")
+            # Under tensor parallelism the sharded linear carries a
+            # backward-sync hook and stays opaque to the trace, so the
+            # Bias-GeLU pattern (correctly) finds no match — fuse what
+            # matched rather than assuming both patterns always appear.
+            common.fuse_matches(layer, common.bias_gelu, "BiasGeLU")
+            common.fuse_matches(layer, common.dropout_residual_ln,
+                                "LNResidual")
     common.checkpoint_layers(sch, layers, ckpt_ratio)
     # </schedule>
     return sch

@@ -128,8 +128,12 @@ def interleave_qkv_rows(linear, num_shards: int) -> None:
         for r in range(num_shards)
     ])
     linear.weight.data[...] = linear.weight.data[order]
+    # Record the permutation so the verifier can map a shard's gradient
+    # rows back to the vanilla model's row order.
+    linear.weight._slapo_row_perm = order
     if linear._parameters.get("bias") is not None:
         linear.bias.data[...] = linear.bias.data[order]
+        linear.bias._slapo_row_perm = order
 
 
 def shard_pair(block, column: str, row: str,
@@ -157,6 +161,11 @@ def shard_vocab(sch, embed_path: str, head_path: str,
     sch[embed_path].sync(mode="fwd_post", sync_op_or_fn=slapo.op.embed_bwd_hook)
     sch[head_path].shard(list(head_params), axis=0)
     sch[head_path].sync(mode="fwd_post", sync_op_or_fn="all_gather")
+    # The head is a column-parallel linear: each rank's backward yields only
+    # its vocab shard's contribution to the input gradient, so the hidden
+    # states entering the head need the Megatron-style all-reduce or every
+    # upstream parameter trains on a 1/tp-scaled gradient.
+    sch[head_path].sync(mode="bwd_post")
 
 
 def set_local_heads(attn_sch, config, tp: int,

@@ -35,6 +35,15 @@ class MemoryBreakdown:
     activations: float
     workspace: float
 
+    def components(self) -> dict[str, float]:
+        """Named additive parts, independent of ``total``'s own sum (the
+        fuzzer asserts the two agree, catching a field added to one but
+        forgotten in the other)."""
+        return {"params": self.params, "grads": self.grads,
+                "optimizer": self.optimizer,
+                "activations": self.activations,
+                "workspace": self.workspace}
+
     @property
     def total(self) -> float:
         return (self.params + self.grads + self.optimizer

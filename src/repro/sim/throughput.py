@@ -54,6 +54,19 @@ class StepBreakdown:
     optimizer: float = 0.0
     detail: dict = field(default_factory=dict)
 
+    def components(self) -> dict[str, float]:
+        """Named additive parts, independent of ``total``'s own sum.
+
+        The fuzzer's simulator cross-check asserts ``total`` equals the
+        sum of these for every sampled configuration — because the two
+        are written out separately, a future field added to one but
+        forgotten in the other is caught rather than silently dropped.
+        """
+        return {"forward": self.forward, "backward": self.backward,
+                "tp_comm": self.tp_comm, "zero_comm": self.zero_comm,
+                "dp_comm": self.dp_comm, "pp_comm": self.pp_comm,
+                "bubble": self.bubble, "optimizer": self.optimizer}
+
     @property
     def total(self) -> float:
         return (self.forward + self.backward + self.tp_comm + self.zero_comm

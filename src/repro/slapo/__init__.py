@@ -25,6 +25,7 @@ from .primitives import (  # noqa: F401  (import registers primitives)
 from .registry import (
     Primitive,
     SchedulingError,
+    fuzzable_primitives,
     get_primitive,
     list_primitives,
     primitive_table,
@@ -40,14 +41,22 @@ from .tuner import (
     TuneResult,
     enumerate_space,
 )
-from .verify import VerificationError, verify
+from .verify import (
+    ScheduleSpec,
+    TolerancePolicy,
+    VerificationError,
+    VerifyReport,
+    run_fuzz,
+    verify,
+)
 
 __all__ = [
     "create_schedule", "Schedule", "ScheduleContext", "PrimitiveRecord",
     "build", "BuiltModel",
     "Primitive", "register_primitive", "get_primitive", "list_primitives",
-    "primitive_table", "SchedulingError",
-    "verify", "VerificationError",
+    "primitive_table", "SchedulingError", "fuzzable_primitives",
+    "verify", "VerificationError", "VerifyReport", "TolerancePolicy",
+    "run_fuzz", "ScheduleSpec",
     "AutoTuner", "Space", "TuneResult", "TuneReport", "enumerate_space",
     "SimCostModel", "TrialCache",
     "ShardSpec", "PipelineModule", "partition_pipeline", "DecomposedLinear",

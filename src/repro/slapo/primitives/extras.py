@@ -137,6 +137,8 @@ class CudaGraphifyPrimitive(Primitive):
     """Capture the module into a CUDA graph to cut kernel-launch overhead."""
 
     name = "cudagraphify"
+    fuzzable = True
+    fuzz_wraps_module = True
 
     @staticmethod
     def check(sch) -> None:
@@ -145,6 +147,13 @@ class CudaGraphifyPrimitive(Primitive):
                 "cannot cudagraphify a checkpointed module (recomputation "
                 "changes the captured sequence)"
             )
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        meta = sch.mod._slapo_meta
+        if meta.get("checkpoint") or meta.get("cuda_graph") or not sch.path:
+            return []
+        return [((), {})]
 
     @staticmethod
     def apply(sch):

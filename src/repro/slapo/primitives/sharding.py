@@ -56,6 +56,9 @@ def _shard_parameter(param: Parameter, axis: int, num: int, index: int
         sharded = Parameter(param.data[slicer].copy(), dtype=param.dtype,
                             requires_grad=param.requires_grad)
     sharded.shard_spec = ShardSpec(axis, num, index, full_shape)
+    # Provenance for the verifier: a shard gradient is checked against the
+    # matching slice of the original parameter's gradient.
+    sharded._slapo_origin = param
     return sharded
 
 

@@ -77,11 +77,19 @@ class CheckpointPrimitive(Primitive):
     """
 
     name = "checkpoint"
+    fuzzable = True
 
     @staticmethod
     def check(sch, subgraph=None, **kwargs) -> None:
         if subgraph is not None:
             sch.require_traced("checkpoint")
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        meta = sch.mod._slapo_meta
+        if meta.get("checkpoint") or meta.get("cuda_graph"):
+            return []
+        return [((), {})]
 
     @staticmethod
     def apply(sch, subgraph=None, name: str = "ckpt"):
@@ -105,11 +113,21 @@ class UncheckpointPrimitive(Primitive):
     """``.uncheckpoint()`` — progressive optimization includes un-applying."""
 
     name = "uncheckpoint"
+    fuzzable = True
 
     @staticmethod
     def apply(sch):
         sch.mod._slapo_meta.pop("checkpoint", None)
         return sch
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        # Only meaningful on a module that is currently checkpointed —
+        # progressive optimization includes un-applying (the docstring's
+        # claim), and the fuzzer exercises exactly that.
+        if sch.mod._slapo_meta.get("checkpoint"):
+            return [((), {})]
+        return []
 
 
 class DecomposedLinear(Module):
@@ -126,6 +144,13 @@ class DecomposedLinear(Module):
         self.out_features = linear.out_features
         self.weight = linear.weight
         self.bias = linear.bias
+        # Decomposition is semantics-preserving, so hooks registered on
+        # the original linear (e.g. a tensor-parallel ``.sync()``) and its
+        # schedule annotations must keep firing on the decomposed form.
+        self._forward_pre_hooks.extend(linear._forward_pre_hooks)
+        self._forward_hooks.extend(linear._forward_hooks)
+        self._backward_hooks.extend(linear._backward_hooks)
+        self._slapo_meta.update(linear._slapo_meta)
 
     def forward(self, x):
         return F.linear(x, self.weight) + self.bias
@@ -136,6 +161,14 @@ class DecomposePrimitive(Primitive):
     """``.decompose()`` — split a Linear's bias into a separate op."""
 
     name = "decompose"
+    fuzzable = True
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        mod = sch.mod
+        if isinstance(mod, Linear) and mod._parameters.get("bias") is not None:
+            return [((), {})]
+        return []
 
     @staticmethod
     def check(sch) -> None:

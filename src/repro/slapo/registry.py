@@ -33,6 +33,15 @@ class Primitive:
     #: paper Table 2 column: "dynamic" primitives schedule modules and
     #: parameters directly; "static" ones operate on a traced dataflow graph
     dialect: str = "dynamic"
+    #: whether the schedule fuzzer may sample this primitive on its own
+    #: (semantics-preserving and expressible through fuzz_candidates);
+    #: primitives that intentionally change numerics (e.g. ``.quantize``)
+    #: must stay out of differential fuzzing
+    fuzzable: bool = False
+    #: fuzzable primitives that *wrap* their module (shifting every path
+    #: beneath it) are sampled last, at block granularity, so previously
+    #: sampled paths stay resolvable
+    fuzz_wraps_module: bool = False
 
     @staticmethod
     def check(sch, *args, **kwargs) -> None:
@@ -41,6 +50,18 @@ class Primitive:
     @staticmethod
     def apply(sch, *args, **kwargs):
         raise NotImplementedError
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        """Candidate ``(args, kwargs)`` invocations valid at ``sch``.
+
+        The schedule fuzzer (:mod:`repro.slapo.verify.fuzz`) queries every
+        ``fuzzable`` primitive here while walking a model's schedule tree;
+        returned invocations must be JSON-serializable so failures can be
+        written to replayable repro files.  Return ``[]`` when the
+        primitive does not apply at this node.
+        """
+        return []
 
     @classmethod
     def describe(cls) -> str:
@@ -74,6 +95,16 @@ def get_primitive(name: str) -> Type[Primitive] | None:
 
 def list_primitives() -> list[str]:
     return sorted(_PRIMITIVES)
+
+
+def fuzzable_primitives() -> list[Type[Primitive]]:
+    """Registered primitives that opted into schedule fuzzing.
+
+    User-registered primitives participate automatically: set
+    ``fuzzable = True`` and implement ``fuzz_candidates`` and the fuzzer
+    starts sampling them on the next run.
+    """
+    return [cls for _, cls in sorted(_PRIMITIVES.items()) if cls.fuzzable]
 
 
 def primitive_table() -> list[dict]:

@@ -122,6 +122,28 @@ def parallelism_symbols(space: Space, world_size: int,
     return tp, dp, pp
 
 
+def sample_space(update_fn: Callable[[Space], object], rng,
+                 k: int = 1) -> list[dict[str, object]]:
+    """Deterministically sample ``k`` complete configurations.
+
+    ``rng`` is a :class:`numpy.random.Generator`; the same seed yields the
+    same sample (the schedule fuzzer's reproducibility contract).  Sampling
+    is uniform over the enumerated polygon space, *without* replacement
+    until the space is exhausted, then with replacement.
+    """
+    configs = enumerate_space(update_fn)
+    if not configs:
+        raise SpaceError("cannot sample an empty space")
+    picks: list[dict[str, object]] = []
+    remaining = list(range(len(configs)))
+    while len(picks) < k:
+        if not remaining:
+            remaining = list(range(len(configs)))
+        index = remaining.pop(int(rng.integers(len(remaining))))
+        picks.append(dict(configs[index]))
+    return picks
+
+
 def symbol_values(update_fn: Callable[[Space], object], name: str
                   ) -> list:
     """The union of candidate values symbol ``name`` takes across branches."""

@@ -1,0 +1,35 @@
+"""repro.slapo.verify — differential verification at scale (paper §3.5).
+
+* :mod:`.core` — ``verify()``: eval outputs + training gradients +
+  optimizer-step equivalence against the vanilla model, across simulated
+  tp/dp/pp/ZeRO meshes, with a per-dtype :class:`TolerancePolicy`.
+* :mod:`.fuzz` — the schedule fuzzer: samples random valid primitive
+  sequences from the registry and verifies each one differentially.
+* :mod:`.spec` — replayable JSON repro files and greedy shrinking.
+"""
+
+from .core import (
+    Tolerance,
+    TolerancePolicy,
+    VerificationError,
+    VerifyReport,
+    verify,
+)
+from .fuzz import (
+    DEFAULT_FAMILIES,
+    FuzzFailure,
+    FuzzResult,
+    SimInvariantError,
+    check_sim_invariants,
+    run_fuzz,
+    sample_spec,
+)
+from .spec import FAMILY_INFO, ScheduleSpec, apply_steps, replay, shrink
+
+__all__ = [
+    "verify", "VerificationError", "VerifyReport",
+    "Tolerance", "TolerancePolicy",
+    "run_fuzz", "sample_spec", "FuzzResult", "FuzzFailure",
+    "check_sim_invariants", "SimInvariantError", "DEFAULT_FAMILIES",
+    "ScheduleSpec", "apply_steps", "replay", "shrink", "FAMILY_INFO",
+]

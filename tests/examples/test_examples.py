@@ -1,0 +1,37 @@
+"""Smoke tests for ``examples/``: every example must run end to end.
+
+Each example script is executed in a subprocess (its own interpreter, the
+same way a user would run it) so example code cannot rot silently when
+the APIs it demonstrates move.  The scripts already use tiny configs;
+each finishes in seconds.  Marked ``slow`` only where noted.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4, [p.name for p in EXAMPLES]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+        cwd=REPO_ROOT, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )

@@ -1,0 +1,55 @@
+"""The seeded fuzz corpus: 200 schedules, 7 families, tp/dp/pp/ZeRO meshes.
+
+This is the acceptance gate for the verification subsystem: every sampled
+schedule must pass forward + gradient + optimizer-step differential
+verification on a LocalCluster, and every sampled configuration must
+satisfy the simulator invariants.  Marked ``slow`` — ``make test-fast``
+skips it, ``make test`` / ``make fuzz`` run it.
+"""
+
+import pytest
+
+from repro.slapo.verify import DEFAULT_FAMILIES, run_fuzz
+
+CORPUS_SIZE = 200
+CORPUS_SEED = 0
+
+
+@pytest.mark.slow
+def test_seeded_corpus_passes(tmp_path):
+    result = run_fuzz(CORPUS_SIZE, families=DEFAULT_FAMILIES,
+                      world_sizes=(1, 2, 4), seed=CORPUS_SEED,
+                      out_dir=tmp_path, check_sim=True)
+    details = "\n".join(
+        f"{f.spec.family} tp={f.spec.tp} dp={f.spec.dp} pp={f.spec.pp} "
+        f"zero={f.spec.zero_stage} [{f.kind}] {f.error}"
+        + (f"\n  repro: {f.repro_path}" if f.repro_path else "")
+        for f in result.failures
+    )
+    assert result.ok, f"{len(result.failures)} fuzzed schedules failed:\n" \
+                      f"{details}"
+    assert result.passed == CORPUS_SIZE
+    # Breadth: at least 6 model families actually exercised.
+    assert len(result.families) >= 6
+    # The corpus must be schedules, not no-ops.
+    assert result.steps_verified / result.passed >= 3.0
+
+
+@pytest.mark.slow
+def test_corpus_exercises_every_mesh_axis(tmp_path):
+    """tp, dp, pp and ZeRO all appear in the sampled corpus."""
+    from repro.slapo.verify import sample_spec
+    import numpy as np
+
+    rng = np.random.default_rng(CORPUS_SEED)
+    axes = {"tp": 0, "dp": 0, "pp": 0, "zero": 0}
+    for _ in range(CORPUS_SIZE):
+        family = DEFAULT_FAMILIES[int(rng.integers(len(DEFAULT_FAMILIES)))]
+        world = (1, 2, 4)[int(rng.integers(3))]
+        spec = sample_spec(family, world, int(rng.integers(2 ** 31 - 1)),
+                           rng=rng)
+        axes["tp"] += spec.tp > 1
+        axes["dp"] += spec.dp > 1
+        axes["pp"] += spec.pp > 1
+        axes["zero"] += spec.zero_stage > 0
+    assert all(count > 0 for count in axes.values()), axes

@@ -1,0 +1,220 @@
+"""Train-mode differential verification: gradients, steps, ZeRO, dp.
+
+The paper's §3.5 claim is that every schedule stays *safe*; the old
+``verify()`` only compared eval outputs on a TP mesh.  These tests pin the
+extended contract: forward+backward gradient equivalence (sharded slices
+matched through provenance), post-SGD-step parameter equivalence, exact
+ZeRO-vs-plain optimizer cross-checks, per-dtype tolerance policy, and the
+worst-diverging-parameter error messages.
+"""
+
+import numpy as np
+import pytest
+
+import repro.slapo as slapo
+from repro import framework as fw
+from repro.distributed import ParallelConfig
+from repro.framework import functional as F
+from repro.slapo import TolerancePolicy, VerificationError
+from repro.slapo.verify.core import Tolerance
+
+
+class MLP(fw.Module):
+    """Input projection + Megatron-shardable pair: ``pre`` sits *upstream*
+    of the parallel region, so a missing backward sync is observable as a
+    diverging ``pre`` gradient."""
+
+    def __init__(self, hidden=8):
+        super().__init__()
+        self.pre = fw.Linear(hidden, hidden)
+        self.fc1 = fw.Linear(hidden, hidden * 4)
+        self.fc2 = fw.Linear(hidden * 4, hidden)
+
+    def forward(self, x):
+        return self.fc2(F.gelu(self.fc1(self.pre(x))))
+
+
+def megatron_mlp_schedule(sch):
+    sch["fc1"].shard(["weight", "bias"], axis=0)
+    sch["fc1"].sync(mode="bwd_post")
+    sch["fc2"].shard("weight", axis=1)
+    sch["fc2"].sync(mode="fwd_post")
+
+
+def inputs():
+    return (fw.tensor(np.random.default_rng(0)
+                      .normal(size=(4, 8)).astype(np.float32)),)
+
+
+class TestGradientVerification:
+    def test_correct_tp_schedule_passes_grad_and_step(self):
+        report = slapo.verify(MLP, megatron_mlp_schedule, inputs,
+                              world_size=2)
+        assert report.grads_checked > 0
+        assert report.params_checked > 0
+        assert report.train_mode
+
+    def test_report_counts_all_ranks(self):
+        report = slapo.verify(MLP, megatron_mlp_schedule, inputs,
+                              world_size=2)
+        # 6 parameters per rank, 2 ranks
+        assert report.grads_checked == 12
+        assert report.outputs_checked == 2
+
+    def test_missing_bwd_sync_caught_by_gradients(self):
+        """Outputs are fine without the column-parallel backward
+        all-reduce — only the gradient stage can catch it."""
+
+        def no_bwd_sync(sch):
+            sch["fc1"].shard(["weight", "bias"], axis=0)
+            sch["fc2"].shard("weight", axis=1)
+            sch["fc2"].sync(mode="fwd_post")
+            # missing: fc1.sync(mode="bwd_post")
+
+        with pytest.raises(VerificationError, match="diverge"):
+            slapo.verify(MLP, no_bwd_sync, inputs, world_size=2)
+
+    def test_error_names_worst_parameter(self):
+        def no_bwd_sync(sch):
+            sch["fc1"].shard(["weight", "bias"], axis=0)
+            sch["fc2"].shard("weight", axis=1)
+            sch["fc2"].sync(mode="fwd_post")
+
+        with pytest.raises(VerificationError, match=r"worst is '"):
+            slapo.verify(MLP, no_bwd_sync, inputs, world_size=2)
+
+    def test_eval_only_verification_still_available(self):
+        def no_bwd_sync(sch):
+            sch["fc1"].shard(["weight", "bias"], axis=0)
+            sch["fc2"].shard("weight", axis=1)
+            sch["fc2"].sync(mode="fwd_post")
+
+        # The same broken schedule passes the eval-output-only check —
+        # which is exactly why the gradient stage exists.
+        report = slapo.verify(MLP, no_bwd_sync, inputs, world_size=2,
+                              check_grads=False)
+        assert report.grads_checked == 0
+
+    def test_single_device_schedule_grads(self):
+        def checkpointed(sch):
+            sch["fc1"].checkpoint()
+
+        report = slapo.verify(MLP, checkpointed, inputs, world_size=1)
+        assert report.grads_checked == 6
+        assert report.params_checked == 6
+
+
+class TestDataParallelVerification:
+    def test_dp_splits_batch_and_averages(self):
+        report = slapo.verify(MLP, lambda sch: None, inputs, world_size=2,
+                              parallel=ParallelConfig(dp=2))
+        assert report.grads_checked > 0
+
+    def test_dp_tp_combined_mesh(self):
+        report = slapo.verify(MLP, megatron_mlp_schedule, inputs,
+                              world_size=4,
+                              parallel=ParallelConfig(tp=2, dp=2))
+        assert report.grads_checked > 0
+
+    def test_indivisible_batch_rejected(self):
+        bad_inputs = lambda: (fw.tensor(  # noqa: E731
+            np.zeros((3, 8), np.float32)),)
+        with pytest.raises(Exception, match="divisible"):
+            slapo.verify(MLP, lambda sch: None, bad_inputs, world_size=2,
+                         parallel=ParallelConfig(dp=2))
+
+
+class TestZeroVerification:
+    @pytest.mark.parametrize("stage", [1, 2, 3])
+    def test_zero_stage_step_cross_checked(self, stage):
+        report = slapo.verify(MLP, lambda sch: None, inputs, world_size=2,
+                              parallel=ParallelConfig(dp=2),
+                              zero_stage=stage)
+        assert report.zero_step_checked
+
+    def test_zero_on_strided_dp_group(self):
+        """tp=2, dp=2: dp groups are strided (0,2)/(1,3) — the ZeRO
+        broadcast must resolve owners by local index, not global rank."""
+        report = slapo.verify(MLP, megatron_mlp_schedule, inputs,
+                              world_size=4,
+                              parallel=ParallelConfig(tp=2, dp=2),
+                              zero_stage=2)
+        assert report.zero_step_checked
+
+
+class TestTolerancePolicy:
+    def test_default_has_float16_entries(self):
+        policy = TolerancePolicy.default()
+        assert policy.for_("output", "float16").atol > \
+            policy.for_("output", "float32").atol
+
+    def test_unknown_dtype_falls_back_to_default(self):
+        policy = TolerancePolicy.default()
+        assert policy.for_("grad", "bfloat16") == policy.grad["default"]
+
+    def test_legacy_rtol_atol_override_everything(self):
+        policy = TolerancePolicy.default().override(rtol=1.0, atol=2.0)
+        for stage in ("output", "grad", "param"):
+            for dtype in ("float32", "float16"):
+                assert policy.for_(stage, dtype) == Tolerance(1.0, 2.0)
+
+    def test_impossible_tolerance_fails_correct_schedule(self):
+        with pytest.raises(VerificationError):
+            slapo.verify(MLP, megatron_mlp_schedule, inputs, world_size=2,
+                         rtol=0.0, atol=0.0)
+
+
+class TestHookPreservation:
+    """Regression tests for the fuzzer's findings: module transformations
+    must not silently drop ``.sync()`` hooks."""
+
+    def test_trace_preserves_sync_hooks(self):
+        def shard_then_trace(sch):
+            megatron_mlp_schedule(sch)
+            sch.trace()  # hierarchy-preserving trace of the root
+
+        slapo.verify(MLP, shard_then_trace, inputs, world_size=2)
+
+    def test_decompose_preserves_sync_hooks(self):
+        def shard_then_decompose(sch):
+            megatron_mlp_schedule(sch)
+            sch["fc1"].decompose()
+
+        slapo.verify(MLP, shard_then_decompose, inputs, world_size=2)
+
+    def test_fused_subgraph_does_not_inherit_parent_hooks(self):
+        """Extracting a fused subgraph from a hooked (synced) module must
+        NOT copy the module's hooks onto the fragment — the input
+        gradient would be all-reduced twice (once inside the fused body,
+        once at the module boundary)."""
+        from repro.slapo.verify import ScheduleSpec, replay
+
+        spec = ScheduleSpec(family="LLaMA-7B", tp=2, seed=5, steps=[
+            {"op": "tp_mlp", "path": "model.layers.0"},
+            {"op": "fusion", "path": "model.layers.0"},
+        ])
+        replay(spec)
+
+    def test_vocab_head_backward_sync(self):
+        """shard_vocab must all-reduce the head's input gradient
+        (column-parallel linear) — upstream grads are partial otherwise."""
+        from repro.schedules import common
+
+        class Embedder(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.embed = fw.Embedding(16, 8)
+                self.body = fw.Linear(8, 8)
+                self.head = fw.Linear(8, 16)
+
+            def forward(self, ids):
+                return self.head(F.gelu(self.body(self.embed(ids))))
+
+        def vocab_schedule(sch):
+            common.shard_vocab(sch, "embed", "head",
+                               head_params=("weight", "bias"))
+
+        ids = fw.tensor(np.array([[0, 5, 9, 15], [3, 8, 12, 1]]),
+                        dtype=fw.int64)
+        slapo.verify(Embedder, vocab_schedule, lambda: (ids,),
+                     world_size=2)

@@ -9,7 +9,9 @@ from repro import fx
 from repro.distributed import DeviceMesh, ParallelConfig
 from repro.distributed.topology import P3DN_NODE, p3dn_cluster
 from repro.framework import functional as F
+from repro.distributed.mesh import axis_ranks
 from repro.slapo.tuner import enumerate_space
+from repro.slapo.tuner.space import parallelism_symbols
 
 shapes = st.lists(st.integers(1, 5), min_size=1, max_size=3).map(tuple)
 floats = st.floats(-10, 10, allow_nan=False, width=32)
@@ -171,6 +173,100 @@ class TestCostModelProperties:
         intra = P3DN_NODE.all_reduce_time(nbytes, tuple(range(8)))
         inter = p3dn_cluster(2).all_reduce_time(nbytes, tuple(range(16)))
         assert inter >= intra
+
+
+class TestParallelismSpaceProperties:
+    """Every configuration of the mesh-factorization space is valid
+    (the fuzzer and the tuner both lean on this)."""
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_every_config_factors_world_size(self, world_size):
+        configs = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size))
+        assert configs
+        for config in configs:
+            assert config["tp"] * config["dp"] * config["pp"] == world_size
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_pipelines_always_fillable(self, world_size):
+        """m >= pp for every configuration that declares micro-batches."""
+        configs = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size))
+        for config in configs:
+            if config["pp"] > 1:
+                m = config["num_micro_batches"]
+                assert m >= config["pp"]
+                assert m % config["pp"] == 0
+
+    @given(world_size=st.sampled_from([8, 16]),
+           max_tp=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_limits_respected_and_space_complete(self, world_size, max_tp):
+        configs = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size,
+                                              max_tp=max_tp))
+        seen = {(c["tp"], c["dp"], c["pp"]) for c in configs}
+        assert all(tp <= max_tp for tp, _, _ in seen)
+        # Completeness: every legal factorization under the cap appears.
+        expected = {
+            (tp, world_size // (tp * pp), pp)
+            for tp in range(1, max_tp + 1) if world_size % tp == 0
+            for pp in range(1, world_size // tp + 1)
+            if (world_size // tp) % pp == 0
+        }
+        assert seen == expected
+
+
+class TestMeshRankProperties:
+    """axis_ranks is the single source of rank-group truth; its groups
+    must partition the world along every axis for every factorization."""
+
+    def _factorizations(self, world_size):
+        return [
+            (tp, dp, world_size // (tp * dp))
+            for tp in range(1, world_size + 1) if world_size % tp == 0
+            for dp in range(1, world_size // tp + 1)
+            if (world_size // tp) % dp == 0
+        ]
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_groups_partition_the_world(self, world_size):
+        for tp, dp, pp in self._factorizations(world_size):
+            config = ParallelConfig(tp=tp, dp=dp, pp=pp)
+            for axis, size in (("tp", tp), ("dp", dp), ("pp", pp)):
+                groups = {axis_ranks(rank, config)[axis]
+                          for rank in range(world_size)}
+                # Disjoint cover of the world with equal-size groups.
+                flat = [r for group in groups for r in group]
+                assert sorted(flat) == list(range(world_size))
+                assert all(len(group) == size for group in groups)
+                assert len(groups) == world_size // size
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_every_rank_is_in_its_own_groups(self, world_size):
+        for tp, dp, pp in self._factorizations(world_size):
+            config = ParallelConfig(tp=tp, dp=dp, pp=pp)
+            for rank in range(world_size):
+                groups = axis_ranks(rank, config)
+                for axis in ("tp", "dp", "pp"):
+                    assert rank in groups[axis]
+                    assert groups[axis] == tuple(sorted(groups[axis]))
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_axis_groups_intersect_only_at_self(self, world_size):
+        """tp/dp/pp groups of one rank share exactly that rank."""
+        for tp, dp, pp in self._factorizations(world_size):
+            config = ParallelConfig(tp=tp, dp=dp, pp=pp)
+            for rank in range(world_size):
+                groups = axis_ranks(rank, config)
+                for a, b in (("tp", "dp"), ("tp", "pp"), ("dp", "pp")):
+                    overlap = set(groups[a]) & set(groups[b])
+                    assert overlap == {rank}
 
 
 class TestTunerProperties:
