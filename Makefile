@@ -22,10 +22,12 @@ fuzz:
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
 
-# Perf trajectory: refreshes BENCH_sim_speed.json + BENCH_pipeline.json.
+# Perf trajectory: refreshes BENCH_sim_speed.json + BENCH_pipeline.json
+# + BENCH_moe.json.
 perf:
 	$(PYTHON) benchmarks/bench_sim_speed.py
 	$(PYTHON) benchmarks/bench_pipeline.py
+	$(PYTHON) benchmarks/bench_moe.py
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

@@ -1,0 +1,162 @@
+"""Mixture-of-experts benchmark panel — what the expert axis buys.
+
+Two questions, answered with numbers written to ``BENCH_moe.json``:
+
+* **Does expert sharding pay per step?**  For the registered MoE-GPT
+  model on a 16-GPU (2 × p3dn) spec, compare the predicted optimizer-step
+  time of the dense layout (every rank holds every expert) against
+  ep-sharded layouts for ep ∈ {1, 2, 4, 8} at a fixed micro-batch — the
+  per-GPU expert compute, gradient traffic and optimizer work shrink
+  with ep while the dispatch/combine all-to-alls (priced via
+  ``ClusterSpec.collective_coeffs("all_to_all", ...)``) grow.
+* **Is the joint optimum non-trivial?**  For an expert-heavy variant
+  (64 experts ≈ 13B expert parameters) sweep the tp × ep grid with the
+  planner: fully replicated experts must not fit, and the best feasible
+  configuration must use ep > 1 — the scenario the tuner's joint
+  tp/pp/dp/ep search exists for.
+
+Run via ``make perf``; committing the refreshed JSON records the
+trajectory over PRs (``scripts/check_bench.py`` guards regressions).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_moe.json"
+
+EP_SWEEP = (1, 2, 4, 8)
+WORLD_SIZE = 16
+MICRO_BATCH = 4
+
+
+def _sharded_trace(config, tp: int, ep: int):
+    import repro.slapo as slapo
+    from repro.distributed import DeviceMesh, ParallelConfig
+    from repro.models import MODEL_ZOO, data
+    from repro.schedules import schedule_moe_gpt
+    from repro.sim import trace_model
+
+    cls, _ = MODEL_ZOO["MoE-GPT"]
+    model = cls(config, device="meta")
+    mesh = DeviceMesh(ParallelConfig(tp=tp, ep=ep), rank=0, sim=True)
+    sch = slapo.create_schedule(model, mesh=mesh)
+    schedule_moe_gpt(sch, config)
+    built = slapo.build(sch).model
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    return built, trace_model(built, ids)
+
+
+def ep_step_panel() -> dict:
+    """Dense vs ep-sharded predicted step time, registered MoE-GPT."""
+    from repro.distributed import ParallelConfig, p3dn_cluster
+    from repro.models import MODEL_ZOO
+    from repro.sim import step_time
+
+    _, config = MODEL_ZOO["MoE-GPT"]
+    cluster = p3dn_cluster(WORLD_SIZE // 8)
+    panel = {}
+    for ep in EP_SWEEP:
+        model, trace = _sharded_trace(config, tp=1, ep=ep)
+        parallel = ParallelConfig(dp=WORLD_SIZE // ep, ep=ep)
+        breakdown = step_time(trace, model, cluster, parallel, MICRO_BATCH)
+        panel[str(ep)] = {
+            "step_seconds": breakdown.total,
+            "ep_comm_seconds": breakdown.ep_comm,
+            "dp_comm_seconds": breakdown.dp_comm,
+            "optimizer_seconds": breakdown.optimizer,
+        }
+    print(f"\n{'ep':>4} {'step':>10} {'ep_comm':>10} {'dp_comm':>10}"
+          f"   ({config.name}, {WORLD_SIZE} GPUs, micro={MICRO_BATCH})")
+    for ep in EP_SWEEP:
+        row = panel[str(ep)]
+        print(f"{ep:>4} {row['step_seconds'] * 1e3:>8.1f}ms "
+              f"{row['ep_comm_seconds'] * 1e3:>8.2f}ms "
+              f"{row['dp_comm_seconds'] * 1e3:>8.1f}ms")
+    return panel
+
+
+def joint_optimum_probe() -> dict:
+    """Expert-heavy tp × ep sweep: the best feasible shape needs ep > 1."""
+    from repro.distributed import ParallelConfig, p3dn_cluster
+    from repro.models import MoEConfig
+    from repro.sim import predict_config
+
+    config = MoEConfig(
+        name="moe-gpt-64e", vocab_size=50304, hidden_size=1024,
+        num_layers=12, num_heads=16, intermediate_size=4096,
+        max_seq_len=1024, causal=True, num_experts=64, top_k=2,
+        capacity_factor=1.25)
+    cluster = p3dn_cluster(WORLD_SIZE // 8)
+    grid = {}
+    best = None
+    for tp, ep in itertools.product((1, 2, 4), EP_SWEEP):
+        if tp * ep > WORLD_SIZE:
+            continue
+        dp = WORLD_SIZE // (tp * ep)
+        model, trace = _sharded_trace(config, tp=tp, ep=ep)
+        prediction = predict_config(trace, model, cluster,
+                                    ParallelConfig(tp=tp, dp=dp, ep=ep),
+                                    micro_batch=None)
+        cell = {
+            "fits": prediction.fits,
+            "throughput": prediction.throughput,
+            "micro_batch": prediction.micro_batch,
+        }
+        grid[f"tp{tp}_ep{ep}"] = cell
+        if prediction.fits and (best is None
+                                or prediction.throughput
+                                > best[0].throughput):
+            best = (prediction, tp, ep, dp)
+    assert best is not None, "no feasible configuration on the grid"
+    prediction, tp, ep, dp = best
+    print(f"\n{config.name}: best shape tp={tp} ep={ep} dp={dp} "
+          f"({prediction.throughput:.1f} samples/s)")
+    return {
+        "model": config.name,
+        "grid": grid,
+        "best": {"tp": tp, "ep": ep, "dp": dp,
+                 "throughput": prediction.throughput},
+        "dense_fits": grid["tp1_ep1"]["fits"],
+    }
+
+
+def main() -> None:
+    start = time.perf_counter()
+    panel = ep_step_panel()
+    probe = joint_optimum_probe()
+    dense = panel["1"]["step_seconds"]
+    best_ep = min(EP_SWEEP, key=lambda ep: panel[str(ep)]["step_seconds"])
+    assert best_ep > 1, \
+        "expert sharding must beat the dense layout on per-step time"
+    assert not probe["dense_fits"], \
+        "the expert-heavy probe must not fit fully replicated"
+    assert probe["best"]["ep"] > 1, \
+        "the joint optimum must use the expert axis"
+    report = {
+        "benchmark": "moe",
+        "python": platform.python_version(),
+        "seconds": time.perf_counter() - start,
+        "ep_step_panel": panel,
+        "joint_optimum": probe,
+        "headline": {
+            "ep_sharded_step_speedup":
+                dense / panel[str(best_ep)]["step_seconds"],
+            "best_ep_step_seconds": panel[str(best_ep)]["step_seconds"],
+            "joint_best_throughput": probe["best"]["throughput"],
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

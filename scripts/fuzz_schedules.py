@@ -86,7 +86,7 @@ def main(argv=None) -> int:
 
     def progress(index, spec):
         print(f"[{index + 1:4d}/{args.budget}] {spec.family:10s} "
-              f"tp={spec.tp} dp={spec.dp} pp={spec.pp} "
+              f"tp={spec.tp} dp={spec.dp} pp={spec.pp} ep={spec.ep} "
               f"zero={spec.zero_stage} steps={len(spec.steps)}",
               flush=True)
 
@@ -107,8 +107,8 @@ def main(argv=None) -> int:
     for failure in result.failures:
         print(f"FAIL [{failure.kind}] {failure.spec.family} "
               f"tp={failure.spec.tp} dp={failure.spec.dp} "
-              f"pp={failure.spec.pp} zero={failure.spec.zero_stage}: "
-              f"{failure.error}")
+              f"pp={failure.spec.pp} ep={failure.spec.ep} "
+              f"zero={failure.spec.zero_stage}: {failure.error}")
         if failure.repro_path:
             print(f"  repro:  {failure.repro_path}")
         if failure.shrunk is not None:

@@ -92,6 +92,25 @@ class Communicator:
 
         return self._exchange(rank, array, combine)
 
+    def all_to_all(self, rank: int, array: np.ndarray, axis: int
+                   ) -> np.ndarray:
+        """Exchange equal chunks: chunk ``j`` of ``array`` (along ``axis``)
+        goes to the group's ``j``-th rank; the result concatenates the
+        chunks received from every peer, in group-rank order.
+
+        Received chunks are **copied** before the closing barrier — a
+        zero-copy view of a peer's send buffer would let the receiver race
+        any later in-place mutation by that peer (the same aliasing bug
+        class ``broadcast`` fixes above).
+        """
+        self._slots[rank] = np.split(array, self.size, axis=axis)
+        self._barrier.wait()
+        mine = self._local_index(rank)
+        received = [np.array(self._slots[peer][mine]) for peer in self.ranks]
+        result = np.concatenate(received, axis=axis)
+        self._barrier.wait()  # all reads done before slots are reused
+        return result
+
     def barrier(self, rank: int) -> None:
         self._barrier.wait()
 

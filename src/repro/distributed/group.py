@@ -63,6 +63,9 @@ class BaseGroup:
     def _broadcast_array(self, array, src: int):
         raise NotImplementedError
 
+    def _all_to_all_array(self, array: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
     def _record(self, kind: str, nbytes: int) -> None:
         events.record_comm(kind, nbytes, self.size,
                            meta={"tag": self.tag, "ranks": self.ranks})
@@ -148,6 +151,48 @@ class BaseGroup:
         return Tensor(np.array(self._broadcast_array(tensor.data, src)),
                       dtype=tensor.dtype)
 
+    def _check_even_split(self, shape, axis: int) -> None:
+        if not shape:
+            raise ValueError("all_to_all needs at least a 1-d value")
+        axis = axis % len(shape)
+        if shape[axis] % self.size != 0:
+            raise ValueError(
+                f"all_to_all requires an even split: dimension "
+                f"{shape[axis]} (axis {axis}) is not divisible by the "
+                f"group size {self.size}"
+            )
+
+    def all_to_all(self, value, axis: int = 0):
+        """Exchange equal chunks along ``axis`` (expert-parallel dispatch).
+
+        Chunk ``j`` of this rank's value goes to the group's ``j``-th rank
+        (local group order, the same local-index discipline as
+        ``broadcast``); the result concatenates the chunks received from
+        every peer in group-rank order, so shapes are preserved.  Uneven
+        splits are rejected.  Backward: an all-to-all is its own adjoint —
+        the gradient chunk produced for output position ``j`` travels back
+        to rank ``j``, which is exactly another all-to-all.
+        """
+        if isinstance(value, np.ndarray):
+            self._check_even_split(value.shape, axis)
+            self._record("all_to_all", value.nbytes)
+            return self._all_to_all_array(value, axis)
+        tensor: Tensor = value
+        self._check_even_split(tuple(tensor.shape), axis)
+        self._record("all_to_all", tensor.nbytes)
+        if tensor.is_meta:
+            return tensor  # equal chunks in, equal chunks out
+        out = Tensor(self._all_to_all_array(tensor.data, axis),
+                     dtype=tensor.dtype)
+        if is_grad_enabled() and (tensor.requires_grad or tensor.grad_fn):
+            def backward(grad):
+                self._record("all_to_all", grad.nbytes)
+                return (self._all_to_all_array(grad, axis),)
+
+            out.grad_fn = GradNode("all_to_all", (tensor,), backward)
+            out.requires_grad = True
+        return out
+
     def copy_to_group(self, value):
         """Identity forward, all-reduce backward.
 
@@ -192,6 +237,9 @@ class SingleGroup(BaseGroup):
     def _broadcast_array(self, array, src):
         return array
 
+    def _all_to_all_array(self, array, axis):
+        return array
+
     def _record(self, kind, nbytes):
         pass  # no communication happens in a world of one
 
@@ -224,6 +272,9 @@ class ThreadGroup(BaseGroup):
         # group of ranks (0, 2) when tp > 1 — where the two numberings
         # no longer coincide.
         return self._comm.broadcast(self.rank, array, self.ranks[src])
+
+    def _all_to_all_array(self, array, axis):
+        return self._comm.all_to_all(self.rank, array, axis)
 
     def barrier(self) -> None:
         self._comm.barrier(self.rank)
@@ -261,3 +312,6 @@ class SimGroup(BaseGroup):
 
     def _broadcast_array(self, array, src):
         return array
+
+    def _all_to_all_array(self, array, axis):
+        return array  # chunk sizes match, so the shape is unchanged

@@ -1,8 +1,10 @@
-"""Device meshes: factor a world of ranks into tp × dp × pp axes.
+"""Device meshes: factor a world of ranks into tp × ep × dp × pp axes.
 
 Follows the Megatron-LM convention: tensor-parallel groups are innermost
-(consecutive ranks, so TP traffic stays on NVLink), then data parallel, then
-pipeline parallel outermost.
+(consecutive ranks, so TP traffic stays on NVLink), then expert parallel
+(the all-to-all-heavy MoE axis, kept close for the same reason), then data
+parallel, then pipeline parallel outermost.  With ``ep = 1`` (the default)
+the layout reduces exactly to the historical tp × dp × pp factorization.
 """
 
 from __future__ import annotations
@@ -15,20 +17,27 @@ from .topology import ClusterSpec
 
 @dataclass(frozen=True)
 class ParallelConfig:
-    """How a world of GPUs is carved into parallel dimensions."""
+    """How a world of GPUs is carved into parallel dimensions.
+
+    ``ep`` (expert parallelism) is declared last so the historical
+    positional form ``ParallelConfig(tp, dp, pp)`` keeps meaning what it
+    always did.
+    """
 
     tp: int = 1
     dp: int = 1
     pp: int = 1
+    ep: int = 1
 
     @property
     def world_size(self) -> int:
-        return self.tp * self.dp * self.pp
+        return self.tp * self.ep * self.dp * self.pp
 
     def validate(self, world_size: int) -> None:
         if self.world_size != world_size:
             raise ValueError(
-                f"tp*dp*pp = {self.world_size} != world size {world_size}"
+                f"tp*ep*dp*pp = {self.world_size} != world size "
+                f"{world_size}"
             )
 
 
@@ -39,16 +48,26 @@ def axis_ranks(rank: int, config: ParallelConfig
     This is the **single** source of truth for rank-group layout: both
     :class:`DeviceMesh` (functional collectives) and the simulator's
     collective pricing (:mod:`repro.sim.throughput`) derive their groups
-    here, so the two can never drift apart.
+    here, so the two can never drift apart.  Layout (innermost first):
+    ``rank = tp_idx + tp·(ep_idx + ep·(dp_idx + dp·pp_idx))``.
     """
-    tp, dp, pp = config.tp, config.dp, config.pp
+    tp, ep, dp, pp = config.tp, config.ep, config.dp, config.pp
     tp_idx = rank % tp
-    dp_idx = (rank // tp) % dp
-    pp_idx = rank // (tp * dp)
-    tp_group = tuple(pp_idx * tp * dp + dp_idx * tp + i for i in range(tp))
-    dp_group = tuple(pp_idx * tp * dp + j * tp + tp_idx for j in range(dp))
-    pp_group = tuple(k * tp * dp + dp_idx * tp + tp_idx for k in range(pp))
-    return {"tp": tp_group, "dp": dp_group, "pp": pp_group}
+    ep_idx = (rank // tp) % ep
+    dp_idx = (rank // (tp * ep)) % dp
+    pp_idx = rank // (tp * ep * dp)
+
+    def build(axis_size: int, stride: int, axis_idx: int
+              ) -> tuple[int, ...]:
+        base = rank - axis_idx * stride
+        return tuple(base + i * stride for i in range(axis_size))
+
+    return {
+        "tp": build(tp, 1, tp_idx),
+        "ep": build(ep, tp, ep_idx),
+        "dp": build(dp, tp * ep, dp_idx),
+        "pp": build(pp, tp * ep * dp, pp_idx),
+    }
 
 
 #: backwards-compatible alias (pre-unification internal name)
@@ -89,11 +108,15 @@ class DeviceMesh:
                     "a multi-rank mesh needs a RankContext or sim=True"
                 )
             self._groups = {name: SingleGroup(tag=name)
-                            for name in ("tp", "dp", "pp")}
+                            for name in ("tp", "ep", "dp", "pp")}
 
     @property
     def tp_group(self) -> BaseGroup:
         return self._groups["tp"]
+
+    @property
+    def ep_group(self) -> BaseGroup:
+        return self._groups["ep"]
 
     @property
     def dp_group(self) -> BaseGroup:
@@ -108,11 +131,13 @@ class DeviceMesh:
 
     @property
     def pp_stage(self) -> int:
-        return self.rank // (self.config.tp * self.config.dp)
+        c = self.config
+        return self.rank // (c.tp * c.ep * c.dp)
 
     def __repr__(self) -> str:
         c = self.config
-        return f"DeviceMesh(rank={self.rank}, tp={c.tp}, dp={c.dp}, pp={c.pp})"
+        return (f"DeviceMesh(rank={self.rank}, tp={c.tp}, ep={c.ep}, "
+                f"dp={c.dp}, pp={c.pp})")
 
 
 def single_device_mesh() -> DeviceMesh:

@@ -100,6 +100,19 @@ class ClusterSpec:
 
     reduce_scatter_time = all_gather_time
 
+    def all_to_all_time(self, nbytes: float, ranks: tuple[int, ...]) -> float:
+        """``nbytes`` is each rank's full (pre-split) buffer size.
+
+        Every rank keeps its own ``1/n`` chunk and exchanges the other
+        ``(n-1)/n`` pairwise — the same traffic volume per rank as an
+        all-gather of the full buffer, so the α–β form matches it.
+        """
+        n = len(ranks)
+        if n <= 1 or nbytes == 0:
+            return 0.0
+        bw = self._ring_bandwidth(ranks)
+        return (n - 1) / n * nbytes / bw + (n - 1) * self.link_latency
+
     def broadcast_time(self, nbytes: float, ranks: tuple[int, ...]) -> float:
         n = len(ranks)
         if n <= 1 or nbytes == 0:
@@ -130,7 +143,7 @@ class ClusterSpec:
         bw = self._ring_bandwidth(ranks)
         if kind == "all_reduce":
             return 2 * (n - 1) * self.link_latency, 2 * (n - 1) / n / bw
-        if kind in ("all_gather", "reduce_scatter"):
+        if kind in ("all_gather", "reduce_scatter", "all_to_all"):
             return (n - 1) * self.link_latency, (n - 1) / n / bw
         if kind == "broadcast":
             return (n - 1) * self.link_latency, 1.0 / bw
@@ -142,6 +155,7 @@ class ClusterSpec:
             "all_reduce": self.all_reduce_time,
             "all_gather": self.all_gather_time,
             "reduce_scatter": self.reduce_scatter_time,
+            "all_to_all": self.all_to_all_time,
             "broadcast": self.broadcast_time,
         }
         try:

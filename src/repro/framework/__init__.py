@@ -29,6 +29,8 @@ from .layers import (
     LayerNorm,
     Linear,
     MaxPool2d,
+    MoEExpert,
+    MoEFeedForward,
     ModuleList,
     ReLU,
     RMSNorm,
@@ -63,6 +65,7 @@ __all__ = [
     "Linear", "LayerNorm", "RMSNorm", "Embedding", "Dropout", "GELU", "ReLU",
     "SiLU", "Tanh", "Softmax", "Conv2d", "BatchNorm2d", "MaxPool2d",
     "AdaptiveAvgPool2d", "Sequential", "ModuleList", "Identity",
+    "MoEExpert", "MoEFeedForward",
     "SGD", "AdamW", "Optimizer",
     "no_grad", "enable_grad", "manual_seed", "get_rng_state", "set_rng_state",
     "recording", "set_recorder",

@@ -227,6 +227,253 @@ class AdaptiveAvgPool2d(Module):
         return F.adaptive_avg_pool2d(x, self.output_size)
 
 
+class MoEExpert(Module):
+    """One feed-forward expert of a mixture-of-experts layer."""
+
+    def __init__(self, hidden_size: int, intermediate_size: int,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        self.fc1 = Linear(hidden_size, intermediate_size, dtype=dtype,
+                          device=device)
+        self.fc2 = Linear(intermediate_size, hidden_size, dtype=dtype,
+                          device=device)
+
+    def forward(self, x):
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+def fill_capacity(choices: np.ndarray, num_experts: int, capacity: int
+                  ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Assign top-k expert choices to capacity slots, first come first served.
+
+    ``choices`` is ``(seq, k)`` expert ids in per-token priority order.
+    Tokens are processed in sequence order and their choices in priority
+    order; an expert that is already at ``capacity`` drops the assignment.
+    Returns ``(slot_pos, valid, dropped)`` where ``slot_pos[t, j]`` is the
+    capacity slot the assignment landed in and ``dropped`` counts the
+    assignments that found their expert full — deterministic by
+    construction, which the differential verifier relies on.
+    """
+    seq, top_k = choices.shape
+    slot_pos = np.zeros((seq, top_k), dtype=np.int64)
+    valid = np.zeros((seq, top_k), dtype=bool)
+    fill = np.zeros(num_experts, dtype=np.int64)
+    for t in range(seq):
+        for j in range(top_k):
+            expert = choices[t, j]
+            if fill[expert] < capacity:
+                slot_pos[t, j] = fill[expert]
+                valid[t, j] = True
+                fill[expert] += 1
+    return slot_pos, valid, int(seq * top_k - valid.sum())
+
+
+def top_k_choices(probs: np.ndarray, top_k: int) -> np.ndarray:
+    """Per-token expert ids in descending-probability order, ``(seq, k)``.
+
+    Ties break toward the lower expert index (stable sort), so the
+    routing is a pure deterministic function of the probabilities.
+    """
+    return np.argsort(-probs, axis=-1, kind="stable")[:, :top_k]
+
+
+class MoEFeedForward(Module):
+    """Top-k gated mixture-of-experts feed-forward (Switch/GShard style).
+
+    Routing is computed per sample: every token picks its ``top_k``
+    experts by gate probability, and each expert accepts at most
+    ``capacity = ceil(capacity_factor · seq · top_k / num_experts)``
+    assignments per sample (first come, first served; the overflow is
+    *dropped* — the token's output contribution for that slot is zero and
+    the surrounding residual connection carries it through).  The number
+    of dropped assignments of the latest forward is kept in
+    ``last_dropped``.
+
+    Expert parallelism: ``sch.shard_experts(ep)`` keeps ``num_experts/ep``
+    experts per rank and records an ``moe_ep`` annotation; the forward
+    then exchanges capacity-shaped dispatch/combine buffers with the other
+    expert-parallel ranks via two ``all_to_all`` collectives, and the
+    primitive's sync hooks restore the replicated output (forward
+    all-reduce) and gradients (backward all-reduce) — see
+    :class:`repro.slapo.primitives.sharding.ShardExpertsPrimitive`.
+    """
+
+    def __init__(self, hidden_size: int, intermediate_size: int,
+                 num_experts: int, top_k: int = 2,
+                 capacity_factor: float = 1.25,
+                 dtype: DType = dtypes.float32, device: str = "cpu"):
+        super().__init__()
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(
+                f"top_k must be in [1, num_experts]: {top_k} vs "
+                f"{num_experts}"
+            )
+        if capacity_factor <= 0:
+            raise ValueError(f"capacity_factor must be > 0: {capacity_factor}")
+        self.hidden_size = hidden_size
+        self.intermediate_size = intermediate_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.gate = Linear(hidden_size, num_experts, bias=False, dtype=dtype,
+                           device=device)
+        self.experts = ModuleList([
+            MoEExpert(hidden_size, intermediate_size, dtype=dtype,
+                      device=device)
+            for _ in range(num_experts)
+        ])
+        #: dropped (token, expert) assignments of the latest real forward
+        self.last_dropped = 0
+
+    def extra_repr(self) -> str:
+        return (f"num_experts={self.num_experts}, top_k={self.top_k}, "
+                f"capacity_factor={self.capacity_factor}")
+
+    def capacity(self, seq_len: int) -> int:
+        return max(1, math.ceil(
+            self.capacity_factor * seq_len * self.top_k / self.num_experts))
+
+    # -- routing -------------------------------------------------------- #
+    def _route(self, probs_np, batch: int, seq: int):
+        """(slot_expert, slot_pos, valid, capacity, dropped) per sample.
+
+        ``probs_np is None`` (meta tensors have no data) synthesizes a
+        deterministic round-robin assignment with the same shapes, so the
+        simulator traces the exact capacity-shaped buffers a real forward
+        produces.
+        """
+        cap = self.capacity(seq)
+        k, num = self.top_k, self.num_experts
+        slot_expert = np.empty((batch, seq, k), dtype=np.int64)
+        slot_pos = np.empty((batch, seq, k), dtype=np.int64)
+        valid = np.empty((batch, seq, k), dtype=bool)
+        dropped = 0
+        for b in range(batch):
+            if probs_np is None:
+                choices = (np.arange(seq)[:, None] * k
+                           + np.arange(k)[None, :]) % num
+            else:
+                choices = top_k_choices(probs_np[b], k)
+            slot_expert[b] = choices
+            slot_pos[b], valid[b], sample_dropped = \
+                fill_capacity(choices, num, cap)
+            dropped += sample_dropped
+        return slot_expert, slot_pos, valid, cap, dropped
+
+    # -- forward -------------------------------------------------------- #
+    def _pad_row(self, x, batch: int, width: int):
+        if x.is_meta:
+            return Tensor.meta((batch, 1, width), x.dtype)
+        return Tensor(np.zeros((batch, 1, width), x.data.dtype),
+                      dtype=x.dtype)
+
+    def _combine(self, slots, probs, slot_expert, slot_pos, valid,
+                 cap: int, batch: int, seq: int, hidden: int):
+        """Gather each token's expert outputs and mix them by gate value.
+
+        ``slots`` is ``(batch, num_experts·capacity, hidden)``; invalid
+        (dropped or foreign-stripe) assignments index a zero padding row
+        and are gate-masked, so they contribute exactly nothing — forward
+        and backward.
+        """
+        padded = F.cat([slots, self._pad_row(slots, batch, hidden)], dim=1)
+        slot_idx = np.where(valid, slot_expert * cap + slot_pos,
+                            self.num_experts * cap)
+        b_idx = np.arange(batch)[:, None, None]
+        s_idx = np.arange(seq)[None, :, None]
+        per_slot = padded[b_idx, slot_idx]              # (B, S, k, H)
+        gates = probs[b_idx, s_idx, slot_expert]        # (B, S, k)
+        if gates.is_meta:
+            mask = Tensor.meta(tuple(valid.shape), gates.dtype)
+        else:
+            mask = Tensor(valid.astype(gates.data.dtype), dtype=gates.dtype)
+        return ((gates * mask).unsqueeze(-1) * per_slot).sum(dim=2)
+
+    def forward(self, x):
+        batch, seq, hidden = (int(d) for d in x.shape)
+        probs = F.softmax(self.gate(x), dim=-1)
+        probs_np = None if x.is_meta else probs.numpy()
+        slot_expert, slot_pos, valid, cap, dropped = \
+            self._route(probs_np, batch, seq)
+        self.last_dropped = dropped
+        num = self.num_experts
+
+        # Token index feeding each (sample, expert, capacity) slot;
+        # unfilled slots point at the zero padding row (index ``seq``).
+        token_for_slot = np.full((batch, num, cap), seq, dtype=np.int64)
+        bb, tt, jj = np.nonzero(valid)
+        token_for_slot[bb, slot_expert[bb, tt, jj],
+                       slot_pos[bb, tt, jj]] = tt
+        x_pad = F.cat([x, self._pad_row(x, batch, hidden)], dim=1)
+
+        spec = self._slapo_meta.get("moe_ep")
+        if spec is None or spec["group"].size == 1:
+            b_idx = np.arange(batch)[:, None, None]
+            dispatch = x_pad[b_idx, token_for_slot]     # (B, E, C, H)
+            outs = [self.experts[e](dispatch[:, e]) for e in range(num)]
+            slots = F.reshape(F.stack(outs, dim=1),
+                              (batch, num * cap, hidden))
+            return self._combine(slots, probs, slot_expert, slot_pos,
+                                 valid, cap, batch, seq, hidden)
+        return self._forward_expert_parallel(
+            x_pad, probs, spec, token_for_slot, slot_expert, slot_pos,
+            valid, cap, batch, seq, hidden)
+
+    def _forward_expert_parallel(self, x_pad, probs, spec, token_for_slot,
+                                 slot_expert, slot_pos, valid, cap: int,
+                                 batch: int, seq: int, hidden: int):
+        """Dispatch → local experts → combine across the ep group.
+
+        Routing is replicated (identical on every ep rank); the *work* is
+        partitioned two ways: each rank owns a contiguous stripe of the
+        tokens (dispatch side) and a contiguous slice of the experts
+        (compute side).  The returned output covers only this rank's token
+        stripe — the ``shard_experts`` forward hook all-reduces the
+        disjoint stripes back into the full replicated output, and its
+        backward hook all-reduces the matching stripe-partial gradients.
+        """
+        group = spec["group"]
+        world = group.size
+        num_local = spec["num_local"]
+        num = self.num_experts
+        my = group.ranks.index(group.rank)
+
+        # Contiguous token stripes (uneven counts allowed: the exchanged
+        # buffers are capacity-shaped, not stripe-shaped).
+        owner = np.empty(batch * seq, dtype=np.int64)
+        for index, chunk in enumerate(
+                np.array_split(np.arange(batch * seq), world)):
+            owner[chunk] = index
+        owner = owner.reshape(batch, seq)
+        owner_pad = np.concatenate(
+            [owner, np.full((batch, 1), -1, dtype=np.int64)], axis=1)
+        b_idx = np.arange(batch)[:, None, None]
+        owner_of_slot = owner_pad[b_idx, token_for_slot]    # (B, E, C)
+        mine = np.where(owner_of_slot == my, token_for_slot, seq)
+
+        # Dispatch: expert-major buffer, chunk j of axis 0 → ep rank j.
+        send = x_pad[np.arange(batch)[None, :, None],
+                     mine.transpose(1, 0, 2)]               # (E, B, C, H)
+        received = group.all_to_all(send, axis=0)
+        # Segment j holds *my* experts' slots filled from rank j's stripe;
+        # stripes fill disjoint slots, so the sum reassembles them exactly.
+        dispatch = F.reshape(
+            received, (world, num_local, batch, cap, hidden)).sum(dim=0)
+        outs = [self.experts[e](dispatch[e]) for e in range(num_local)]
+        stacked = F.stack(outs, dim=0)                  # (E_local, B, C, H)
+
+        # Combine: every peer gets one copy of my experts' outputs; the
+        # return all-to-all reassembles the full expert-major buffer in
+        # global expert order.  (Each copy's gradient carries exactly one
+        # stripe's contribution; the tape sums the copies.)
+        full = group.all_to_all(F.cat([stacked] * world, dim=0), axis=0)
+        slots = F.reshape(full.permute(1, 0, 2, 3), (batch, num * cap,
+                                                     hidden))
+        valid_mine = valid & (owner[:, :, None] == my)
+        return self._combine(slots, probs, slot_expert, slot_pos,
+                             valid_mine, cap, batch, seq, hidden)
+
+
 class Sequential(Module):
     """Chain of modules executed in insertion order."""
 

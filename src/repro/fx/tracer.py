@@ -39,6 +39,9 @@ DEFAULT_LEAF_TYPES = (
     fw_layers.MaxPool2d,
     fw_layers.AdaptiveAvgPool2d,
     fw_layers.Identity,
+    # Routing decisions are data-dependent control flow — untraceable by
+    # design; the layer is scheduled through its module surface instead.
+    fw_layers.MoEFeedForward,
 )
 
 

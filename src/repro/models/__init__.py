@@ -7,6 +7,7 @@ from .configs import (
     GPT_2_9B,
     GPT_10B,
     LLAMA_7B,
+    MOE_GPT_8E,
     OPT_2_7B,
     OPT_350M,
     ROBERTA_1_3B,
@@ -14,10 +15,12 @@ from .configs import (
     TABLE3_CONFIGS,
     TABLE3_PARAMS_BILLION,
     WIDERESNET_2_4B,
+    MoEConfig,
     ResNetConfig,
     TransformerConfig,
 )
 from .gpt import GPT2LMHeadModel, GPT2Model
+from .moe_gpt import MoEGPTLMHeadModel, MoEGPTModel
 from .llama import LlamaForCausalLM, LlamaModel
 from .opt import OPTForCausalLM, OPTModel
 from .roberta import RobertaLMHeadModel, RobertaModel
@@ -35,16 +38,17 @@ MODEL_ZOO = {
     "GPT-10B": (GPT2LMHeadModel, GPT_10B),
     "LLaMA-7B": (LlamaForCausalLM, LLAMA_7B),
     "OPT-350M": (OPTForCausalLM, OPT_350M),
+    "MoE-GPT": (MoEGPTLMHeadModel, MOE_GPT_8E),
 }
 
 __all__ = [
     "BertModel", "BertLMHeadModel", "RobertaModel", "RobertaLMHeadModel",
     "GPT2Model", "GPT2LMHeadModel", "OPTModel", "OPTForCausalLM",
     "T5ForConditionalGeneration", "LlamaModel", "LlamaForCausalLM",
-    "WideResNet",
-    "TransformerConfig", "ResNetConfig",
+    "WideResNet", "MoEGPTModel", "MoEGPTLMHeadModel",
+    "TransformerConfig", "ResNetConfig", "MoEConfig",
     "BERT_1B", "ROBERTA_1_3B", "GPT_2_9B", "OPT_2_7B", "T5_2_9B",
-    "WIDERESNET_2_4B", "GPT_10B", "LLAMA_7B", "OPT_350M",
+    "WIDERESNET_2_4B", "GPT_10B", "LLAMA_7B", "OPT_350M", "MOE_GPT_8E",
     "TABLE3_CONFIGS", "TABLE3_PARAMS_BILLION", "MODEL_ZOO",
     "data",
 ]

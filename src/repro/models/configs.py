@@ -122,6 +122,38 @@ LLAMA_7B = TransformerConfig(
     num_heads=32, intermediate_size=11008, max_seq_len=1024, causal=True,
     layer_norm_eps=1e-6, tie_embeddings=False)
 
+@dataclass(frozen=True)
+class MoEConfig(TransformerConfig):
+    """Transformer with mixture-of-experts feed-forward layers.
+
+    ``intermediate_size`` is the *per-expert* FFN width.  Every decoder
+    block's MLP is a top-k gated :class:`~repro.framework.layers
+    .MoEFeedForward`; tokens above an expert's capacity
+    (``capacity_factor · seq · top_k / num_experts`` per sample) are
+    dropped and ride the residual connection.
+    """
+
+    num_experts: int = 8
+    top_k: int = 2
+    capacity_factor: float = 1.25
+
+    def tiny(self, **overrides) -> "MoEConfig":
+        defaults = {"num_experts": 4}
+        defaults.update(overrides)
+        return super().tiny(**defaults)
+
+
+# --------------------------------------------------------------------- #
+# Mixture-of-experts study model (GShard/Switch-style GPT)
+# --------------------------------------------------------------------- #
+# Dense GPT-350M-scale trunk; 8 experts make the FFN parameters dominate,
+# which is what makes the expert-parallel axis worth searching.
+MOE_GPT_8E = MoEConfig(
+    name="moe-gpt-8e", vocab_size=50304, hidden_size=1024, num_layers=12,
+    num_heads=16, intermediate_size=4096, max_seq_len=1024, causal=True,
+    num_experts=8, top_k=2, capacity_factor=1.25)
+
+
 # --------------------------------------------------------------------- #
 # Auto-tuning study model (paper §5.4)
 # --------------------------------------------------------------------- #

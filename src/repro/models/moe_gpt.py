@@ -1,0 +1,84 @@
+"""Mixture-of-experts GPT: a GPT-2 trunk whose MLPs are top-k gated MoE.
+
+Paths mirror the dense GPT-2 family so schedules transfer::
+
+    transformer.wte / transformer.wpe
+    transformer.h.{i}.ln_1 / attn.c_attn / attn.c_proj / ln_2
+    transformer.h.{i}.moe.gate / moe.experts.{e}.fc1 / fc2
+    lm_head
+
+The attention stack is shared with :mod:`repro.models.gpt` (the schedule
+macros address ``attn.c_attn`` / ``attn.c_proj`` identically); only the
+feed-forward differs — each block carries a
+:class:`~repro.framework.layers.MoEFeedForward` whose experts a schedule
+can partition across the mesh's ``ep`` axis with ``shard_experts``.
+"""
+
+from __future__ import annotations
+
+from repro import framework as fw
+from repro.framework import functional as F
+
+from .configs import MoEConfig
+from .gpt import GPT2Attention
+
+
+class MoEGPTBlock(fw.Module):
+    def __init__(self, config: MoEConfig, device: str = "cpu"):
+        super().__init__()
+        eps, dtype = config.layer_norm_eps, config.dtype
+        self.ln_1 = fw.LayerNorm(config.hidden_size, eps=eps, dtype=dtype,
+                                 device=device)
+        self.attn = GPT2Attention(config, device)
+        self.ln_2 = fw.LayerNorm(config.hidden_size, eps=eps, dtype=dtype,
+                                 device=device)
+        self.moe = fw.MoEFeedForward(
+            config.hidden_size, config.intermediate_size,
+            num_experts=config.num_experts, top_k=config.top_k,
+            capacity_factor=config.capacity_factor, dtype=dtype,
+            device=device)
+
+    def forward(self, hidden_states):
+        hidden_states = hidden_states + self.attn(self.ln_1(hidden_states))
+        # Dropped tokens contribute zero from the expert path and ride
+        # this residual through unchanged (Switch Transformer semantics).
+        return hidden_states + self.moe(self.ln_2(hidden_states))
+
+
+class MoEGPTModel(fw.Module):
+    def __init__(self, config: MoEConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        h, dtype = config.hidden_size, config.dtype
+        self.wte = fw.Embedding(config.vocab_size, h, dtype=dtype,
+                                device=device)
+        self.wpe = fw.Embedding(config.max_seq_len, h, dtype=dtype,
+                                device=device)
+        self.drop = fw.Dropout(config.dropout)
+        self.h = fw.ModuleList([
+            MoEGPTBlock(config, device) for _ in range(config.num_layers)
+        ])
+        self.ln_f = fw.LayerNorm(h, eps=config.layer_norm_eps, dtype=dtype,
+                                 device=device)
+
+    def forward(self, input_ids):
+        positions = F.position_ids(input_ids)
+        x = self.drop(self.wte(input_ids) + self.wpe(positions))
+        for block in self.h:
+            x = block(x)
+        return self.ln_f(x)
+
+
+class MoEGPTLMHeadModel(fw.Module):
+    def __init__(self, config: MoEConfig, device: str = "cpu"):
+        super().__init__()
+        self.config = config
+        self.transformer = MoEGPTModel(config, device)
+        self.lm_head = fw.Linear(config.hidden_size, config.vocab_size,
+                                 bias=False, dtype=config.dtype,
+                                 device=device)
+        if config.tie_embeddings:
+            self.lm_head.weight = self.transformer.wte.weight
+
+    def forward(self, input_ids):
+        return self.lm_head(self.transformer(input_ids))

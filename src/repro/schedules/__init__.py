@@ -5,6 +5,7 @@ from .bert import schedule_bert, schedule_roberta
 from .gpt import schedule_gpt
 from .llama import schedule_llama
 from .loc import PAPER_LOC, SCHEDULE_SOURCES, schedule_loc, table4
+from .moe_gpt import schedule_moe_gpt
 from .opt import schedule_opt
 from .t5 import schedule_t5
 from .wideresnet import schedule_wideresnet
@@ -20,11 +21,13 @@ SCHEDULES = {
     "GPT-10B": schedule_gpt,
     "LLaMA-7B": schedule_llama,
     "OPT-350M": schedule_opt,
+    "MoE-GPT": schedule_moe_gpt,
 }
 
 __all__ = [
     "schedule_bert", "schedule_roberta", "schedule_gpt", "schedule_opt",
     "schedule_t5", "schedule_wideresnet", "schedule_llama",
+    "schedule_moe_gpt",
     "SCHEDULES", "SCHEDULE_SOURCES", "PAPER_LOC", "schedule_loc", "table4",
     "common",
 ]

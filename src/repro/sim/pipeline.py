@@ -189,19 +189,22 @@ class StageTime:
     backward: float
     tp_comm: float
     pp_comm: float
+    #: expert-parallel (MoE dispatch/combine) collectives of this stage
+    ep_comm: float = 0.0
 
     @property
     def steady(self) -> float:
-        return self.forward + self.backward + self.tp_comm + self.pp_comm
+        return (self.forward + self.backward + self.tp_comm + self.ep_comm
+                + self.pp_comm)
 
 
 class _StageTimer:
     """Prices a stage profile's per-micro-batch steady time.
 
     Built once per (trace, cluster, parallel, micro-batch, cost model):
-    kernel-time prefix sums, the α–β coefficients of every TP collective
-    kind (hoisted — they depend only on the rank group), and the P2P hop
-    stride are all precomputed, so pricing a span is O(kinds).
+    kernel-time prefix sums, the α–β coefficients of every tp/ep
+    collective kind (hoisted — they depend only on the rank group), and
+    the P2P hop stride are all precomputed, so pricing a span is O(kinds).
     """
 
     def __init__(self, trace: ModelTrace, cluster: ClusterSpec,
@@ -213,35 +216,44 @@ class _StageTimer:
         self.scale = micro_batch / trace.ref_batch
         self.time_cum, self.ckpt_cum = \
             self.cost.op_time_cumsums(trace, self.scale)
-        if tp_ranks is None:
-            # same mesh layout DeviceMesh uses — never hand-rolled
-            tp_ranks = axis_ranks(0, parallel)["tp"]
-        if parallel.tp > 1:
-            self.comm_cums = trace.compiled().comm_cumsums("tp")
-            self.coeffs = {
-                kind: cluster.collective_coeffs(kind, tp_ranks)
-                for kind in self.comm_cums
-            }
-        else:
-            self.comm_cums, self.coeffs = {}, {}
-        #: adjacent pipeline stages sit tp·dp ranks apart (Megatron layout)
-        self.hop_stride = parallel.tp * parallel.dp
+        # same mesh layout DeviceMesh uses — never hand-rolled
+        mesh_groups = axis_ranks(0, parallel)
+        self.axis_comms: dict[str, tuple[dict, dict]] = {}
+        for axis in ("tp", "ep"):
+            if getattr(parallel, axis) <= 1:
+                continue
+            ranks = tp_ranks if axis == "tp" and tp_ranks is not None \
+                else mesh_groups[axis]
+            cums = trace.compiled().comm_cumsums(axis)
+            coeffs = {kind: cluster.collective_coeffs(kind, ranks)
+                      for kind in cums}
+            self.axis_comms[axis] = (cums, coeffs)
+        #: adjacent pipeline stages sit tp·ep·dp ranks apart (Megatron
+        #: layout with the expert axis nested inside dp)
+        self.hop_stride = parallel.tp * parallel.ep * parallel.dp
+
+    def _axis_comm(self, axis: str, p: StageProfile) -> float:
+        if axis not in self.axis_comms:
+            return 0.0
+        cums, coeffs = self.axis_comms[axis]
+        total = 0.0
+        for kind, (count_cum, bytes_cum) in cums.items():
+            count = count_cum[p.comm_end] - count_cum[p.comm_start]
+            if count == 0:
+                continue
+            alpha, beta = coeffs[kind]
+            nbytes = (bytes_cum[p.comm_end] - bytes_cum[p.comm_start]) \
+                * self.scale
+            total += count * alpha + beta * nbytes
+        return total * 2  # each forward collective has a backward twin
 
     def stage_time(self, p: StageProfile) -> StageTime:
         fwd = float(self.time_cum[p.op_end] - self.time_cum[p.op_start])
         recompute = float(self.ckpt_cum[p.op_end]
                           - self.ckpt_cum[p.op_start])
         bwd = fwd * self.cost.backward_multiplier + recompute
-        tp_comm = 0.0
-        for kind, (count_cum, bytes_cum) in self.comm_cums.items():
-            count = count_cum[p.comm_end] - count_cum[p.comm_start]
-            if count == 0:
-                continue
-            alpha, beta = self.coeffs[kind]
-            nbytes = (bytes_cum[p.comm_end] - bytes_cum[p.comm_start]) \
-                * self.scale
-            tp_comm += count * alpha + beta * nbytes
-        tp_comm *= 2  # each forward collective has a backward twin
+        tp_comm = self._axis_comm("tp", p)
+        ep_comm = self._axis_comm("ep", p)
         #: fwd activation send/recv + the matching bwd gradient traffic
         pp_comm = 2 * (
             self.cluster.p2p_time(p.send_bytes * self.scale, 0,
@@ -249,7 +261,7 @@ class _StageTimer:
             + self.cluster.p2p_time(p.recv_bytes * self.scale, 0,
                                     self.hop_stride))
         return StageTime(forward=fwd, backward=bwd, tp_comm=tp_comm,
-                         pp_comm=pp_comm)
+                         pp_comm=pp_comm, ep_comm=ep_comm)
 
 
 def stage_step_times(trace: ModelTrace, profiles: Sequence[StageProfile],

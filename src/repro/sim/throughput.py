@@ -7,6 +7,9 @@ samples.  The step time composes:
   checkpoint recompute),
 * tensor-parallel collectives (from trace comm events; each forward
   all-reduce has a backward twin),
+* expert-parallel collectives (MoE dispatch/combine all-to-alls and the
+  output-replication all-reduce, priced over the ``ep`` rank group the
+  same way),
 * ZeRO-3 parameter all-gathers (forward and backward) and gradient
   reduce-scatter, partially overlapped with compute via prefetching,
 * data-parallel gradient all-reduce (overlapped with backward),
@@ -47,6 +50,9 @@ class StepBreakdown:
     forward: float = 0.0
     backward: float = 0.0
     tp_comm: float = 0.0
+    #: expert-parallel traffic: MoE dispatch/combine all-to-alls and the
+    #: output-replication all-reduce, each with its backward twin
+    ep_comm: float = 0.0
     zero_comm: float = 0.0
     dp_comm: float = 0.0
     pp_comm: float = 0.0
@@ -63,14 +69,16 @@ class StepBreakdown:
         forgotten in the other is caught rather than silently dropped.
         """
         return {"forward": self.forward, "backward": self.backward,
-                "tp_comm": self.tp_comm, "zero_comm": self.zero_comm,
+                "tp_comm": self.tp_comm, "ep_comm": self.ep_comm,
+                "zero_comm": self.zero_comm,
                 "dp_comm": self.dp_comm, "pp_comm": self.pp_comm,
                 "bubble": self.bubble, "optimizer": self.optimizer}
 
     @property
     def total(self) -> float:
-        return (self.forward + self.backward + self.tp_comm + self.zero_comm
-                + self.dp_comm + self.pp_comm + self.bubble + self.optimizer)
+        return (self.forward + self.backward + self.tp_comm + self.ep_comm
+                + self.zero_comm + self.dp_comm + self.pp_comm + self.bubble
+                + self.optimizer)
 
 
 def _axis_ranks(cluster: ClusterSpec, parallel: ParallelConfig, axis: str
@@ -119,22 +127,25 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     breakdown.forward = fwd_micro * num_micro_batches
     breakdown.backward = bwd_micro * num_micro_batches
 
-    # -- tensor-parallel collectives ------------------------------------ #
-    if parallel.tp > 1:
-        tp_ranks = _axis_ranks(cluster, parallel, "tp")
+    # -- tensor- and expert-parallel collectives ------------------------ #
+    # The trace's comm events are pre-folded into per-(tag, kind)
+    # (count, byte-sum) pairs; each collective is affine in its size
+    # (α latency + β·bytes), so the per-event scan collapses to one
+    # α–β evaluation per collective kind — evaluated per mesh axis with
+    # that axis's rank group.
+    for axis, attr in (("tp", "tp_comm"), ("ep", "ep_comm")):
+        if getattr(parallel, axis) <= 1:
+            continue
+        axis_group = _axis_ranks(cluster, parallel, axis)
         per_micro = 0.0
-        # The trace's comm events are pre-folded into per-(tag, kind)
-        # (count, byte-sum) pairs; each collective is affine in its size
-        # (α latency + β·bytes), so the per-event scan collapses to one
-        # α–β evaluation per collective kind.
         for (tag, kind), (count, total) in \
                 trace.compiled().comm_totals.items():
-            if tag != "tp" or count == 0:
+            if tag != axis or count == 0:
                 continue
-            alpha, beta = cluster.collective_coeffs(kind, tp_ranks)
+            alpha, beta = cluster.collective_coeffs(kind, axis_group)
             per_micro += count * alpha + beta * (total * scale)
         # forward collectives + their backward counterparts
-        breakdown.tp_comm = 2 * per_micro / pp * num_micro_batches
+        setattr(breakdown, attr, 2 * per_micro / pp * num_micro_batches)
 
     # -- ZeRO-3 parameter traffic --------------------------------------- #
     stats = model_stats_for(trace, model)
@@ -146,10 +157,13 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     # -- pipeline: stage boundary sends + bubble ------------------------ #
     if pp > 1:
         boundary = _boundary_bytes(trace, scale)
-        hop = cluster.p2p_time(boundary, 0, parallel.tp * parallel.dp)
+        # adjacent stages sit tp·ep·dp ranks apart (pp is outermost)
+        hop = cluster.p2p_time(boundary, 0,
+                               parallel.tp * parallel.ep * parallel.dp)
         breakdown.pp_comm = 2 * hop * num_micro_batches  # fwd + bwd
         steady = (breakdown.forward + breakdown.backward
-                  + breakdown.tp_comm + breakdown.pp_comm)
+                  + breakdown.tp_comm + breakdown.ep_comm
+                  + breakdown.pp_comm)
         breakdown.bubble = steady * (pp - 1) / max(num_micro_batches, 1)
     return breakdown
 
@@ -205,12 +219,14 @@ def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     breakdown.forward = times[b].forward * m
     breakdown.backward = times[b].backward * m
     breakdown.tp_comm = times[b].tp_comm * m
+    breakdown.ep_comm = times[b].ep_comm * m
     breakdown.pp_comm = times[b].pp_comm * m
     _shared_step_terms(breakdown, cluster, parallel,
                        profiles[b].param_bytes, profiles[b].param_count,
                        zero_stage, cost)
     steady_step = (breakdown.forward + breakdown.backward
-                   + breakdown.tp_comm + breakdown.pp_comm)
+                   + breakdown.tp_comm + breakdown.ep_comm
+                   + breakdown.pp_comm)
     breakdown.bubble = steady_step * (parallel.pp - 1) / max(m, 1)
     breakdown.detail["stage_times"] = tuple(steady)
     breakdown.detail["bottleneck_stage"] = b

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.framework.layers import Embedding, Linear
+from repro.framework.layers import Embedding, Linear, MoEFeedForward, ModuleList
 from repro.framework.parameter import Parameter
 
 from ..registry import Primitive, SchedulingError, register_primitive
@@ -153,6 +153,111 @@ def _refresh_module_dims(mod, sch, names, axis, num, index) -> None:
         shard = mod.num_embeddings // num
         mod.num_embeddings = shard
         mod._slapo_meta["vocab_range"] = (index * shard, (index + 1) * shard)
+
+
+@register_primitive()
+class ShardExpertsPrimitive(Primitive):
+    """``.shard_experts(ep)``: partition MoE experts over the mesh's ep axis.
+
+    Each rank of the ``ep`` group keeps ``num_experts / ep`` consecutive
+    experts (parameter objects are kept, not copied, so the verifier's
+    provenance mapping is the identity); the layer's forward then
+    exchanges capacity-shaped dispatch/combine buffers with its peers via
+    ``all_to_all``.  Two ``.sync()``-style hooks complete the contract —
+    and, because they are ordinary module hooks, traced ``GraphModule``
+    wrappers and pipeline stages carry them exactly like ``.sync()``
+    collectives:
+
+    * a forward hook all-reduces the stripe-partial outputs back into the
+      replicated full output;
+    * a backward hook all-reduces the stripe-partial input gradient and
+      the replicated router (gate) parameter gradients — the expert-
+      parallel analogue of the data-parallel gradient all-reduce.
+
+    ``ep`` is optional and, when given, must match the mesh's ``ep`` axis
+    (the mesh is the single source of the group layout); with ``ep = 1``
+    the primitive is a no-op.
+    """
+
+    name = "shard_experts"
+    fuzzable = True
+
+    @staticmethod
+    def _moe_module(sch):
+        mod = sch.mod
+        if isinstance(mod, MoEFeedForward):
+            return mod
+        # Duck-typed so user-defined MoE layers can opt in.
+        if hasattr(mod, "experts") and hasattr(mod, "gate") \
+                and hasattr(mod, "num_experts"):
+            return mod
+        return None
+
+    @staticmethod
+    def check(sch, ep: int | None = None) -> None:
+        mod = ShardExpertsPrimitive._moe_module(sch)
+        if mod is None:
+            raise SchedulingError(
+                f"{sch.path or '<root>'} is not a mixture-of-experts "
+                f"layer (needs .experts / .gate / .num_experts)"
+            )
+        group = sch.mesh.group("ep")
+        if ep is not None and int(ep) != group.size:
+            raise SchedulingError(
+                f"shard_experts(ep={ep}) disagrees with the mesh's "
+                f"expert-parallel axis of size {group.size}"
+            )
+        if mod._slapo_meta.get("moe_ep") is not None:
+            raise SchedulingError(
+                f"{sch.path or '<root>'} is already expert-sharded"
+            )
+        if mod.num_experts % group.size:
+            raise SchedulingError(
+                f"{mod.num_experts} experts are not divisible by the "
+                f"expert-parallel size {group.size}"
+            )
+
+    @staticmethod
+    def apply(sch, ep: int | None = None):
+        group = sch.mesh.group("ep")
+        if group.size == 1:
+            return sch  # world of one along ep: nothing to partition
+        mod = ShardExpertsPrimitive._moe_module(sch)
+        num_local = mod.num_experts // group.size
+        index = group.ranks.index(group.rank)
+        offset = index * num_local
+        mod.experts = ModuleList(
+            list(mod.experts)[offset:offset + num_local])
+        mod._slapo_meta["moe_ep"] = {
+            "group": group, "offset": offset, "num_local": num_local,
+        }
+
+        def combine(m, args, out):
+            # Token stripes are disjoint: the sum is the full output.
+            return group.all_reduce(out)
+
+        def grad_sync(m, grad):
+            # The router is replicated but its gradient contributions are
+            # expert-partitioned — sum them like dp sums batch slices.
+            for param in m.gate.parameters():
+                if param.grad is not None:
+                    reduced = group.all_reduce(param.grad.data)
+                    param.grad.data[...] = reduced.astype(
+                        param.grad.data.dtype)
+            return group.all_reduce(grad)
+
+        mod.register_forward_hook(combine)
+        mod.register_backward_hook(grad_sync)
+        return sch
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        mod = ShardExpertsPrimitive._moe_module(sch)
+        if mod is None or mod._slapo_meta.get("moe_ep") is not None:
+            return []
+        if mod.num_experts % sch.mesh.group("ep").size:
+            return []
+        return [((), {})]
 
 
 @register_primitive()

@@ -150,29 +150,31 @@ class SimCostModel(CostModel):
     # ------------------------------------------------------------------ #
     @staticmethod
     def parallel_fn(world_size: int) -> Callable[[dict], ParallelConfig]:
-        """A ``parallel`` resolver reading tp/dp/pp search coordinates.
+        """A ``parallel`` resolver reading tp/dp/pp/ep search coordinates.
 
-        Missing axes are inferred: with two of the three given the third
-        is the co-factor of ``world_size``; with only ``tp``/``pp`` given
-        the leftover becomes data parallelism.  A config whose axes do
-        not factor ``world_size`` raises ``ValueError`` (the tuner treats
-        that as an infeasible trial).  Pair with
+        Missing axes are inferred: ``dp`` defaults to the co-factor of
+        ``world_size`` over the explicitly given axes (so with only
+        ``tp``/``pp``/``ep`` given the leftover becomes data
+        parallelism).  A config whose axes do not factor ``world_size``
+        raises ``ValueError`` (the tuner treats that as an infeasible
+        trial).  Pair with
         :func:`repro.slapo.tuner.space.parallelism_symbols`, which only
         ever emits exact factorizations.
         """
         def resolve(config: dict) -> ParallelConfig:
             tp = int(config.get("tp", 1))
             pp = int(config.get("pp", 1))
+            ep = int(config.get("ep", 1))
             if "dp" in config:
                 dp = int(config["dp"])
             else:
-                if world_size % (tp * pp) != 0:
+                if world_size % (tp * pp * ep) != 0:
                     raise ValueError(
-                        f"tp={tp} × pp={pp} does not divide world size "
-                        f"{world_size}"
+                        f"tp={tp} × pp={pp} × ep={ep} does not divide "
+                        f"world size {world_size}"
                     )
-                dp = world_size // (tp * pp)
-            parallel = ParallelConfig(tp=tp, dp=dp, pp=pp)
+                dp = world_size // (tp * pp * ep)
+            parallel = ParallelConfig(tp=tp, dp=dp, pp=pp, ep=ep)
             parallel.validate(world_size)
             return parallel
 

@@ -94,18 +94,24 @@ def parallelism_symbols(space: Space, world_size: int,
                         max_tp: int | None = None,
                         max_pp: int | None = None,
                         min_micro_batches: tuple[int, ...] = (1, 2, 4, 8),
-                        ) -> tuple[int, int, int]:
-    """Declare a ``tp``/``pp``/``dp`` mesh factorization as search symbols.
+                        max_ep: int | None = None,
+                        ) -> tuple[int, ...]:
+    """Declare a ``tp``/``pp``[/``ep``]/``dp`` mesh factorization as
+    search symbols.
 
-    The three axes are declared *conditionally* (the polygon-space pattern
-    of paper Fig. 6): ``pp`` candidates depend on the chosen ``tp``, and
-    ``dp`` is the forced co-factor — so enumeration yields exactly the
-    factorizations ``tp·dp·pp = world_size``, never an invalid mesh.
-    With ``pp > 1`` a ``num_micro_batches`` symbol is also declared
-    (multiples of ``pp``, from ``min_micro_batches``), since a pipeline
-    is only fillable with at least one micro-batch per stage.
+    The axes are declared *conditionally* (the polygon-space pattern of
+    paper Fig. 6): ``pp`` candidates depend on the chosen ``tp``, the
+    optional ``ep`` candidates on both, and ``dp`` is the forced
+    co-factor — so enumeration yields exactly the factorizations
+    ``tp·dp·pp[·ep] = world_size``, never an invalid mesh.  With
+    ``pp > 1`` a ``num_micro_batches`` symbol is also declared (multiples
+    of ``pp``, from ``min_micro_batches``), since a pipeline is only
+    fillable with at least one micro-batch per stage.
 
-    Returns the chosen ``(tp, dp, pp)`` for this trial.
+    ``max_ep=None`` (the default) declares no expert-parallel symbol and
+    returns ``(tp, dp, pp)`` exactly as before; with ``max_ep`` set an
+    ``ep`` symbol joins the factorization and ``(tp, dp, pp, ep)`` is
+    returned.
     """
     tp_candidates = _divisors(world_size)
     if max_tp is not None:
@@ -115,11 +121,19 @@ def parallelism_symbols(space: Space, world_size: int,
     if max_pp is not None:
         pp_candidates = [p for p in pp_candidates if p <= max_pp]
     pp = space.create_symbol("pp", pp_candidates)
-    dp = space.create_symbol("dp", [world_size // (tp * pp)])
+    ep = None
+    if max_ep is not None:
+        ep_candidates = [e for e in _divisors(world_size // (tp * pp))
+                         if e <= max_ep]
+        ep = space.create_symbol("ep", ep_candidates)
+    dp = space.create_symbol(
+        "dp", [world_size // (tp * pp * (ep or 1))])
     if pp > 1:
         space.create_symbol("num_micro_batches",
                             [pp * f for f in min_micro_batches])
-    return tp, dp, pp
+    if ep is None:
+        return tp, dp, pp
+    return tp, dp, pp, ep
 
 
 def sample_space(update_fn: Callable[[Space], object], rng,

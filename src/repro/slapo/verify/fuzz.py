@@ -43,9 +43,10 @@ from .core import VerificationError, VerifyReport
 from .spec import FAMILY_INFO, ScheduleSpec, apply_step, replay, shrink
 
 #: families the seeded corpus samples by default (≥ 6, per the paper's
-#: Table 3 breadth claim); WideResNet joins with a conv-only menu
+#: Table 3 breadth claim); WideResNet joins with a conv-only menu and
+#: MoE-GPT brings the expert-parallel (ep) mesh axis
 DEFAULT_FAMILIES = ("BERT", "RoBERTa", "GPT", "OPT", "LLaMA-7B", "T5",
-                    "WideResNet")
+                    "WideResNet", "MoE-GPT")
 
 #: module paths per layer the registry sampler may visit (caps dry-run cost)
 _MAX_NODES_PER_LAYER = 12
@@ -55,9 +56,11 @@ def _mesh_space(info, world_size: int):
     """The define-by-run space of mesh factorizations + ZeRO stages."""
 
     def update(space):
-        tp, dp, pp = parallelism_symbols(
+        symbols = parallelism_symbols(
             space, world_size, max_tp=info.max_tp,
-            max_pp=2 if info.pp_ok else 1)
+            max_pp=2 if info.pp_ok else 1,
+            max_ep=info.max_ep if info.max_ep > 1 else None)
+        tp, dp, pp = symbols[:3]
         if dp > 1:
             space.create_symbol("zero_stage", [0, 1, 2, 3])
         return tp, dp, pp
@@ -66,8 +69,10 @@ def _mesh_space(info, world_size: int):
 
 
 def sample_mesh(info, world_size: int, rng) -> dict:
-    """One valid (tp, dp, pp, zero_stage, num_micro_batches) assignment."""
+    """One valid (tp, dp, pp, ep, zero_stage, num_micro_batches)
+    assignment."""
     config = sample_space(_mesh_space(info, world_size), rng, k=1)[0]
+    config.setdefault("ep", 1)
     config.setdefault("zero_stage", 0)
     config.setdefault("num_micro_batches", config.get("pp", 1))
     return config
@@ -137,8 +142,12 @@ def sample_spec(family: str, world_size: int, seed: int,
     mesh_cfg = sample_mesh(info, world_size, rng)
     spec = ScheduleSpec(
         family=family, tp=mesh_cfg["tp"], dp=mesh_cfg["dp"],
-        pp=mesh_cfg["pp"], zero_stage=int(mesh_cfg["zero_stage"]),
-        num_micro_batches=int(mesh_cfg["num_micro_batches"]), seed=seed)
+        pp=mesh_cfg["pp"], ep=int(mesh_cfg["ep"]),
+        zero_stage=int(mesh_cfg["zero_stage"]),
+        num_micro_batches=int(mesh_cfg["num_micro_batches"]), seed=seed,
+        # dp ranks verify on disjoint batch slices, so the global batch
+        # must divide evenly (dp can reach 8 at world size 8)
+        batch=int(np.lcm(4, mesh_cfg["dp"])))
 
     config = info.tiny_config()
     dry = _DryRun(info, config, family, spec.parallel, seed)
@@ -159,6 +168,15 @@ def sample_spec(family: str, world_size: int, seed: int,
             if rng.random() < 0.7:
                 dry.try_step("tp_mlp", path)
 
+    # Phase 1b: expert parallelism (MoE families).  ``shard_experts`` is
+    # a no-op on an ep=1 mesh, so the primitive surface is exercised on
+    # every mesh while real partitioning (dispatch/combine all-to-alls)
+    # happens whenever the sampled factorization has ep > 1.
+    if family == "MoE-GPT":
+        for path in layers:
+            if rng.random() < 0.7:
+                dry.try_step("moe_ep", path)
+
     # Phase 2: kernel replacement (flash attention cores).
     if family != "WideResNet":
         for path in layers:
@@ -166,7 +184,7 @@ def sample_spec(family: str, world_size: int, seed: int,
                 dry.try_step("flash_attention", path)
 
     # Phase 3: operator fusion (decompose + trace + pattern fuse).
-    if family not in ("WideResNet", "T5"):
+    if family not in ("WideResNet", "T5", "MoE-GPT"):
         for path in layers:
             if rng.random() < 0.35:
                 dry.try_step("fusion", path)

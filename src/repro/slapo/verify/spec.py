@@ -51,6 +51,8 @@ class FamilyInfo:
     pp_ok: bool = True
     #: largest tensor-parallel degree the tiny config divides by
     max_tp: int = 4
+    #: largest expert-parallel degree (1 = the family has no expert axis)
+    max_ep: int = 1
 
     def tiny_config(self):
         _, config = MODEL_ZOO[self.family]
@@ -100,6 +102,11 @@ FAMILY_INFO: dict[str, FamilyInfo] = {
         "GPT", _transformer_tiny(),
         layers=lambda c: [f"transformer.h.{i}"
                           for i in range(c.num_layers)]),
+    "MoE-GPT": FamilyInfo(
+        "MoE-GPT", _transformer_tiny(),
+        layers=lambda c: [f"transformer.h.{i}"
+                          for i in range(c.num_layers)],
+        max_ep=4),
     "OPT": FamilyInfo(
         "OPT", _transformer_tiny(),
         layers=lambda c: [f"model.decoder.layers.{i}"
@@ -141,7 +148,7 @@ def _macro_tp_attention(layer, config, tp) -> None:
                                attr="num_attention_heads")
         attn["output.dense"].shard("weight", axis=1)
         attn["output.dense"].sync(mode="fwd_post")
-    elif family == "GPT":
+    elif family in ("GPT", "MoE-GPT"):
         common.interleave_qkv_rows(layer["attn.c_attn"].mod, tp)
         common.shard_pair(layer, "attn.c_attn", "attn.c_proj")
         common.set_local_heads(layer["attn"], config, tp)
@@ -187,6 +194,13 @@ def _macro_tp_mlp(layer, config, tp) -> None:
         common.shard_pair(layer, "intermediate.dense", "output.dense")
     elif family == "GPT":
         common.shard_pair(layer, "mlp.c_fc", "mlp.c_proj")
+    elif family == "MoE-GPT":
+        # Tensor parallelism *inside* each expert: every expert's FFN
+        # becomes a Megatron column→row pair (composes with ep slicing
+        # in either order — parameters keep their identity).
+        for index in range(len(layer["moe"].mod.experts)):
+            common.shard_pair(layer["moe"], f"experts.{index}.fc1",
+                              f"experts.{index}.fc2")
     elif family == "OPT":
         common.shard_pair(layer, "fc1", "fc2")
     elif family == "LLaMA-7B":
@@ -214,7 +228,7 @@ def _macro_tp_vocab(sch, config, tp) -> None:
         common.shard_vocab(sch, "roberta.embeddings.word_embeddings",
                            "lm_head.decoder",
                            head_params=("weight", "bias"))
-    elif family == "GPT":
+    elif family in ("GPT", "MoE-GPT"):
         common.shard_vocab(sch, "transformer.wte", "lm_head")
     elif family == "OPT":
         common.shard_vocab(sch, "model.decoder.embed_tokens", "lm_head")
@@ -230,7 +244,7 @@ def _macro_flash_attention(layer, config, tp) -> None:
     family = layer.context.metadata["fuzz_family"]
     if family in ("BERT", "RoBERTa"):
         common.replace_attention_core(layer["attention.self"])
-    elif family == "GPT":
+    elif family in ("GPT", "MoE-GPT"):
         common.replace_attention_core(layer["attn"], is_causal=True)
     elif family in ("OPT", "LLaMA-7B"):
         common.replace_attention_core(layer["self_attn"], is_causal=True)
@@ -266,6 +280,11 @@ def _macro_fusion(layer, config, tp) -> None:
         raise ValueError(f"fusion has no layout for {family!r}")
 
 
+def _macro_moe_ep(layer, config, tp) -> None:
+    """Partition the block's MoE experts over the mesh's ep axis."""
+    layer["moe"].shard_experts()
+
+
 def _macro_tp_conv_pair(block, config, tp) -> None:
     """WideResNet channel-parallel bottleneck (conv2 out / conv3 in)."""
     block["conv2"].shard("weight", axis=0)
@@ -283,6 +302,7 @@ MACROS: dict[str, Callable] = {
     "flash_attention": _macro_flash_attention,
     "fusion": _macro_fusion,
     "tp_conv_pair": _macro_tp_conv_pair,
+    "moe_ep": _macro_moe_ep,
 }
 
 
@@ -297,6 +317,7 @@ class ScheduleSpec:
     tp: int = 1
     dp: int = 1
     pp: int = 1
+    ep: int = 1
     zero_stage: int = 0
     seed: int = 0
     batch: int = 4
@@ -307,11 +328,12 @@ class ScheduleSpec:
 
     @property
     def world_size(self) -> int:
-        return self.tp * self.dp * self.pp
+        return self.tp * self.ep * self.dp * self.pp
 
     @property
     def parallel(self) -> ParallelConfig:
-        return ParallelConfig(tp=self.tp, dp=self.dp, pp=self.pp)
+        return ParallelConfig(tp=self.tp, dp=self.dp, pp=self.pp,
+                              ep=self.ep)
 
     def to_json(self) -> str:
         payload = {"format": FORMAT, **asdict(self)}

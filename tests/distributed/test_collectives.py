@@ -113,6 +113,137 @@ class TestThreadCollectives:
             cluster.run(fn)
 
 
+class TestAllToAll:
+    """Conformance net for the MoE dispatch/combine collective."""
+
+    @staticmethod
+    def _reference(group, array, axis):
+        """Loop-of-send/recv reference: chunk j → group rank j."""
+        chunks = np.split(array, group.size, axis=axis)
+        for index, dst in enumerate(group.ranks):
+            group.send(dst, np.array(chunks[index]))
+        received = [group.recv(src) for src in group.ranks]
+        return np.concatenate(received, axis=axis)
+
+    def test_matches_send_recv_reference(self):
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            rng = np.random.default_rng(ctx.rank)
+            local = rng.normal(size=(8, 3)).astype(np.float32)
+            fast = group.all_to_all(local.copy(), axis=0)
+            slow = self._reference(group, local, 0)
+            return fast, slow
+
+        for fast, slow in cluster.run(fn):
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_nondefault_axis_matches_reference(self):
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.arange(8, dtype=np.float32).reshape(2, 4) \
+                + 100 * ctx.rank
+            fast = group.all_to_all(local.copy(), axis=1)
+            slow = self._reference(group, local, 1)
+            return fast, slow
+
+        for fast, slow in cluster.run(fn):
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_strided_subgroups_under_tp(self):
+        """ep groups of tp-sharded ranks are strided — (0, 2) and (1, 3)
+        on a tp=2 × ep=2 mesh — and chunk routing must follow the *local*
+        group order, not global rank numbers (the PR4 ZeRO-broadcast bug
+        class)."""
+        cluster = LocalCluster(4)
+
+        def fn(ctx):
+            mesh = DeviceMesh(ParallelConfig(tp=2, ep=2), ctx=ctx)
+            group = mesh.ep_group
+            # rank r contributes [10r, 10r+1]: chunk 0 → first group
+            # member, chunk 1 → second group member
+            local = np.array([10.0 * ctx.rank, 10.0 * ctx.rank + 1],
+                             dtype=np.float32)
+            return group.ranks, group.all_to_all(local, axis=0)
+
+        out = cluster.run(fn)
+        assert out[0][0] == (0, 2) and out[1][0] == (1, 3)
+        # rank 0 keeps its chunk 0 and receives rank 2's chunk 0
+        np.testing.assert_array_equal(out[0][1], [0.0, 20.0])
+        np.testing.assert_array_equal(out[2][1], [1.0, 21.0])
+        np.testing.assert_array_equal(out[1][1], [10.0, 30.0])
+        np.testing.assert_array_equal(out[3][1], [11.0, 31.0])
+
+    def test_uneven_split_rejected(self):
+        cluster = LocalCluster(3)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            return group.all_to_all(np.zeros((4, 2), np.float32), axis=0)
+
+        with pytest.raises(ClusterError, match="even split"):
+            cluster.run(fn)
+
+    def test_uneven_split_raises_value_error_directly(self):
+        group = SimGroup((0, 1, 2), tag="ep")
+        with pytest.raises(ValueError, match="not divisible"):
+            group.all_to_all(np.zeros((4, 2), np.float32), axis=0)
+
+    def test_received_buffers_do_not_alias_senders(self):
+        """Zero-copy aliasing: a received buffer sharing memory with any
+        sender's live array lets the receiver observe later in-place
+        mutations (the bug class PR4 fixed for broadcast)."""
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            local = np.full((2, 2), float(ctx.rank), np.float32)
+            out = group.all_to_all(local, axis=0)
+            snapshot = out.copy()
+            # Mutate the send buffer *after* the collective returned on
+            # this rank; barrier so both ranks mutated before checking.
+            local[...] = -99.0
+            group.barrier()
+            return out, snapshot, np.shares_memory(out, local)
+
+        for out, snapshot, aliased in cluster.run(fn):
+            assert not aliased
+            np.testing.assert_array_equal(out, snapshot)
+
+    def test_tensor_autograd_roundtrip(self):
+        """Backward of an all-to-all is an all-to-all: a gradient applied
+        to the received chunk must land on the chunk's original owner."""
+        cluster = LocalCluster(2)
+
+        def fn(ctx):
+            group = ctx.world_group()
+            x = fw.tensor([1.0 + ctx.rank, 10.0 + ctx.rank],
+                          requires_grad=True)
+            out = group.all_to_all(x, axis=0)
+            # weight received chunks by (recv position + 1)
+            (out * fw.tensor([1.0, 2.0])).sum().backward()
+            return out.numpy(), x.grad.numpy()
+
+        results = cluster.run(fn)
+        np.testing.assert_array_equal(results[0][0], [1.0, 2.0])
+        np.testing.assert_array_equal(results[1][0], [10.0, 11.0])
+        # rank 0's chunk 0 stayed home (weight 1), its chunk 1 went to
+        # rank 1's position 0 (weight 1); rank 1's chunks got weights 2.
+        np.testing.assert_array_equal(results[0][1], [1.0, 1.0])
+        np.testing.assert_array_equal(results[1][1], [2.0, 2.0])
+
+    def test_single_and_sim_groups(self):
+        single = SingleGroup()
+        x = np.arange(4, dtype=np.float32)
+        np.testing.assert_array_equal(single.all_to_all(x), x)
+        sim = SimGroup((0, 1), tag="ep")
+        t = fw.Tensor.meta((4, 8))
+        assert tuple(sim.all_to_all(t, axis=0).shape) == (4, 8)
+
+
 class TestTensorAutogradCollectives:
     def test_all_reduce_backward_is_identity(self):
         cluster = LocalCluster(2)

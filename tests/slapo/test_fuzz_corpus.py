@@ -1,55 +1,64 @@
-"""The seeded fuzz corpus: 200 schedules, 7 families, tp/dp/pp/ZeRO meshes.
+"""The seeded fuzz corpus: 225 schedules, 8 families, tp/ep/dp/pp/ZeRO meshes.
 
 This is the acceptance gate for the verification subsystem: every sampled
 schedule must pass forward + gradient + optimizer-step differential
 verification on a LocalCluster, and every sampled configuration must
-satisfy the simulator invariants.  Marked ``slow`` — ``make test-fast``
-skips it, ``make test`` / ``make fuzz`` run it.
+satisfy the simulator invariants.  World size 8 joins the sweep so
+ep × tp × dp mixes (strided expert-parallel groups under tp > 1 — the
+ZeRO-broadcast bug class) are exercised.  Marked ``slow`` —
+``make test-fast`` skips it, ``make test`` / ``make fuzz`` run it.
 """
 
 import pytest
 
 from repro.slapo.verify import DEFAULT_FAMILIES, run_fuzz
 
-CORPUS_SIZE = 200
+CORPUS_SIZE = 225
 CORPUS_SEED = 0
+WORLD_SIZES = (1, 2, 4, 8)
 
 
 @pytest.mark.slow
 def test_seeded_corpus_passes(tmp_path):
     result = run_fuzz(CORPUS_SIZE, families=DEFAULT_FAMILIES,
-                      world_sizes=(1, 2, 4), seed=CORPUS_SEED,
+                      world_sizes=WORLD_SIZES, seed=CORPUS_SEED,
                       out_dir=tmp_path, check_sim=True)
     details = "\n".join(
         f"{f.spec.family} tp={f.spec.tp} dp={f.spec.dp} pp={f.spec.pp} "
-        f"zero={f.spec.zero_stage} [{f.kind}] {f.error}"
+        f"ep={f.spec.ep} zero={f.spec.zero_stage} [{f.kind}] {f.error}"
         + (f"\n  repro: {f.repro_path}" if f.repro_path else "")
         for f in result.failures
     )
     assert result.ok, f"{len(result.failures)} fuzzed schedules failed:\n" \
                       f"{details}"
     assert result.passed == CORPUS_SIZE
-    # Breadth: at least 6 model families actually exercised.
-    assert len(result.families) >= 6
+    # Breadth: at least 7 model families actually exercised.
+    assert len(result.families) >= 7
     # The corpus must be schedules, not no-ops.
     assert result.steps_verified / result.passed >= 3.0
 
 
 @pytest.mark.slow
 def test_corpus_exercises_every_mesh_axis(tmp_path):
-    """tp, dp, pp and ZeRO all appear in the sampled corpus."""
+    """tp, ep, dp, pp and ZeRO all appear in the sampled corpus —
+    including ep combined with tp and with dp (the mixes whose strided
+    groups the PR4 broadcast bug class lived in)."""
     from repro.slapo.verify import sample_spec
     import numpy as np
 
     rng = np.random.default_rng(CORPUS_SEED)
-    axes = {"tp": 0, "dp": 0, "pp": 0, "zero": 0}
+    axes = {"tp": 0, "dp": 0, "pp": 0, "ep": 0, "zero": 0,
+            "ep_x_tp": 0, "ep_x_dp": 0}
     for _ in range(CORPUS_SIZE):
         family = DEFAULT_FAMILIES[int(rng.integers(len(DEFAULT_FAMILIES)))]
-        world = (1, 2, 4)[int(rng.integers(3))]
+        world = WORLD_SIZES[int(rng.integers(len(WORLD_SIZES)))]
         spec = sample_spec(family, world, int(rng.integers(2 ** 31 - 1)),
                            rng=rng)
         axes["tp"] += spec.tp > 1
         axes["dp"] += spec.dp > 1
         axes["pp"] += spec.pp > 1
+        axes["ep"] += spec.ep > 1
         axes["zero"] += spec.zero_stage > 0
+        axes["ep_x_tp"] += spec.ep > 1 and spec.tp > 1
+        axes["ep_x_dp"] += spec.ep > 1 and spec.dp > 1
     assert all(count > 0 for count in axes.values()), axes

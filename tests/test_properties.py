@@ -219,6 +219,134 @@ class TestParallelismSpaceProperties:
         assert seen == expected
 
 
+class TestExpertParallelSpaceProperties:
+    """The ep axis joins the mesh factorization without losing
+    completeness or validity (tp·dp·pp·ep == world size, always)."""
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_every_config_factors_world_size_with_ep(self, world_size):
+        configs = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size,
+                                              max_ep=world_size))
+        assert configs
+        for config in configs:
+            assert config["tp"] * config["dp"] * config["pp"] \
+                * config["ep"] == world_size
+
+    @given(world_size=st.sampled_from([8, 16]),
+           max_ep=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_ep_space_complete_under_cap(self, world_size, max_ep):
+        """Every legal tp·pp·ep·dp factorization under the cap appears
+        exactly once."""
+        configs = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size,
+                                              max_ep=max_ep))
+        seen = {(c["tp"], c["dp"], c["pp"], c["ep"]) for c in configs}
+        # Full configs are unique (pp > 1 adds a num_micro_batches axis).
+        assert len({tuple(sorted(c.items())) for c in configs}) \
+            == len(configs)
+        expected = {
+            (tp, world_size // (tp * pp * ep), pp, ep)
+            for tp in range(1, world_size + 1) if world_size % tp == 0
+            for pp in range(1, world_size // tp + 1)
+            if (world_size // tp) % pp == 0
+            for ep in range(1, max_ep + 1)
+            if (world_size // (tp * pp)) % ep == 0
+        }
+        assert seen == expected
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_ep_axis_defaults_to_legacy_space(self, world_size):
+        """Without max_ep the space (and its symbols) is exactly the
+        pre-ep tp/dp/pp factorization — no silent behaviour change."""
+        legacy = enumerate_space(
+            lambda space: parallelism_symbols(space, world_size))
+        assert all("ep" not in config for config in legacy)
+        assert {(c["tp"], c["dp"], c["pp"]) for c in legacy} == {
+            (c["tp"], c["dp"], c["pp"])
+            for c in enumerate_space(
+                lambda space: parallelism_symbols(space, world_size,
+                                                  max_ep=1))
+        }
+
+
+class TestRouterProperties:
+    """Top-k routing is a deterministic function of the probabilities,
+    and capacity drops are exactly countable."""
+
+    @given(seed=st.integers(0, 500), seq=st.integers(2, 12),
+           num_experts=st.sampled_from([2, 4, 8]),
+           top_k=st.integers(1, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_routing_deterministic_under_seed(self, seed, seq, num_experts,
+                                              top_k):
+        from repro.framework.layers import fill_capacity, top_k_choices
+
+        probs = np.random.default_rng(seed).random((seq, num_experts))
+        probs /= probs.sum(axis=-1, keepdims=True)
+        first = top_k_choices(probs, top_k)
+        second = top_k_choices(probs.copy(), top_k)
+        np.testing.assert_array_equal(first, second)
+        pos1, valid1, drop1 = fill_capacity(first, num_experts, 2)
+        pos2, valid2, drop2 = fill_capacity(second, num_experts, 2)
+        np.testing.assert_array_equal(pos1, pos2)
+        np.testing.assert_array_equal(valid1, valid2)
+        assert drop1 == drop2
+
+    def test_ties_break_toward_lower_expert_index(self):
+        from repro.framework.layers import top_k_choices
+
+        probs = np.full((3, 4), 0.25)
+        choices = top_k_choices(probs, 2)
+        np.testing.assert_array_equal(choices, [[0, 1]] * 3)
+
+    def test_capacity_drop_counts_exact_for_crafted_logits(self):
+        """All tokens prefer expert 0: exactly seq − capacity of the
+        first choices drop; second choices (expert 1) drop the same way."""
+        from repro.framework.layers import fill_capacity, top_k_choices
+
+        seq, num_experts, capacity = 6, 4, 2
+        logits = np.tile(np.array([4.0, 3.0, 2.0, 1.0]), (seq, 1))
+        choices = top_k_choices(logits, 2)
+        np.testing.assert_array_equal(choices, [[0, 1]] * seq)
+        _, valid, dropped = fill_capacity(choices, num_experts, capacity)
+        assert dropped == 2 * (seq - capacity)
+        # Exactly the first `capacity` tokens kept, per expert.
+        np.testing.assert_array_equal(valid[:capacity], True)
+        np.testing.assert_array_equal(valid[capacity:], False)
+
+    def test_layer_reports_exact_drop_count(self):
+        fw.manual_seed(0)
+        moe = fw.MoEFeedForward(8, 16, num_experts=4, top_k=1,
+                                capacity_factor=0.5)
+        # capacity = ceil(0.5 · 8 · 1 / 4) = 1 slot per expert
+        assert moe.capacity(8) == 1
+        x = fw.randn(1, 8, 8)
+        moe(x)
+        # 8 assignments into 4 single-slot experts: at least 4 must drop
+        assert moe.last_dropped >= 4
+        expected = moe.last_dropped
+        moe(x)
+        assert moe.last_dropped == expected  # deterministic re-forward
+
+    @given(world_size=st.sampled_from([8, 16]))
+    @settings(max_examples=4, deadline=None)
+    def test_ep_groups_partition_the_world(self, world_size):
+        """axis_ranks stays a disjoint cover with the ep axis active."""
+        for tp in (1, 2):
+            for ep in (2, 4):
+                rest = world_size // (tp * ep)
+                config = ParallelConfig(tp=tp, dp=rest, pp=1, ep=ep)
+                groups = {axis_ranks(rank, config)["ep"]
+                          for rank in range(world_size)}
+                flat = [r for group in groups for r in group]
+                assert sorted(flat) == list(range(world_size))
+                assert all(len(group) == ep for group in groups)
+
+
 class TestMeshRankProperties:
     """axis_ranks is the single source of rank-group truth; its groups
     must partition the world along every axis for every factorization."""
