@@ -7,6 +7,7 @@ PYTHON ?= python
 # fast fuzz sweep and the BENCH_*.json perf-trajectory guard
 test:
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) scripts/validate_schedules.py
 	$(MAKE) fuzz
 	$(PYTHON) scripts/check_bench.py
 

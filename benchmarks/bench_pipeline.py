@@ -75,6 +75,70 @@ def stage_accuracy_probe() -> dict:
     }
 
 
+def schedule_panel() -> dict:
+    """Tick-program schedules on GPT: per-schedule step times at the
+    planned cuts, the zb-vs-1F1B bubble win at equal memory, and the
+    schedule the joint tuner search picks on its own."""
+    import repro.slapo as slapo
+    from repro.distributed import P3DN_NODE, ParallelConfig
+    from repro.models import MODEL_ZOO, data
+    from repro.pipeline import DEFAULT_SCHEDULE, SCHEDULE_NAMES
+    from repro.schedules import SCHEDULES
+    from repro.sim import plan_pipeline_schedule, trace_model
+    from repro.slapo.tuner import (AutoTuner, SimCostModel,
+                                   parallelism_symbols)
+
+    cls, config = MODEL_ZOO["GPT"]
+    model = cls(config, device="meta")
+    sch = slapo.create_schedule(model)
+    SCHEDULES["GPT"](sch, config, ckpt_ratio=0.0, use_tp=False)
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    trace = trace_model(model, ids)
+    parallel = ParallelConfig(tp=4, pp=2)
+
+    plan = plan_pipeline_schedule(trace, model, P3DN_NODE, parallel,
+                                  micro_batch=2, num_micro_batches=8)
+    candidates = {
+        c.schedule: {"step_seconds": c.step_seconds,
+                     "peak_memory_gib": c.peak_memory / 2**30,
+                     "fits": c.fits}
+        for c in plan.candidates
+    }
+    base = plan.candidate(DEFAULT_SCHEDULE)
+    best = plan.candidate(plan.schedule)
+    print(f"\n{'schedule':>12} {'step (s)':>10} {'peak (GiB)':>11} fits")
+    for name, row in candidates.items():
+        marker = " <- planned" if name == plan.schedule else ""
+        print(f"{name:>12} {row['step_seconds']:>10.4f} "
+              f"{row['peak_memory_gib']:>11.2f} {row['fits']!s:>5}"
+              f"{marker}")
+
+    def update(space):
+        parallelism_symbols(space, 8, pipeline_schedules=SCHEDULE_NAMES)
+        space.create_symbol("micro_batch", [1, 2])
+
+    cost_model = SimCostModel(
+        lambda _config: (model, trace), P3DN_NODE,
+        parallel=SimCostModel.parallel_fn(8),
+        trace_key_fn=lambda _config: "shared")
+    result = AutoTuner(
+        update,
+        lambda cfg: cost_model.estimate(cfg).throughput).exhaustive()
+    tuner_schedule = result.best_config.get("pipeline_schedule",
+                                            DEFAULT_SCHEDULE)
+    print(f"joint tuner winner: {result.best_config}")
+    return {
+        "parallel": {"tp": parallel.tp, "pp": parallel.pp},
+        "planned_cuts": list(plan.cuts),
+        "candidates": candidates,
+        "planner_selected_schedule": plan.schedule,
+        "zb_vs_1f1b_speedup":
+            base.step_seconds / candidates["zb"]["step_seconds"],
+        "tuner_selected_schedule": tuner_schedule,
+        "tuner_best_config": dict(result.best_config),
+    }
+
+
 def slapo_pp_panel() -> dict:
     """Fig. 7-style panel: slapo-pp across families × GPU counts."""
     from repro.baselines import EVALUATORS
@@ -113,14 +177,25 @@ def main() -> None:
         "stage-resolved pricing must differ from the uniform /pp estimate"
     assert probe["planned_vs_even_speedup"] > 1.0, \
         "the cut planner must beat the naive even-layer split"
+    schedules = schedule_panel()
+    assert schedules["zb_vs_1f1b_speedup"] > 1.0, \
+        "zero-bubble must beat 1F1B at equal per-stage memory"
+    assert schedules["planner_selected_schedule"] != "1f1b", \
+        "plan_pipeline_schedule must find the bubble win"
+    assert schedules["tuner_selected_schedule"] != "1f1b", \
+        "the joint tuner search must pick a non-default schedule"
     panel = slapo_pp_panel()
     report = {
         "benchmark": "pipeline",
         "python": platform.python_version(),
         "stage_accuracy": probe,
+        "schedules": schedules,
         "slapo_pp_panel": panel,
         "headline": {
             "planned_vs_even_speedup": probe["planned_vs_even_speedup"],
+            "zb_vs_1f1b_speedup": schedules["zb_vs_1f1b_speedup"],
+            "tuner_selected_schedule":
+                schedules["tuner_selected_schedule"],
             "gpt_8gpu_throughput":
                 panel["panel"]["GPT"]["8"]["throughput"],
         },

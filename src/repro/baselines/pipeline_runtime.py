@@ -1,10 +1,24 @@
-"""Pipeline-parallel runtime: micro-batched GPipe / 1F1B execution.
+"""Pipeline-parallel runtime: tick-program-driven micro-batched execution.
 
-Functionally, a pipeline step over ``m`` micro-batches must produce exactly
-the gradients of the full batch (gradient accumulation across micro-
-batches); the runtime here executes the stage chain per micro-batch in
-1F1B order and accumulates.  The *performance* consequence (the bubble
-``(p-1)/(m+p-1)``) is priced by :mod:`repro.sim.throughput`.
+Functionally, a pipeline step over ``m`` micro-batches must produce
+exactly the gradients of the full batch (gradient accumulation across
+micro-batches).  The runtime executes any registered tick program
+(:mod:`repro.pipeline`) *stage by stage*: each tick runs exactly one
+stage's forward or backward for one micro-batch, activations are handed
+off between stages at forward ticks, and output-gradients are handed
+back at backward ticks — so GPipe, 1F1B, interleaved virtual stages and
+zero-bubble programs all exercise their actual execution orders.  The
+*performance* consequence (bubble, per-stage busy/idle) is priced by
+:mod:`repro.sim.pipeline` off the same programs.
+
+Per-stage backward uses the vector-Jacobian trick: stage boundaries are
+detached (with ``requires_grad``), and a stage's backward seeds its tape
+with the downstream gradients via ``sum((out · g).sum())`` — bit-equal
+to seeding each output with ``g`` directly.  One caveat: the tape
+autograd computes input *and* weight gradients in a single walk, so a
+zero-bubble ``W`` tick is a bookkeeping no-op at runtime (the weight
+gradient already accumulated at the ``B`` tick); the simulator still
+prices ``B``/``W`` separately, which is where the zb bubble win lives.
 """
 
 from __future__ import annotations
@@ -12,9 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.framework import functional as F
 from repro.framework.module import Module
 from repro.framework.tensor import Tensor
+from repro.pipeline import TickOp, make_program, schedule_info
+
+#: tick-program op kinds → the runtime's legacy tick names
+KIND_NAMES = {"F": "forward", "B": "backward", "W": "weight"}
 
 
 @dataclass
@@ -22,20 +39,20 @@ class ScheduleTick:
     """One slot of the pipeline schedule: which stage does what."""
 
     stage: int
-    kind: str  # "forward" | "backward"
+    kind: str  # "forward" | "backward" | "weight"
     micro_batch: int
+    chunk: int = 0
+
+
+def _as_ticks(ops: Sequence[TickOp]) -> list[ScheduleTick]:
+    return [ScheduleTick(op.stage, KIND_NAMES[op.kind], op.micro_batch,
+                         op.chunk) for op in ops]
 
 
 def gpipe_schedule(num_stages: int, num_micro: int) -> list[ScheduleTick]:
-    """All forwards, then all backwards (GPipe)."""
-    ticks = []
-    for micro in range(num_micro):
-        for stage in range(num_stages):
-            ticks.append(ScheduleTick(stage, "forward", micro))
-    for micro in reversed(range(num_micro)):
-        for stage in reversed(range(num_stages)):
-            ticks.append(ScheduleTick(stage, "backward", micro))
-    return ticks
+    """All forwards, then all backwards (GPipe), linearized."""
+    return _as_ticks(make_program("gpipe", num_stages,
+                                  num_micro).linearize())
 
 
 def one_f_one_b_schedule(num_stages: int, num_micro: int
@@ -49,66 +66,58 @@ def one_f_one_b_schedule(num_stages: int, num_micro: int
     first stage is the memory bottleneck, the last stage holds one);
     :func:`repro.sim.memory.stage_inflight` prices exactly this invariant.
 
-    The returned flat tick list is a linearization of the per-stage
-    sequences that respects every cross-stage dependency: ``forward(s, i)``
+    The flat tick list is the program's deadlock-free linearization
+    (:meth:`repro.pipeline.TickProgram.linearize`): ``forward(s, i)``
     after ``forward(s-1, i)``, and ``backward(s, i)`` after both
     ``forward(s, i)`` and ``backward(s+1, i)``.
     """
-    p, m = num_stages, num_micro
-    local: list[list[tuple[str, int]]] = []
-    for s in range(p):
-        warmup = min(p - s - 1, m)
-        seq = [("forward", i) for i in range(warmup)]
-        for k in range(m - warmup):
-            seq.append(("forward", warmup + k))
-            seq.append(("backward", k))
-        for k in range(max(m - warmup, 0), m):
-            seq.append(("backward", k))
-        local.append(seq)
-
-    ticks: list[ScheduleTick] = []
-    done: set[tuple[str, int, int]] = set()
-    cursor = [0] * p
-    remaining = sum(len(seq) for seq in local)
-    while remaining:
-        progressed = False
-        for s in range(p):
-            while cursor[s] < len(local[s]):
-                kind, micro = local[s][cursor[s]]
-                if kind == "forward":
-                    ready = s == 0 or ("forward", s - 1, micro) in done
-                else:
-                    ready = ("forward", s, micro) in done and (
-                        s == p - 1 or ("backward", s + 1, micro) in done)
-                if not ready:
-                    break
-                ticks.append(ScheduleTick(s, kind, micro))
-                done.add((kind, s, micro))
-                cursor[s] += 1
-                remaining -= 1
-                progressed = True
-        if not progressed:  # pragma: no cover - schedule is deadlock-free
-            raise RuntimeError("1F1B schedule deadlocked")
-    return ticks
+    return _as_ticks(make_program("1f1b", num_stages,
+                                  num_micro).linearize())
 
 
 class PipelineRuntime:
-    """Drives a stage chain through micro-batched training steps."""
+    """Drives a stage chain through micro-batched training steps.
+
+    ``stages`` holds the sequential model chunks; for interleaved
+    schedules (``num_chunks > 1``) it must hold ``num_stages ×
+    num_chunks`` modules, chunk ``c`` of physical stage ``s`` being
+    ``stages[c · num_stages + s]`` (virtual-stage order).
+    """
 
     def __init__(self, stages: Sequence[Module], num_micro_batches: int,
-                 schedule: str = "1f1b"):
+                 schedule: str = "1f1b", num_stages: int | None = None):
         if num_micro_batches < 1:
             raise ValueError("need at least one micro-batch")
         self.stages = list(stages)
         self.num_micro = num_micro_batches
-        if schedule not in ("1f1b", "gpipe"):
-            raise ValueError(f"unknown pipeline schedule {schedule!r}")
+        info = schedule_info(schedule)  # rejects unknown schedules
         self.schedule = schedule
+        self.num_chunks = info.num_chunks
+        if num_stages is None:
+            if len(self.stages) % self.num_chunks:
+                raise ValueError(
+                    f"schedule {schedule!r} interleaves {self.num_chunks} "
+                    f"chunks per stage; {len(self.stages)} stage modules "
+                    f"do not divide evenly"
+                )
+            num_stages = len(self.stages) // self.num_chunks
+        if num_stages * self.num_chunks != len(self.stages):
+            raise ValueError(
+                f"{len(self.stages)} stage modules cannot form "
+                f"{num_stages} stages × {self.num_chunks} chunks"
+            )
+        self.num_stages = num_stages
+        #: execution record of the last ``train_step`` (one entry per tick)
+        self.last_trace: list[ScheduleTick] = []
+        #: peak in-flight activation chunks per physical stage, observed
+        self.last_stage_peaks: tuple[int, ...] = ()
+
+    def program(self):
+        """The tick program this runtime executes."""
+        return make_program(self.schedule, self.num_stages, self.num_micro)
 
     def ticks(self) -> list[ScheduleTick]:
-        maker = one_f_one_b_schedule if self.schedule == "1f1b" \
-            else gpipe_schedule
-        return maker(len(self.stages), self.num_micro)
+        return _as_ticks(self.program().linearize())
 
     @property
     def fillable(self) -> bool:
@@ -120,7 +129,35 @@ class PipelineRuntime:
         the runtime-side half of that feasibility agreement — asserted
         for every fuzzed configuration.
         """
-        return self.num_micro >= len(self.stages)
+        return self.num_micro >= self.num_stages
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _boundary_detach(values: tuple) -> tuple:
+        """Cut the tape at a stage boundary, keeping grad taps.
+
+        Float tensors become leaves with ``requires_grad`` so the
+        stage's backward deposits the gradients the upstream stage
+        needs; integer tensors (ids threaded through liveness) pass
+        through untouched.
+        """
+        detached = []
+        for value in values:
+            if isinstance(value, Tensor):
+                leaf = value.detach()
+                leaf.requires_grad_(True)  # only sticks for float dtypes
+                detached.append(leaf)
+            else:
+                detached.append(value)
+        return tuple(detached)
+
+    @staticmethod
+    def _output_tuple(value) -> tuple:
+        if isinstance(value, Tensor):
+            return (value,)
+        if not isinstance(value, tuple):
+            raise TypeError("stages must return tensors/tuples")
+        return value
 
     # ------------------------------------------------------------------ #
     def train_step(self, micro_batches: Sequence[tuple],
@@ -130,44 +167,86 @@ class PipelineRuntime:
         ``micro_batches``: sequence of input tuples, one per micro-batch.
         ``loss_fn(output, micro_index) -> scalar tensor``.
 
-        Gradients accumulate across micro-batches into the stage
-        parameters, scaled by ``1/m`` so they equal full-batch training.
+        Execution is tick-driven: the program's linearization is replayed
+        op by op, so each stage computes exactly at its scheduled ticks
+        (recorded in :attr:`last_trace`).  Gradients accumulate across
+        micro-batches into the stage parameters, scaled by ``1/m`` so
+        they equal full-batch training.
         """
         if len(micro_batches) != self.num_micro:
             raise ValueError(
                 f"expected {self.num_micro} micro-batches, got "
                 f"{len(micro_batches)}"
             )
-        # Functional execution honouring the schedule's dependency order:
-        # forward activations are cached per (stage, micro); backward runs
-        # loss-to-input per micro-batch when its last-stage backward tick
-        # fires.
-        outputs: dict[int, Tensor] = {}
+        program = self.program()
+        num_virtual = program.num_virtual
+        # per-(virtual stage, micro) state
+        fwd_out: dict[tuple[int, int], tuple] = {}   # stage outputs
+        fwd_in: dict[tuple[int, int], tuple] = {}    # detached inputs
+        handoff: dict[tuple[int, int], tuple] = {}   # activations to next
+        grad_in: dict[tuple[int, int], tuple] = {}   # grads from next
+        inflight = [0] * self.num_stages
+        peaks = [0] * self.num_stages
         losses: list[float] = []
-        done_backward: set[int] = set()
-        for tick in self.ticks():
-            if tick.kind == "forward" and tick.stage == 0:
-                value: object = micro_batches[tick.micro_batch]
-                for stage in self.stages:
-                    value = stage(*value) if isinstance(value, tuple) \
-                        else stage(value)
-                    if not isinstance(value, (tuple, Tensor)):
-                        raise TypeError("stages must return tensors/tuples")
-                    if isinstance(value, Tensor):
-                        value = (value,)
-                outputs[tick.micro_batch] = value[0] \
-                    if isinstance(value, tuple) and len(value) == 1 else value
-            elif tick.kind == "backward" and tick.stage == 0 \
-                    and tick.micro_batch not in done_backward:
-                output = outputs.pop(tick.micro_batch)
-                loss = loss_fn(output, tick.micro_batch)
-                scaled = loss * (1.0 / self.num_micro)
-                scaled.backward()
-                losses.append(float(loss.item()))
-                done_backward.add(tick.micro_batch)
+        trace: list[ScheduleTick] = []
+
+        for op in program.linearize():
+            vs = op.vstage(self.num_stages)
+            key = (vs, op.micro_batch)
+            if op.kind == "F":
+                if vs == 0:
+                    inputs = tuple(micro_batches[op.micro_batch])
+                else:
+                    inputs = self._boundary_detach(handoff.pop(key))
+                    fwd_in[key] = inputs
+                outputs = self._output_tuple(self.stages[vs](*inputs))
+                fwd_out[key] = outputs
+                if vs < num_virtual - 1:
+                    handoff[(vs + 1, op.micro_batch)] = outputs
+                inflight[op.stage] += 1
+                peaks[op.stage] = max(peaks[op.stage], inflight[op.stage])
+            elif op.kind == "B":
+                outputs = fwd_out.pop(key)
+                if vs == num_virtual - 1:
+                    output = outputs[0] if len(outputs) == 1 else outputs
+                    loss = loss_fn(output, op.micro_batch)
+                    (loss * (1.0 / self.num_micro)).backward()
+                    losses.append(float(loss.item()))
+                else:
+                    grads = grad_in.pop(key)
+                    surrogate = None
+                    for out, grad in zip(outputs, grads):
+                        if grad is None or not isinstance(out, Tensor) \
+                                or not out.requires_grad:
+                            continue
+                        term = (out * grad).sum()
+                        surrogate = term if surrogate is None \
+                            else surrogate + term
+                    if surrogate is not None:
+                        surrogate.backward()
+                if vs > 0:
+                    inputs = fwd_in.pop(key)
+                    grad_in[(vs - 1, op.micro_batch)] = tuple(
+                        value.grad if isinstance(value, Tensor) else None
+                        for value in inputs)
+                inflight[op.stage] -= 1
+            # "W": weight-gradient bookkeeping tick — the tape autograd
+            # already accumulated weight grads during "B" (see module
+            # docstring); nothing to execute, but it is traced so the
+            # sim/runtime agreement tests see the full program.
+            trace.append(ScheduleTick(op.stage, KIND_NAMES[op.kind],
+                                      op.micro_batch, op.chunk))
+        self.last_trace = trace
+        self.last_stage_peaks = tuple(peaks)
         return sum(losses) / len(losses)
 
     def bubble_fraction(self) -> float:
-        """The idle fraction of the pipeline: (p-1)/(m+p-1)."""
-        p, m = len(self.stages), self.num_micro
+        """The classic fill/drain idle estimate: (p-1)/(m+p-1).
+
+        Schedule-exact busy/idle pricing (zero-bubble ``W`` filling,
+        interleaved chunks) lives in
+        :func:`repro.pipeline.simulate_program` /
+        :mod:`repro.sim.pipeline`.
+        """
+        p, m = self.num_stages, self.num_micro
         return (p - 1) / (m + p - 1)

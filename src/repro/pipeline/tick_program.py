@@ -1,0 +1,233 @@
+"""The tick-program IR: pipeline schedules as data.
+
+A pipeline schedule is a per-stage sequence of *tick operations* — which
+micro-batch a stage works on and what it does (``F`` forward, ``B``
+backward, ``W`` weight-gradient).  Lifting GPipe / 1F1B / interleaved /
+zero-bubble out of hand-coded Python into one :class:`TickProgram` value
+lets the runtime execute any of them (:mod:`repro.baselines.
+pipeline_runtime`), the simulator price them exactly
+(:func:`repro.pipeline.timeline.simulate_program`,
+:mod:`repro.sim.pipeline`), and the tuner/fuzzer sweep them like any
+other knob — the paper's schedules-as-data thesis applied to the
+pipeline dimension itself.
+
+Virtual stages (Megatron-LM SC'21 interleaving) generalize the stage
+axis: with ``num_chunks = v`` model chunks per physical stage, virtual
+stage ``vs`` runs on physical stage ``vs % num_stages`` as chunk
+``vs // num_stages``, and every dependency rule below is stated over
+virtual stages:
+
+* ``F(vs, i)`` requires ``F(vs - 1, i)`` (activations arrive from the
+  previous virtual stage);
+* ``B(vs, i)`` requires ``F(vs, i)`` and, below the last virtual stage,
+  ``B(vs + 1, i)`` (output gradients arrive from downstream);
+* ``W(vs, i)`` requires ``B(vs, i)`` (the weight gradient consumes the
+  input-gradient pass's saved state).
+
+:meth:`TickProgram.validate` checks structure (exactly one ``F``/``B``
+— and ``W`` for backward-splitting programs — per (virtual stage,
+micro-batch), in a consistent local order); :meth:`TickProgram.
+linearize` proves deadlock freedom constructively by producing a global
+execution order that respects both the per-stage sequences and every
+cross-stage dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OP_KINDS = ("F", "B", "W")
+
+
+class ScheduleValidationError(ValueError):
+    """A tick program violated a structural or dependency rule."""
+
+
+@dataclass(frozen=True)
+class TickOp:
+    """One unit of stage work: (physical stage, kind, micro-batch, chunk)."""
+
+    stage: int
+    kind: str  # "F" | "B" | "W"
+    micro_batch: int
+    chunk: int = 0
+
+    def vstage(self, num_stages: int) -> int:
+        """The virtual-stage index this op belongs to."""
+        return self.chunk * num_stages + self.stage
+
+
+@dataclass(frozen=True)
+class TickProgram:
+    """A complete pipeline schedule: per-physical-stage op sequences."""
+
+    name: str
+    num_stages: int
+    num_micro: int
+    #: model chunks per physical stage (1 = no interleaving)
+    num_chunks: int = 1
+    #: whether backward is split into B (input-grad) + W (weight-grad)
+    split_backward: bool = False
+    #: ``stage_ops[s]`` — the ops physical stage ``s`` runs, in order
+    stage_ops: tuple[tuple[TickOp, ...], ...] = ()
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def num_virtual(self) -> int:
+        return self.num_stages * self.num_chunks
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`ScheduleValidationError` on any rule violation.
+
+        Structure: ops live on their own stage, kinds are known, chunks
+        are in range, every (virtual stage, micro-batch) runs exactly one
+        ``F`` and one ``B`` (plus exactly one ``W`` iff
+        ``split_backward``), and each stage's local order puts ``F``
+        before ``B`` before ``W`` for the same (virtual stage, micro).
+        Dependency/deadlock freedom is then proven by :meth:`linearize`.
+        """
+        if len(self.stage_ops) != self.num_stages:
+            raise ScheduleValidationError(
+                f"{self.name}: {len(self.stage_ops)} stage sequences for "
+                f"{self.num_stages} stages"
+            )
+        counts: dict[tuple[str, int, int], int] = {}
+        for s, ops in enumerate(self.stage_ops):
+            local_seen: set[tuple[str, int, int]] = set()
+            for op in ops:
+                if op.stage != s:
+                    raise ScheduleValidationError(
+                        f"{self.name}: op {op} recorded under stage {s}"
+                    )
+                if op.kind not in OP_KINDS:
+                    raise ScheduleValidationError(
+                        f"{self.name}: unknown op kind {op.kind!r}"
+                    )
+                if not 0 <= op.chunk < self.num_chunks:
+                    raise ScheduleValidationError(
+                        f"{self.name}: chunk {op.chunk} outside "
+                        f"[0, {self.num_chunks})"
+                    )
+                if not 0 <= op.micro_batch < self.num_micro:
+                    raise ScheduleValidationError(
+                        f"{self.name}: micro-batch {op.micro_batch} outside "
+                        f"[0, {self.num_micro})"
+                    )
+                vs = op.vstage(self.num_stages)
+                key = (op.kind, vs, op.micro_batch)
+                counts[key] = counts.get(key, 0) + 1
+                # local order: F before B before W for the same work item
+                if op.kind == "B" and ("F", vs, op.micro_batch) \
+                        not in local_seen:
+                    raise ScheduleValidationError(
+                        f"{self.name}: B({vs}, {op.micro_batch}) precedes "
+                        f"its forward in stage {s}'s sequence"
+                    )
+                if op.kind == "W" and ("B", vs, op.micro_batch) \
+                        not in local_seen:
+                    raise ScheduleValidationError(
+                        f"{self.name}: W({vs}, {op.micro_batch}) precedes "
+                        f"its backward in stage {s}'s sequence"
+                    )
+                local_seen.add(key)
+        expected_kinds = ("F", "B", "W") if self.split_backward \
+            else ("F", "B")
+        for vs in range(self.num_virtual):
+            for i in range(self.num_micro):
+                for kind in expected_kinds:
+                    n = counts.pop((kind, vs, i), 0)
+                    if n != 1:
+                        raise ScheduleValidationError(
+                            f"{self.name}: {kind}({vs}, {i}) appears "
+                            f"{n} times (want exactly 1)"
+                        )
+        if counts:
+            extra = next(iter(counts))
+            raise ScheduleValidationError(
+                f"{self.name}: unexpected op {extra[0]}({extra[1]}, "
+                f"{extra[2]})"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _ready(self, op: TickOp, done: set[tuple[str, int, int]]) -> bool:
+        """Whether every cross-stage dependency of ``op`` is satisfied."""
+        vs = op.vstage(self.num_stages)
+        i = op.micro_batch
+        if op.kind == "F":
+            return vs == 0 or ("F", vs - 1, i) in done
+        if op.kind == "B":
+            return ("F", vs, i) in done and (
+                vs == self.num_virtual - 1 or ("B", vs + 1, i) in done)
+        return ("B", vs, i) in done  # W
+
+    def linearize(self) -> list[TickOp]:
+        """A deadlock-free global execution order.
+
+        Greedy per-stage-cursor topological sort (the same algorithm the
+        original hand-coded 1F1B linearizer used, generalized to virtual
+        stages and ``W`` ops): repeatedly scan stages 0..p-1 and advance
+        each stage's cursor while its next op is ready.  Succeeds exactly
+        when the program's dependency graph is acyclic; a full scan with
+        no progress raises :class:`ScheduleValidationError` and names the
+        stuck front.
+        """
+        if "linear" in self._cache:
+            return list(self._cache["linear"])
+        order: list[TickOp] = []
+        done: set[tuple[str, int, int]] = set()
+        cursor = [0] * self.num_stages
+        remaining = sum(len(ops) for ops in self.stage_ops)
+        while remaining:
+            progressed = False
+            for s in range(self.num_stages):
+                ops = self.stage_ops[s]
+                while cursor[s] < len(ops):
+                    op = ops[cursor[s]]
+                    if not self._ready(op, done):
+                        break
+                    order.append(op)
+                    done.add((op.kind, op.vstage(self.num_stages),
+                              op.micro_batch))
+                    cursor[s] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                front = [str(self.stage_ops[s][cursor[s]])
+                         for s in range(self.num_stages)
+                         if cursor[s] < len(self.stage_ops[s])]
+                raise ScheduleValidationError(
+                    f"{self.name}: schedule deadlocked; stuck ops: "
+                    f"{front}"
+                )
+        self._cache["linear"] = tuple(order)
+        return order
+
+    # ------------------------------------------------------------------ #
+    def stage_peaks(self) -> tuple[int, ...]:
+        """Peak in-flight activation count per *physical* stage.
+
+        Counted in chunk units over the linearized order: each ``F``
+        pins one chunk's worth of activations on its physical stage,
+        released by the matching ``B`` (``W`` consumes state the input-
+        gradient pass already holds, so it does not change the count).
+        This is the quantity :func:`repro.sim.pipeline.stage_memory`
+        prices — derived from the program, not a closed form.
+        """
+        if "peaks" in self._cache:
+            return self._cache["peaks"]
+        inflight = [0] * self.num_stages
+        peak = [0] * self.num_stages
+        for op in self.linearize():
+            if op.kind == "F":
+                inflight[op.stage] += 1
+            elif op.kind == "B":
+                inflight[op.stage] -= 1
+                if inflight[op.stage] < 0:
+                    raise ScheduleValidationError(
+                        f"{self.name}: stage {op.stage} released more "
+                        f"activations than it held"
+                    )
+            peak[op.stage] = max(peak[op.stage], inflight[op.stage])
+        self._cache["peaks"] = tuple(peak)
+        return self._cache["peaks"]

@@ -27,9 +27,14 @@ from .memory import (
 )
 from .pipeline import (
     PipelinePlan,
+    ScheduleCandidate,
+    SchedulePlan,
     StageProfile,
     even_cuts,
     plan_pipeline_cuts,
+    plan_pipeline_schedule,
+    schedule_stage_inflight,
+    schedule_timeline,
     stage_memory,
     stage_profiles,
     stage_step_times,
@@ -52,6 +57,8 @@ __all__ = [
     "compute_model_stats", "model_memory", "stage_inflight",
     "StageProfile", "stage_profiles", "stage_step_times", "stage_memory",
     "PipelinePlan", "plan_pipeline_cuts", "even_cuts",
+    "SchedulePlan", "ScheduleCandidate", "plan_pipeline_schedule",
+    "schedule_timeline", "schedule_stage_inflight",
     "StepBreakdown", "step_time", "throughput",
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
     "micro_batch_count_candidates",

@@ -34,6 +34,17 @@ from typing import Sequence
 
 from repro.distributed.mesh import ParallelConfig, axis_ranks
 from repro.distributed.topology import ClusterSpec
+from repro.pipeline import (
+    DEFAULT_SCHEDULE,
+    SCHEDULE_NAMES,
+    ZB_WEIGHT_FRACTION,
+    ProgramTimeline,
+    TickOp,
+    make_program,
+    schedule_info,
+    schedule_peak_chunks,
+    simulate_program,
+)
 
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
@@ -276,28 +287,103 @@ def stage_step_times(trace: ModelTrace, profiles: Sequence[StageProfile],
     return [timer.stage_time(p) for p in profiles]
 
 
+def schedule_stage_inflight(schedule: str, stage_index: int,
+                            num_stages: int, num_micro_batches: int
+                            ) -> float:
+    """Peak in-flight micro-batches of activations one stage holds.
+
+    For the default 1F1B schedule this is the closed form
+    :func:`repro.sim.memory.stage_inflight` (``min(p - s, m)``), kept
+    verbatim so legacy numbers stay byte-identical.  For every other
+    registered schedule the count is *derived from the tick program*
+    (:func:`repro.pipeline.schedule_peak_chunks`): peak concurrent
+    chunks on the physical stage, divided by the schedule's chunks per
+    stage so interleaved programs are measured in full-stage activation
+    units (a chunk retains ``1/v`` of the stage's activations).
+    """
+    if schedule == DEFAULT_SCHEDULE:
+        return stage_inflight(stage_index, num_stages, num_micro_batches)
+    info = schedule_info(schedule)
+    peaks = schedule_peak_chunks(schedule, num_stages, num_micro_batches)
+    return max(peaks[stage_index], 1) / info.num_chunks
+
+
 def stage_memory(trace: ModelTrace, profile: StageProfile, micro_batch: int,
                  num_micro_batches: int, zero_stage: int = 0,
-                 dp_size: int = 1) -> MemoryBreakdown:
+                 dp_size: int = 1,
+                 schedule: str = DEFAULT_SCHEDULE) -> MemoryBreakdown:
     """Peak memory of the GPU holding one pipeline stage.
 
     Mirrors :func:`repro.sim.memory.model_memory` but with the stage's
-    *actual* parameter/activation slice and the 1F1B per-stage in-flight
-    count (stage ``s`` holds up to ``pp - s`` micro-batches of
-    activations, not a flat ``min(inflight, pp)``).
+    *actual* parameter/activation slice and the schedule's per-stage
+    in-flight count (for 1F1B, stage ``s`` holds up to ``pp - s``
+    micro-batches of activations, not a flat ``min(inflight, pp)``; for
+    other schedules the count comes from the tick program — see
+    :func:`schedule_stage_inflight`).
     """
     param_bytes, grad_bytes, optimizer_bytes, working = fixed_state_bytes(
         profile.param_bytes, profile.param_count,
         profile.layer_end - profile.layer_start, zero_stage, dp_size)
 
     scale = micro_batch / trace.ref_batch
-    inflight = stage_inflight(profile.index, profile.num_stages,
-                              num_micro_batches)
+    inflight = schedule_stage_inflight(schedule, profile.index,
+                                       profile.num_stages,
+                                       num_micro_batches)
     activations = profile.activation_bytes * scale * inflight
     working += trace.compiled().max_out_bytes * scale * 2
     return MemoryBreakdown(params=param_bytes, grads=grad_bytes,
                            optimizer=optimizer_bytes,
                            activations=activations, workspace=working)
+
+
+# --------------------------------------------------------------------- #
+# Tick-program pricing: per-stage timeline simulation
+# --------------------------------------------------------------------- #
+def tick_cost_fn(times: Sequence[StageTime], schedule: str):
+    """Seconds per tick op of ``schedule``, from per-stage steady times.
+
+    Compute and the tensor/expert collectives divide by the schedule's
+    chunks per stage (each chunk owns ``1/v`` of the stage's layers);
+    the P2P boundary hop does *not* — every chunk boundary crosses GPUs,
+    which is exactly interleaving's ``v×`` communication tax.  Forward
+    ticks carry the forward halves (compute, collective, send+recv),
+    backward ticks the backward halves; backward-splitting schedules
+    put :data:`repro.pipeline.ZB_WEIGHT_FRACTION` of the backward
+    compute on the ``W`` tick and leave the communication on ``B`` (the
+    input-gradient pass is the one on the inter-stage critical path).
+    Summed over a micro-batch, every stage's tick costs add up to its
+    :attr:`StageTime.steady` plus ``(v - 1)×`` its P2P term — so the
+    timeline and the closed forms price the same steady work.
+    """
+    info = schedule_info(schedule)
+    v = info.num_chunks
+    times = list(times)
+
+    def cost(op: TickOp) -> float:
+        t = times[op.stage]
+        if op.kind == "F":
+            return (t.forward + (t.tp_comm + t.ep_comm) / 2) / v \
+                + t.pp_comm / 2
+        if op.kind == "W":
+            return t.backward * ZB_WEIGHT_FRACTION / v
+        backward = t.backward * (1 - ZB_WEIGHT_FRACTION) \
+            if info.split_backward else t.backward
+        return (backward + (t.tp_comm + t.ep_comm) / 2) / v + t.pp_comm / 2
+
+    return cost
+
+
+def schedule_timeline(times: Sequence[StageTime], num_micro_batches: int,
+                      schedule: str) -> ProgramTimeline:
+    """Simulate ``schedule`` over stages priced by ``times``.
+
+    The exact per-stage busy/idle replay of the tick program
+    (:func:`repro.pipeline.simulate_program`) — the pricing ground truth
+    for schedules with no closed-form bubble (zero-bubble ``W``
+    filling, interleaved chunks) and for imbalanced stage cuts.
+    """
+    program = make_program(schedule, len(times), num_micro_batches)
+    return simulate_program(program, tick_cost_fn(times, schedule))
 
 
 @dataclass(frozen=True)
@@ -423,3 +509,113 @@ def plan_pipeline_cuts(trace: ModelTrace, model, cluster: ClusterSpec,
     plan = evaluate(cuts) if cuts is not None else None
     cache[cache_key] = plan
     return plan
+
+
+# --------------------------------------------------------------------- #
+# Schedule search: which tick program under a per-stage memory budget?
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScheduleCandidate:
+    """One schedule's price at a fixed (cuts, micro-batch) operating point."""
+
+    schedule: str
+    #: timeline makespan of the pipeline phase, seconds per step
+    step_seconds: float
+    #: the worst stage's peak memory under this schedule's in-flight counts
+    peak_memory: float
+    #: does every stage fit the memory budget?
+    fits: bool
+    #: per-stage idle seconds (the schedule's actual bubble)
+    stage_idle: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """The tick program chosen by :func:`plan_pipeline_schedule`."""
+
+    schedule: str
+    cuts: tuple[int, ...]
+    step_seconds: float
+    peak_memory: float
+    fits: bool
+    #: every schedule considered, in registry order (for reporting)
+    candidates: tuple[ScheduleCandidate, ...]
+
+    def candidate(self, name: str) -> ScheduleCandidate | None:
+        for row in self.candidates:
+            if row.schedule == name:
+                return row
+        return None
+
+
+def plan_pipeline_schedule(trace: ModelTrace, model, cluster: ClusterSpec,
+                           parallel: ParallelConfig, micro_batch: int = 1,
+                           num_micro_batches: int | None = None,
+                           zero_stage: int = 0,
+                           cost_model: KernelCostModel | None = None,
+                           pipeline_cuts="auto",
+                           schedules: Sequence[str] = SCHEDULE_NAMES,
+                           memory_budget: float | None = None
+                           ) -> SchedulePlan | None:
+    """Choose the fastest tick program that fits a per-stage memory budget.
+
+    The sibling of :func:`plan_pipeline_cuts` along the schedule axis:
+    cut placement fixes *where* the stage boundaries fall (``"auto"``
+    delegates to the cut planner; an explicit tuple is used verbatim),
+    and this search decides *how* the stages execute — every registered
+    schedule (or the ``schedules`` subset) is priced with the exact
+    per-stage timeline (:func:`schedule_timeline`) and its own
+    program-derived in-flight memory (:func:`stage_memory` with
+    ``schedule=``), then the fastest one whose worst stage fits
+    ``memory_budget`` (default: the cluster GPU's usable memory) wins.
+    Schedules a configuration cannot express (e.g. interleaved with
+    ``m % pp != 0``) are skipped.  If nothing fits, the fastest
+    candidate overall is returned with ``fits=False``.  Returns ``None``
+    when ``pp <= 1`` or the trace has no usable stage partition.
+    """
+    pp = parallel.pp
+    if pp <= 1 or not trace.layers or len(trace.layers) < pp:
+        return None
+    m = num_micro_batches if num_micro_batches is not None else pp
+    budget = memory_budget if memory_budget is not None \
+        else cluster.gpu.usable_memory
+    model_stats_for(trace, model)
+    if pipeline_cuts == "auto" or pipeline_cuts is None:
+        plan = plan_pipeline_cuts(trace, model, cluster, parallel,
+                                  micro_batch, m, zero_stage, cost_model)
+        if plan is None:
+            return None
+        cuts = plan.cuts
+    else:
+        cuts = validate_cuts(tuple(pipeline_cuts), len(trace.layers))
+        if len(cuts) + 1 != pp:
+            raise ValueError(
+                f"{len(cuts)} pipeline cuts make {len(cuts) + 1} stages "
+                f"but the parallel config has pp={pp}"
+            )
+    profiles = stage_profiles(trace, cuts)
+    times = stage_step_times(trace, profiles, cluster, parallel,
+                             micro_batch, cost_model)
+    candidates: list[ScheduleCandidate] = []
+    for name in schedules:
+        try:
+            timeline = schedule_timeline(times, m, name)
+        except ValueError:
+            continue  # the schedule cannot express this (p, m)
+        peak = max(
+            stage_memory(trace, profile, micro_batch, m, zero_stage,
+                         parallel.dp, schedule=name).total
+            for profile in profiles
+        )
+        candidates.append(ScheduleCandidate(
+            schedule=name, step_seconds=timeline.makespan,
+            peak_memory=peak, fits=peak <= budget,
+            stage_idle=timeline.stage_idle))
+    if not candidates:
+        return None
+    fitting = [c for c in candidates if c.fits]
+    best = min(fitting or candidates, key=lambda c: c.step_seconds)
+    return SchedulePlan(schedule=best.schedule, cuts=cuts,
+                        step_seconds=best.step_seconds,
+                        peak_memory=best.peak_memory, fits=best.fits,
+                        candidates=tuple(candidates))

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.distributed.mesh import ParallelConfig
 from repro.distributed.topology import ClusterSpec
+from repro.pipeline import DEFAULT_SCHEDULE, make_program, schedule_info
 
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
@@ -48,6 +49,8 @@ class Plan:
     num_micro_batches: int = 1
     #: stage cut points used for pricing (empty = uniform /pp estimate)
     pipeline_cuts: tuple = ()
+    #: tick program the pipeline was priced under
+    pipeline_schedule: str = DEFAULT_SCHEDULE
 
     @property
     def fits(self) -> bool:
@@ -71,6 +74,8 @@ class Prediction:
     num_micro_batches: int = 1
     #: stage cut points used for pricing (empty = uniform /pp estimate)
     pipeline_cuts: tuple = ()
+    #: tick program the pipeline was priced under
+    pipeline_schedule: str = DEFAULT_SCHEDULE
 
     @property
     def memory_bytes(self) -> float:
@@ -118,16 +123,58 @@ def _resolve_cuts(pipeline_cuts, trace: ModelTrace, model,
 
 def _pipeline_peak_memory(trace: ModelTrace, cuts: tuple,
                           micro_batch: int, num_micro_batches: int,
-                          zero_stage: int, dp_size: int) -> MemoryBreakdown:
-    """The worst stage's peak memory under 1F1B in-flight accounting."""
+                          zero_stage: int, dp_size: int,
+                          schedule: str = DEFAULT_SCHEDULE
+                          ) -> MemoryBreakdown:
+    """The worst stage's peak memory under the schedule's in-flight counts."""
     from .pipeline import stage_memory, stage_profiles
 
     breakdowns = [
         stage_memory(trace, profile, micro_batch, num_micro_batches,
-                     zero_stage, dp_size)
+                     zero_stage, dp_size, schedule=schedule)
         for profile in stage_profiles(trace, cuts)
     ]
     return max(breakdowns, key=lambda b: b.total)
+
+
+def _uniform_memory(trace: ModelTrace, model, parallel: ParallelConfig,
+                    micro_batch: int, num_micro_batches: int,
+                    zero_stage: int, schedule: str) -> MemoryBreakdown:
+    """Cut-less peak memory: uniform ``/pp`` slice, schedule-aware in-flight.
+
+    The legacy path priced 1F1B's first stage (``pp`` in flight); other
+    schedules rescale the activation term by their own worst-stage peak
+    (:func:`repro.sim.pipeline.schedule_stage_inflight`) — GPipe holds all
+    ``m``, zero-bubble matches 1F1B, interleaved pays its chunk tax.
+    """
+    pp = parallel.pp
+    memory = model_memory(model, trace, micro_batch, zero_stage,
+                          parallel.dp, pp, inflight_micro_batches=pp)
+    if schedule != DEFAULT_SCHEDULE and pp > 1:
+        from .pipeline import schedule_stage_inflight
+
+        peak_units = max(
+            schedule_stage_inflight(schedule, s, pp, num_micro_batches)
+            for s in range(pp))
+        memory = memory.scaled_activations(peak_units / pp)
+    return memory
+
+
+def _schedule_expressible(schedule: str, pp: int,
+                          num_micro_batches: int) -> bool:
+    """Whether the named schedule has a program for this (pp, m) point.
+
+    Unknown names and structurally impossible combinations (interleaved
+    with ``m % pp != 0``) make a configuration infeasible, never a
+    mid-sweep crash — the tuner's oracle contract.
+    """
+    try:
+        schedule_info(schedule)
+        if pp > 1:
+            make_program(schedule, pp, num_micro_batches)
+    except ValueError:
+        return False
+    return True
 
 
 def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
@@ -135,7 +182,8 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
                    zero_stage: int = 0, num_micro_batches: int = 1,
                    global_batch: int | None = None,
                    cost_model: KernelCostModel | None = None,
-                   pipeline_cuts: Sequence[int] | str | None = None
+                   pipeline_cuts: Sequence[int] | str | None = None,
+                   pipeline_schedule: str = DEFAULT_SCHEDULE
                    ) -> Prediction:
     """Price one configuration: predicted throughput + memory feasibility.
 
@@ -149,30 +197,44 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
     unfillable with an *explicitly* requested ``num_micro_batches < pp``
     (1F1B/GPipe can never hide the bubble without at least one micro-batch
     per stage), so that is rejected on every path, not just the
-    ``global_batch`` one.
+    ``global_batch`` one.  ``pipeline_schedule`` prices the pipeline
+    under a named tick program (memory *and* bubble — see
+    :mod:`repro.sim.pipeline`); a schedule the configuration cannot
+    express is reported infeasible, never raised.
     """
     if micro_batch is None:
         plan = plan_micro_batch(trace, model, cluster, parallel, zero_stage,
                                 num_micro_batches, global_batch, cost_model,
-                                pipeline_cuts=pipeline_cuts)
+                                pipeline_cuts=pipeline_cuts,
+                                pipeline_schedule=pipeline_schedule)
         if plan is None:
-            return Prediction(throughput=0.0, fits=False)
+            return Prediction(throughput=0.0, fits=False,
+                              pipeline_schedule=pipeline_schedule)
         return Prediction(throughput=plan.throughput, fits=True,
                           memory=plan.memory, micro_batch=plan.micro_batch,
                           num_micro_batches=plan.num_micro_batches,
-                          pipeline_cuts=plan.pipeline_cuts)
+                          pipeline_cuts=plan.pipeline_cuts,
+                          pipeline_schedule=plan.pipeline_schedule)
     if global_batch is not None:
         denom = parallel.dp * micro_batch
         if global_batch % denom != 0:
             return Prediction(throughput=0.0, fits=False,
-                              micro_batch=micro_batch)
+                              micro_batch=micro_batch,
+                              pipeline_schedule=pipeline_schedule)
         num_micro_batches = global_batch // denom
     if parallel.pp > 1 and num_micro_batches < parallel.pp:
         # an unfillable pipeline is infeasible, with or without a
         # global-batch constraint
         return Prediction(throughput=0.0, fits=False,
                           micro_batch=micro_batch,
-                          num_micro_batches=num_micro_batches)
+                          num_micro_batches=num_micro_batches,
+                          pipeline_schedule=pipeline_schedule)
+    if not _schedule_expressible(pipeline_schedule, parallel.pp,
+                                 num_micro_batches):
+        return Prediction(throughput=0.0, fits=False,
+                          micro_batch=micro_batch,
+                          num_micro_batches=num_micro_batches,
+                          pipeline_schedule=pipeline_schedule)
     try:
         cuts = _resolve_cuts(pipeline_cuts, trace, model, cluster, parallel,
                              micro_batch, num_micro_batches, zero_stage,
@@ -180,28 +242,31 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
     except _InvalidCuts:
         return Prediction(throughput=0.0, fits=False,
                           micro_batch=micro_batch,
-                          num_micro_batches=num_micro_batches)
+                          num_micro_batches=num_micro_batches,
+                          pipeline_schedule=pipeline_schedule)
     if cuts:
         memory = _pipeline_peak_memory(trace, cuts, micro_batch,
                                        num_micro_batches, zero_stage,
-                                       parallel.dp)
+                                       parallel.dp,
+                                       schedule=pipeline_schedule)
     else:
-        inflight = parallel.pp  # 1F1B: the first stage holds pp in flight
-        memory = model_memory(model, trace, micro_batch, zero_stage,
-                              parallel.dp, parallel.pp,
-                              inflight_micro_batches=inflight)
+        memory = _uniform_memory(trace, model, parallel, micro_batch,
+                                 num_micro_batches, zero_stage,
+                                 pipeline_schedule)
     if memory.total > cluster.gpu.usable_memory:
         return Prediction(throughput=0.0, fits=False, memory=memory,
                           micro_batch=micro_batch,
                           num_micro_batches=num_micro_batches,
-                          pipeline_cuts=cuts or ())
+                          pipeline_cuts=cuts or (),
+                          pipeline_schedule=pipeline_schedule)
     rate = throughput(trace, model, cluster, parallel, micro_batch,
                       zero_stage, num_micro_batches, cost_model,
-                      pipeline_cuts=cuts)
+                      pipeline_cuts=cuts, pipeline_schedule=pipeline_schedule)
     return Prediction(throughput=rate, fits=True, memory=memory,
                       micro_batch=micro_batch,
                       num_micro_batches=num_micro_batches,
-                      pipeline_cuts=cuts or ())
+                      pipeline_cuts=cuts or (),
+                      pipeline_schedule=pipeline_schedule)
 
 
 def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
@@ -210,7 +275,8 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                      global_batch: int | None = None,
                      cost_model: KernelCostModel | None = None,
                      candidates=MICRO_BATCH_CANDIDATES,
-                     pipeline_cuts: Sequence[int] | str | None = None
+                     pipeline_cuts: Sequence[int] | str | None = None,
+                     pipeline_schedule: str = DEFAULT_SCHEDULE
                      ) -> Plan | None:
     """Best feasible micro-batch (None if even batch 1 overflows memory).
 
@@ -226,6 +292,10 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
     per candidate.
     """
     model_stats_for(trace, model)  # compute statics once, before the sweep
+    try:
+        schedule_info(pipeline_schedule)
+    except ValueError:
+        return None  # unknown schedule: no candidate can be feasible
     best: Plan | None = None
     budget = cluster.gpu.usable_memory
     pp = parallel.pp
@@ -242,6 +312,8 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
         for m in counts:
             if pp > 1 and m < pp:
                 continue  # not enough micro-batches to fill the pipeline
+            if not _schedule_expressible(pipeline_schedule, pp, m):
+                continue  # e.g. interleaved with m not a multiple of pp
             try:
                 cuts = _resolve_cuts(pipeline_cuts, trace, model, cluster,
                                      parallel, micro, m, zero_stage,
@@ -250,17 +322,19 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                 return None  # no candidate can fix a malformed partition
             if cuts:
                 memory = _pipeline_peak_memory(trace, cuts, micro, m,
-                                               zero_stage, parallel.dp)
+                                               zero_stage, parallel.dp,
+                                               schedule=pipeline_schedule)
             else:
-                memory = model_memory(model, trace, micro, zero_stage,
-                                      parallel.dp, pp,
-                                      inflight_micro_batches=pp)
+                memory = _uniform_memory(trace, model, parallel, micro, m,
+                                         zero_stage, pipeline_schedule)
             if memory.total > budget:
                 continue
             rate = throughput(trace, model, cluster, parallel, micro,
-                              zero_stage, m, cost_model, pipeline_cuts=cuts)
+                              zero_stage, m, cost_model, pipeline_cuts=cuts,
+                              pipeline_schedule=pipeline_schedule)
             if best is None or rate > best.throughput:
                 best = Plan(micro_batch=micro, throughput=rate,
                             memory=memory, num_micro_batches=m,
-                            pipeline_cuts=cuts or ())
+                            pipeline_cuts=cuts or (),
+                            pipeline_schedule=pipeline_schedule)
     return best

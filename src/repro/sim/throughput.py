@@ -33,6 +33,7 @@ from typing import Sequence
 
 from repro.distributed.mesh import ParallelConfig, axis_ranks
 from repro.distributed.topology import ClusterSpec
+from repro.pipeline import DEFAULT_SCHEDULE, schedule_info
 
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
@@ -97,16 +98,23 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
               parallel: ParallelConfig, micro_batch: int,
               zero_stage: int = 0, num_micro_batches: int = 1,
               cost_model: KernelCostModel | None = None,
-              pipeline_cuts: Sequence[int] | None = None) -> StepBreakdown:
+              pipeline_cuts: Sequence[int] | None = None,
+              pipeline_schedule: str = DEFAULT_SCHEDULE) -> StepBreakdown:
     """Seconds per optimizer step for one pipeline stage's GPU.
 
     With ``pipeline_cuts`` set (and ``pp > 1``), the bottleneck stage is
     priced from its actual trace slice; otherwise the legacy uniform
-    ``/pp`` estimate is used.
+    ``/pp`` estimate is used.  ``pipeline_schedule`` names a registered
+    tick program (:data:`repro.pipeline.SCHEDULE_NAMES`): the default
+    ``"1f1b"`` keeps the closed-form bubble paths byte-identical to the
+    pre-schedule-aware simulator, any other schedule is priced by the
+    exact per-stage timeline (:func:`repro.sim.pipeline.schedule_timeline`
+    — see :func:`_schedule_breakdown`).
     """
     cost = cost_model or KernelCostModel(cluster.gpu)
     scale = micro_batch / trace.ref_batch
     pp = parallel.pp
+    schedule_info(pipeline_schedule)  # reject unknown schedules up front
     if isinstance(pipeline_cuts, str):
         raise ValueError(
             f"step_time/throughput take concrete cut points, got "
@@ -118,7 +126,7 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
         return _staged_step_time(trace, model, cluster, parallel,
                                  micro_batch, zero_stage,
                                  num_micro_batches, cost,
-                                 tuple(pipeline_cuts))
+                                 tuple(pipeline_cuts), pipeline_schedule)
     breakdown = StepBreakdown()
 
     # -- compute (per micro-batch, per stage) --------------------------- #
@@ -165,7 +173,53 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
                   + breakdown.tp_comm + breakdown.ep_comm
                   + breakdown.pp_comm)
         breakdown.bubble = steady * (pp - 1) / max(num_micro_batches, 1)
+        if pipeline_schedule != DEFAULT_SCHEDULE:
+            from .pipeline import StageTime
+            m = max(num_micro_batches, 1)
+            per_micro = StageTime(forward=breakdown.forward / m,
+                                  backward=breakdown.backward / m,
+                                  tp_comm=breakdown.tp_comm / m,
+                                  pp_comm=breakdown.pp_comm / m,
+                                  ep_comm=breakdown.ep_comm / m)
+            _schedule_breakdown(breakdown, [per_micro] * pp,
+                                num_micro_batches, pipeline_schedule)
     return breakdown
+
+
+def _schedule_breakdown(breakdown: StepBreakdown, times, num_micro_batches,
+                        schedule: str) -> int:
+    """Price the pipeline phase of ``breakdown`` off the exact timeline.
+
+    Replaces the closed-form ``steady · (pp-1)/m`` bubble: the tick
+    program is list-scheduled over the per-stage times, the bottleneck
+    is the *busiest* stage of the timeline, and the bubble becomes that
+    stage's true idle time (``makespan − busy``).  ``pp_comm`` picks up
+    the schedule's ``num_chunks ×`` boundary-traffic factor (interleaved
+    chunks each cross GPUs).  Returns the bottleneck stage index so
+    staged callers attribute parameter state to the right stage.
+    """
+    from .pipeline import schedule_timeline
+
+    timeline = schedule_timeline(times, num_micro_batches, schedule)
+    v = timeline.program.num_chunks
+    busy = timeline.stage_busy
+    b = max(range(len(busy)), key=lambda i: busy[i])
+    m = num_micro_batches
+    breakdown.forward = times[b].forward * m
+    breakdown.backward = times[b].backward * m
+    breakdown.tp_comm = times[b].tp_comm * m
+    breakdown.ep_comm = times[b].ep_comm * m
+    breakdown.pp_comm = times[b].pp_comm * m * v
+    breakdown.bubble = max(timeline.makespan - busy[b], 0.0)
+    breakdown.detail.update(
+        pipeline_schedule=schedule,
+        pipeline_makespan=timeline.makespan,
+        stage_busy=busy,
+        stage_idle=timeline.stage_idle,
+        bottleneck_stage=b,
+        num_chunks=v,
+    )
+    return b
 
 
 def _shared_step_terms(breakdown: StepBreakdown, cluster: ClusterSpec,
@@ -197,7 +251,8 @@ def _shared_step_terms(breakdown: StepBreakdown, cluster: ClusterSpec,
 def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
                       parallel: ParallelConfig, micro_batch: int,
                       zero_stage: int, num_micro_batches: int,
-                      cost: KernelCostModel, cuts: tuple[int, ...]
+                      cost: KernelCostModel, cuts: tuple[int, ...],
+                      pipeline_schedule: str = DEFAULT_SCHEDULE
                       ) -> StepBreakdown:
     """Stage-accurate pricing: the bottleneck stage paces the pipeline."""
     from .pipeline import stage_profiles, stage_step_times
@@ -213,21 +268,27 @@ def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     times = stage_step_times(trace, profiles, cluster, parallel,
                              micro_batch, cost, tp_ranks=tp_ranks)
     steady = [t.steady for t in times]
-    b = max(range(len(steady)), key=lambda i: steady[i])
     m = num_micro_batches
     breakdown = StepBreakdown()
-    breakdown.forward = times[b].forward * m
-    breakdown.backward = times[b].backward * m
-    breakdown.tp_comm = times[b].tp_comm * m
-    breakdown.ep_comm = times[b].ep_comm * m
-    breakdown.pp_comm = times[b].pp_comm * m
-    _shared_step_terms(breakdown, cluster, parallel,
-                       profiles[b].param_bytes, profiles[b].param_count,
-                       zero_stage, cost)
-    steady_step = (breakdown.forward + breakdown.backward
-                   + breakdown.tp_comm + breakdown.ep_comm
-                   + breakdown.pp_comm)
-    breakdown.bubble = steady_step * (parallel.pp - 1) / max(m, 1)
+    if pipeline_schedule != DEFAULT_SCHEDULE:
+        b = _schedule_breakdown(breakdown, times, m, pipeline_schedule)
+        _shared_step_terms(breakdown, cluster, parallel,
+                           profiles[b].param_bytes,
+                           profiles[b].param_count, zero_stage, cost)
+    else:
+        b = max(range(len(steady)), key=lambda i: steady[i])
+        breakdown.forward = times[b].forward * m
+        breakdown.backward = times[b].backward * m
+        breakdown.tp_comm = times[b].tp_comm * m
+        breakdown.ep_comm = times[b].ep_comm * m
+        breakdown.pp_comm = times[b].pp_comm * m
+        _shared_step_terms(breakdown, cluster, parallel,
+                           profiles[b].param_bytes,
+                           profiles[b].param_count, zero_stage, cost)
+        steady_step = (breakdown.forward + breakdown.backward
+                       + breakdown.tp_comm + breakdown.ep_comm
+                       + breakdown.pp_comm)
+        breakdown.bubble = steady_step * (parallel.pp - 1) / max(m, 1)
     breakdown.detail["stage_times"] = tuple(steady)
     breakdown.detail["bottleneck_stage"] = b
     breakdown.detail["pipeline_cuts"] = cuts
@@ -250,10 +311,12 @@ def throughput(trace: ModelTrace, model, cluster: ClusterSpec,
                parallel: ParallelConfig, micro_batch: int,
                zero_stage: int = 0, num_micro_batches: int = 1,
                cost_model: KernelCostModel | None = None,
-               pipeline_cuts: Sequence[int] | None = None) -> float:
+               pipeline_cuts: Sequence[int] | None = None,
+               pipeline_schedule: str = DEFAULT_SCHEDULE) -> float:
     """Training throughput in samples/second."""
     breakdown = step_time(trace, model, cluster, parallel, micro_batch,
                           zero_stage, num_micro_batches, cost_model,
-                          pipeline_cuts=pipeline_cuts)
+                          pipeline_cuts=pipeline_cuts,
+                          pipeline_schedule=pipeline_schedule)
     samples = parallel.dp * micro_batch * num_micro_batches
     return samples / breakdown.total

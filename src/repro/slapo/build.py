@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.framework.module import Module
+from repro.pipeline import DEFAULT_SCHEDULE
 
 from .primitives.pipeline import PipelineModule, partition_pipeline
 from .registry import SchedulingError
@@ -67,5 +68,8 @@ def build(sch: Schedule, target: str = "native") -> BuiltModel:
     else:
         model = PipelineModule(stages)
     metadata["num_stages"] = len(stages)
+    # .pipeline_schedule() annotation: which tick program drives the stages
+    metadata["pipeline_schedule"] = context.metadata.get(
+        "pipeline_schedule", DEFAULT_SCHEDULE)
     return BuiltModel(model=model, stages=stages, target=target,
                       metadata=metadata)

@@ -46,6 +46,49 @@ class PipelineSplitPrimitive(Primitive):
         return sch
 
 
+@register_primitive()
+class PipelineSchedulePrimitive(Primitive):
+    """``.pipeline_schedule(name)`` — select the pipeline's tick program.
+
+    A root-only annotation: the partitioning (``.pipeline_split``) says
+    *where* the stage boundaries fall, this primitive says *how* the
+    stages execute — ``"gpipe"``, ``"1f1b"``, ``"interleaved"`` or
+    ``"zb"`` (any :data:`repro.pipeline.SCHEDULE_NAMES` entry).  The
+    choice lands in the schedule context's metadata and rides into
+    ``slapo.build()``'s :class:`BuiltModel` metadata, where runtimes
+    (:class:`repro.baselines.pipeline_runtime.PipelineRuntime`) and the
+    simulator pick it up.
+    """
+
+    name = "pipeline_schedule"
+
+    @staticmethod
+    def check(sch, schedule: str) -> None:
+        from repro.pipeline import SCHEDULE_NAMES
+
+        if sch.mesh.config.pp <= 1:
+            raise SchedulingError(
+                ".pipeline_schedule() requires a mesh with pp > 1 "
+                "(verifier rule: distributed primitives need a distributed "
+                "environment)"
+            )
+        if sch.path:
+            raise SchedulingError(
+                ".pipeline_schedule() is a whole-pipeline property; call "
+                "it on the root schedule"
+            )
+        if schedule not in SCHEDULE_NAMES:
+            raise SchedulingError(
+                f"unknown pipeline schedule {schedule!r} (registered: "
+                f"{', '.join(SCHEDULE_NAMES)})"
+            )
+
+    @staticmethod
+    def apply(sch, schedule: str):
+        sch.context.metadata["pipeline_schedule"] = schedule
+        return sch
+
+
 class _CutAwareTracer(Tracer):
     """Leaf policy: opaque unless a pipeline cut lies strictly inside."""
 

@@ -29,6 +29,7 @@ from typing import Callable
 
 from repro.distributed.mesh import ParallelConfig
 from repro.distributed.topology import ClusterSpec
+from repro.pipeline import DEFAULT_SCHEDULE
 from repro.sim.kernel_cost import KernelCostModel
 from repro.sim.memory import model_stats_for
 from repro.sim.planner import predict_config
@@ -109,7 +110,11 @@ class SimCostModel(CostModel):
         ``num_micro_batches`` key in the config (e.g. declared by
         :func:`repro.slapo.tuner.space.parallelism_symbols`) overrides
         the fixed default, so the micro-batch count can be a search
-        coordinate alongside ``pp``.
+        coordinate alongside ``pp``.  A ``pipeline_schedule`` key (the
+        symbol ``parallelism_symbols(..., pipeline_schedules=...)``
+        declares) likewise selects the tick program the pipeline is
+        priced under — schedules the coordinate cannot express are
+        reported infeasible by the simulator, pruning them for free.
     pipeline_cuts:
         Forwarded to :func:`repro.sim.predict_config`; the default
         ``"auto"`` runs the stage-balancing cut planner whenever the
@@ -228,6 +233,8 @@ class SimCostModel(CostModel):
             num_micro_batches=num_micro,
             cost_model=self.kernel_cost,
             pipeline_cuts=self.pipeline_cuts,
+            pipeline_schedule=str(config.get("pipeline_schedule",
+                                             DEFAULT_SCHEDULE)),
         )
         estimate = CostEstimate(throughput=prediction.throughput,
                                 fits=prediction.fits,

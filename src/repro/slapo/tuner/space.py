@@ -95,6 +95,7 @@ def parallelism_symbols(space: Space, world_size: int,
                         max_pp: int | None = None,
                         min_micro_batches: tuple[int, ...] = (1, 2, 4, 8),
                         max_ep: int | None = None,
+                        pipeline_schedules: Sequence[str] | None = None,
                         ) -> tuple[int, ...]:
     """Declare a ``tp``/``pp``[/``ep``]/``dp`` mesh factorization as
     search symbols.
@@ -112,6 +113,16 @@ def parallelism_symbols(space: Space, world_size: int,
     returns ``(tp, dp, pp)`` exactly as before; with ``max_ep`` set an
     ``ep`` symbol joins the factorization and ``(tp, dp, pp, ep)`` is
     returned.
+
+    ``pipeline_schedules`` (a tuple of registered tick-program names,
+    e.g. ``repro.pipeline.SCHEDULE_NAMES``) additionally declares a
+    ``pipeline_schedule`` symbol whenever ``pp > 1`` — the tuner then
+    sweeps *how* the pipeline executes jointly with its depth and
+    micro-batch count.  ``None`` (the default) declares no such symbol,
+    keeping existing spaces and their enumerations unchanged.  The
+    micro-batch counts are multiples of ``pp``, so every enumerated
+    point can express every registered schedule (interleaved requires
+    ``m % pp == 0``).
     """
     tp_candidates = _divisors(world_size)
     if max_tp is not None:
@@ -131,6 +142,9 @@ def parallelism_symbols(space: Space, world_size: int,
     if pp > 1:
         space.create_symbol("num_micro_batches",
                             [pp * f for f in min_micro_batches])
+        if pipeline_schedules:
+            space.create_symbol("pipeline_schedule",
+                                list(pipeline_schedules))
     if ep is None:
         return tp, dp, pp
     return tp, dp, pp, ep

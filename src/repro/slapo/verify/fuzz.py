@@ -35,6 +35,8 @@ import numpy as np
 from repro.distributed import DeviceMesh
 from repro.distributed.cluster import ClusterError
 from repro.framework import manual_seed
+from repro.pipeline import DEFAULT_SCHEDULE, SCHEDULE_NAMES, make_program, \
+    schedule_info
 
 from ..registry import SchedulingError, fuzzable_primitives
 from ..schedule import create_schedule
@@ -59,7 +61,11 @@ def _mesh_space(info, world_size: int):
         symbols = parallelism_symbols(
             space, world_size, max_tp=info.max_tp,
             max_pp=2 if info.pp_ok else 1,
-            max_ep=info.max_ep if info.max_ep > 1 else None)
+            max_ep=info.max_ep if info.max_ep > 1 else None,
+            # pipelined points also draw *how* the stages execute; the
+            # declared micro-batch counts are multiples of pp, so every
+            # registered tick program is expressible at every point
+            pipeline_schedules=SCHEDULE_NAMES)
         tp, dp, pp = symbols[:3]
         if dp > 1:
             space.create_symbol("zero_stage", [0, 1, 2, 3])
@@ -69,12 +75,13 @@ def _mesh_space(info, world_size: int):
 
 
 def sample_mesh(info, world_size: int, rng) -> dict:
-    """One valid (tp, dp, pp, ep, zero_stage, num_micro_batches)
-    assignment."""
+    """One valid (tp, dp, pp, ep, zero_stage, num_micro_batches,
+    pipeline_schedule) assignment."""
     config = sample_space(_mesh_space(info, world_size), rng, k=1)[0]
     config.setdefault("ep", 1)
     config.setdefault("zero_stage", 0)
     config.setdefault("num_micro_batches", config.get("pp", 1))
+    config.setdefault("pipeline_schedule", DEFAULT_SCHEDULE)
     return config
 
 
@@ -144,7 +151,8 @@ def sample_spec(family: str, world_size: int, seed: int,
         family=family, tp=mesh_cfg["tp"], dp=mesh_cfg["dp"],
         pp=mesh_cfg["pp"], ep=int(mesh_cfg["ep"]),
         zero_stage=int(mesh_cfg["zero_stage"]),
-        num_micro_batches=int(mesh_cfg["num_micro_batches"]), seed=seed,
+        num_micro_batches=int(mesh_cfg["num_micro_batches"]),
+        pipeline_schedule=str(mesh_cfg["pipeline_schedule"]), seed=seed,
         # dp ranks verify on disjoint batch slices, so the global batch
         # must divide evenly (dp can reach 8 at world size 8)
         batch=int(np.lcm(4, mesh_cfg["dp"])))
@@ -216,12 +224,14 @@ def sample_spec(family: str, world_size: int, seed: int,
                 dry.try_step(prim.name, path, tuple(args), dict(kwargs))
                 break
 
-    # Phase 5: pipeline stage cuts (pp - 1 distinct layer boundaries).
+    # Phase 5: pipeline stage cuts (pp - 1 distinct layer boundaries),
+    # plus the root-level tick-program annotation the mesh sample chose.
     if spec.pp > 1:
         cut_indices = sorted(
             rng.choice(len(layers), size=spec.pp - 1, replace=False))
         for index in cut_indices:
             dry.try_step("pipeline_split", layers[int(index)])
+        dry.try_step("pipeline_schedule", "", (spec.pipeline_schedule,))
 
     return replace(spec, steps=dry.steps)
 
@@ -239,9 +249,13 @@ def check_sim_invariants(spec: ScheduleSpec) -> None:
     * peak memory is monotone non-increasing in ``zero_stage`` and (for
       partitioned stages) in ``dp``;
     * every step-time breakdown is additive (components sum to the total)
-      with no negative component;
+      with no negative component — including under the spec's sampled
+      ``pipeline_schedule`` (the timeline pricing path);
+    * the spec's tick program validates (dependency-complete,
+      deadlock-free — :meth:`repro.pipeline.TickProgram.validate`);
     * the planner and the functional pipeline runtime agree on the
-      ``m >= pp`` fill rule.
+      ``m >= pp`` fill rule, with the runtime instantiated under the
+      spec's schedule (chunked stage lists for interleaved programs).
     """
     from repro.baselines.pipeline_runtime import PipelineRuntime
     from repro.distributed.topology import P3DN_NODE, p3dn_cluster
@@ -310,36 +324,58 @@ def check_sim_invariants(spec: ScheduleSpec) -> None:
             )
 
     # -- step-time breakdown additivity --------------------------------- #
-    breakdown = step_time(trace, model, cluster, spec.parallel, 1,
-                          zero_stage=spec.zero_stage,
-                          num_micro_batches=spec.num_micro_batches)
-    parts = breakdown.components()
-    gap = abs(breakdown.total - sum(parts.values()))
-    if gap > 1e-12 * max(breakdown.total, 1.0):
-        raise SimInvariantError(
-            f"{spec.family}: step-time breakdown is not additive "
-            f"(total {breakdown.total:.6e} vs parts {sum(parts.values()):.6e})"
-        )
-    negative = {name: value for name, value in parts.items() if value < 0}
-    if negative or breakdown.total <= 0:
-        raise SimInvariantError(
-            f"{spec.family}: invalid step-time components {negative or parts}"
-        )
+    schedules = {DEFAULT_SCHEDULE, spec.pipeline_schedule}
+    for schedule in sorted(schedules):
+        breakdown = step_time(trace, model, cluster, spec.parallel, 1,
+                              zero_stage=spec.zero_stage,
+                              num_micro_batches=spec.num_micro_batches,
+                              pipeline_schedule=schedule)
+        parts = breakdown.components()
+        gap = abs(breakdown.total - sum(parts.values()))
+        if gap > 1e-12 * max(breakdown.total, 1.0):
+            raise SimInvariantError(
+                f"{spec.family}: step-time breakdown is not additive under "
+                f"{schedule!r} (total {breakdown.total:.6e} vs parts "
+                f"{sum(parts.values()):.6e})"
+            )
+        negative = {name: value for name, value in parts.items()
+                    if value < 0}
+        if negative or breakdown.total <= 0:
+            raise SimInvariantError(
+                f"{spec.family}: invalid step-time components under "
+                f"{schedule!r}: {negative or parts}"
+            )
 
     # -- m >= pp: planner and runtime agree ----------------------------- #
     if spec.pp > 1:
+        # the sampled tick program must be structurally sound
+        try:
+            make_program(spec.pipeline_schedule, spec.pp,
+                         spec.num_micro_batches).validate()
+        except ValueError as error:
+            raise SimInvariantError(
+                f"{spec.family}: sampled schedule "
+                f"{spec.pipeline_schedule!r} has no valid program at "
+                f"pp={spec.pp}, m={spec.num_micro_batches}: {error}"
+            ) from None
         starved = predict_config(trace, model, cluster, spec.parallel,
                                  micro_batch=1,
-                                 num_micro_batches=spec.pp - 1)
-        stage_stub = [Module() for _ in range(spec.pp)]
-        starved_runtime = PipelineRuntime(stage_stub, spec.pp - 1)
+                                 num_micro_batches=spec.pp - 1,
+                                 pipeline_schedule=spec.pipeline_schedule)
+        chunks = schedule_info(spec.pipeline_schedule).num_chunks
+        stage_stub = [Module() for _ in range(spec.pp * chunks)]
+        starved_runtime = PipelineRuntime(
+            stage_stub, spec.pp - 1, schedule=spec.pipeline_schedule,
+            num_stages=spec.pp)
         if starved.fits or starved_runtime.fillable:
             raise SimInvariantError(
                 f"{spec.family}: planner (fits={starved.fits}) and runtime "
                 f"(fillable={starved_runtime.fillable}) must both reject "
                 f"m={spec.pp - 1} < pp={spec.pp}"
             )
-        filled_runtime = PipelineRuntime(stage_stub, spec.num_micro_batches)
+        filled_runtime = PipelineRuntime(
+            stage_stub, spec.num_micro_batches,
+            schedule=spec.pipeline_schedule, num_stages=spec.pp)
         if not filled_runtime.fillable:
             raise SimInvariantError(
                 f"{spec.family}: runtime rejects the planner-legal "

@@ -323,6 +323,8 @@ class ScheduleSpec:
     batch: int = 4
     #: micro-batch count the simulator cross-check prices (pp > 1)
     num_micro_batches: int = 1
+    #: tick program the pipeline executes/prices under (pp > 1)
+    pipeline_schedule: str = "1f1b"
     steps: list = field(default_factory=list)
     note: str = ""
 

@@ -292,6 +292,164 @@ class TestAxisRanksAgreement:
                 assert tuple(mesh.group(axis).ranks) == shared[axis]
 
 
+class TestSchedulePricing:
+    """Tick-program pricing: timeline vs closed form, schedule planning."""
+
+    def test_gpipe_timeline_matches_closed_form_uniform(self, gpt_trace):
+        """With uniform stages GPipe's timeline takes the same
+        (m + p - 1) steady slots as 1F1B, so pricing it through the tick
+        timeline must land exactly on the legacy closed-form bubble."""
+        model, trace = gpt_trace
+        legacy = step_time(trace, model, P3DN_NODE, PP2, 1,
+                           num_micro_batches=8)
+        timed = step_time(trace, model, P3DN_NODE, PP2, 1,
+                          num_micro_batches=8, pipeline_schedule="gpipe")
+        assert timed.total == pytest.approx(legacy.total, rel=1e-9)
+        assert timed.detail["pipeline_schedule"] == "gpipe"
+        assert len(timed.detail["stage_busy"]) == PP2.pp
+
+    def test_gpipe_timeline_tightens_closed_form_staged(self, gpt_trace):
+        """On the stage-accurate path the stages are *not* uniform, so
+        the exact timeline can only be tighter than the closed form
+        (which bills every fill/drain slot at the bottleneck rate) —
+        and with balanced cuts it must stay within a percent of it."""
+        model, trace = gpt_trace
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, 1, 8)
+        legacy = step_time(trace, model, P3DN_NODE, PP2, 1,
+                           num_micro_batches=8, pipeline_cuts=plan.cuts)
+        timed = step_time(trace, model, P3DN_NODE, PP2, 1,
+                          num_micro_batches=8, pipeline_cuts=plan.cuts,
+                          pipeline_schedule="gpipe")
+        assert timed.total <= legacy.total * (1 + 1e-9)
+        assert timed.total == pytest.approx(legacy.total, rel=1e-2)
+
+    def test_zb_fills_the_bubble(self, gpt_trace):
+        """The zero-bubble win the planner searches for: at the planned
+        cuts zb is strictly faster than 1F1B (its W ticks fill the
+        cool-down idle) while holding the same activation peak."""
+        model, trace = gpt_trace
+        plan = plan_pipeline_cuts(trace, model, P3DN_NODE, PP2, 2, 8)
+        base = step_time(trace, model, P3DN_NODE, PP2, 2,
+                         num_micro_batches=8, pipeline_cuts=plan.cuts)
+        zb = step_time(trace, model, P3DN_NODE, PP2, 2,
+                       num_micro_batches=8, pipeline_cuts=plan.cuts,
+                       pipeline_schedule="zb")
+        assert zb.total < base.total
+        assert zb.detail["pipeline_makespan"] > 0
+
+    def test_plan_pipeline_schedule_selects_zb(self, gpt_trace):
+        """Acceptance: joint schedule search finds a schedule that beats
+        1F1B at equal per-stage memory — zb on GPT (interleaved is faster
+        still but its doubled in-flight chunks blow the budget)."""
+        from repro.sim import plan_pipeline_schedule
+
+        model, trace = gpt_trace
+        plan = plan_pipeline_schedule(trace, model, P3DN_NODE, PP2,
+                                      micro_batch=2, num_micro_batches=8)
+        assert plan is not None and plan.fits
+        assert plan.schedule == "zb"
+        base = plan.candidate("1f1b")
+        best = plan.candidate("zb")
+        assert best.step_seconds < base.step_seconds
+        assert best.peak_memory == pytest.approx(base.peak_memory,
+                                                 rel=1e-6)
+        # gpipe holds all m in flight and does not fit this budget
+        assert not plan.candidate("gpipe").fits
+
+    def test_plan_pipeline_schedule_explicit_cuts_and_budget(self,
+                                                             gpt_trace):
+        """Explicit cuts are honoured; an impossible budget degrades to
+        fits=False (best-effort ranking) instead of returning nothing."""
+        from repro.sim import plan_pipeline_schedule
+
+        model, trace = gpt_trace
+        cuts = even_cuts(len(trace.layers), 2)
+        plan = plan_pipeline_schedule(trace, model, P3DN_NODE, PP2,
+                                      micro_batch=2, num_micro_batches=8,
+                                      pipeline_cuts=cuts)
+        assert plan is not None and plan.cuts == tuple(cuts)
+        squeezed = plan_pipeline_schedule(trace, model, P3DN_NODE, PP2,
+                                          micro_batch=2,
+                                          num_micro_batches=8,
+                                          memory_budget=1.0)  # 1 byte
+        assert squeezed is not None and not squeezed.fits
+        with pytest.raises(ValueError, match="pp="):
+            plan_pipeline_schedule(trace, model, P3DN_NODE, PP2,
+                                   micro_batch=2, num_micro_batches=8,
+                                   pipeline_cuts=(4, 8, 12))
+
+    def test_unknown_schedule_rejected_by_step_time(self, gpt_trace):
+        model, trace = gpt_trace
+        with pytest.raises(ValueError, match="unknown pipeline schedule"):
+            step_time(trace, model, P3DN_NODE, PP2, 1,
+                      num_micro_batches=8, pipeline_schedule="hindsight")
+
+
+class TestSimRuntimeAgreement:
+    """The simulator's busy/idle ticks and the runtime's executed trace
+    must describe the same program."""
+
+    SCHEDULES = ["1f1b", "gpipe", "zb", "interleaved"]
+
+    @pytest.mark.parametrize("name", SCHEDULES)
+    @pytest.mark.parametrize("p,m", [(2, 4), (4, 4), (4, 8)])
+    def test_unit_cost_busy_counts_ops(self, name, p, m):
+        """Under unit tick costs a stage's busy time *is* its op count,
+        and busy + idle partitions the makespan on every stage."""
+        from repro.pipeline import make_program, simulate_program
+
+        program = make_program(name, p, m)
+        timeline = simulate_program(program,
+                                    {"F": 1.0, "B": 1.0, "W": 1.0})
+        for s in range(p):
+            assert timeline.stage_busy[s] == \
+                pytest.approx(len(program.stage_ops[s]))
+            assert timeline.stage_busy[s] + timeline.stage_idle[s] == \
+                pytest.approx(timeline.makespan)
+
+    @pytest.mark.parametrize("name", SCHEDULES)
+    def test_runtime_trace_matches_sim_tick_counts(self, name):
+        """Run the *real* runtime on a tiny GPT and check the executed
+        per-stage tick counts equal the simulator's unit-cost busy time —
+        sim and runtime agree on exactly which ticks each stage works."""
+        from repro.baselines import PipelineRuntime
+        from repro.framework import functional as F
+        from repro.models import GPT_2_9B, GPT2LMHeadModel
+        from repro.pipeline import simulate_program
+        from repro import framework as fw
+
+        num_stages, num_micro = 2, 4
+        cuts, pp = ((0, 1, 2), 4) if name == "interleaved" else ((1,), 2)
+        config = GPT_2_9B.tiny(num_layers=4, hidden_size=16, num_heads=2,
+                               vocab_size=64)
+        fw.manual_seed(0)
+        tiny = GPT2LMHeadModel(config)
+        tiny.eval()
+        mesh = DeviceMesh(ParallelConfig(pp=pp), rank=0, sim=True)
+        sch = slapo.create_schedule(tiny, mesh=mesh)
+        for layer in cuts:
+            sch[f"transformer.h.{layer}"].pipeline_split()
+        built = slapo.build(sch, target="deepspeed")
+        runtime = PipelineRuntime(built.stages,
+                                  num_micro_batches=num_micro,
+                                  schedule=name, num_stages=num_stages)
+        ids = fw.randint(0, config.vocab_size, (num_micro, 5))
+        labels = fw.randint(0, config.vocab_size, (num_micro * 5,))
+        runtime.train_step(
+            [(ids[i:i + 1],) for i in range(num_micro)],
+            lambda out, i: F.cross_entropy(
+                out.view(-1, config.vocab_size),
+                labels[i * 5:(i + 1) * 5]))
+
+        timeline = simulate_program(runtime.program(),
+                                    {"F": 1.0, "B": 1.0, "W": 1.0})
+        executed = [0] * num_stages
+        for tick in runtime.last_trace:
+            executed[tick.stage] += 1
+        assert executed == [pytest.approx(b)
+                            for b in timeline.stage_busy]
+
+
 class TestLegacyPathUnchanged:
     def test_no_cuts_means_uniform_estimate(self, gpt_trace):
         """Without cut points the pre-stage-accurate formula must be

@@ -173,6 +173,58 @@ class TestReproFiles:
         assert shrink(spec) == spec
 
 
+class TestPipelineScheduleSpec:
+    """``pipeline_schedule`` rides through the whole fuzz pipeline:
+    sampling, the replayed primitive step, JSON, and shrinking."""
+
+    def test_sampled_pipelined_specs_carry_registered_schedule(self):
+        from repro.pipeline import (
+            DEFAULT_SCHEDULE,
+            SCHEDULE_NAMES,
+            make_program,
+        )
+
+        saw_pipelined = False
+        for seed in range(30):
+            spec = sample_spec("GPT", 8, seed=seed)
+            assert spec.pipeline_schedule in SCHEDULE_NAMES
+            if spec.pp > 1:
+                saw_pipelined = True
+                # replayed as an explicit primitive step, exactly once
+                steps = [s for s in spec.steps
+                         if s["op"] == "pipeline_schedule"]
+                assert [tuple(s.get("args", ())) for s in steps] == \
+                    [(spec.pipeline_schedule,)]
+                # only expressible schedules are sampled
+                make_program(spec.pipeline_schedule, spec.pp,
+                             spec.num_micro_batches)
+            else:
+                assert spec.pipeline_schedule == DEFAULT_SCHEDULE
+        assert saw_pipelined
+
+    def test_round_trip_preserves_schedule(self, tmp_path):
+        spec = replace(bad_spec(), pipeline_schedule="zb")
+        loaded = ScheduleSpec.load(spec.save(tmp_path / "zb.json"))
+        assert loaded == spec
+        assert loaded.pipeline_schedule == "zb"
+
+    def test_pre_schedule_repros_load_with_default(self):
+        """Repro files written before the field existed must still load
+        (and mean what they always meant: 1F1B)."""
+        payload = json.loads(bad_spec().to_json())
+        del payload["pipeline_schedule"]
+        loaded = ScheduleSpec.from_json(json.dumps(payload))
+        assert loaded.pipeline_schedule == "1f1b"
+
+    def test_shrink_preserves_schedule_field(self):
+        """Shrinking deletes *steps*; the mesh/schedule coordinates of
+        the repro must survive untouched."""
+        spec = replace(bad_spec(), pipeline_schedule="zb")
+        small = shrink(spec)
+        assert small.pipeline_schedule == "zb"
+        assert [s["op"] for s in small.steps] == ["shard", "shard"]
+
+
 class TestFuzzDriver:
     def test_small_corpus_passes(self, tmp_path):
         result = run_fuzz(6, world_sizes=(1, 2), seed=7,

@@ -13,7 +13,9 @@ from repro.distributed import P3DN_NODE, ParallelConfig
 from repro.models import MODEL_ZOO, data
 from repro.schedules import SCHEDULES
 from repro.sim import trace_model
+from repro.pipeline import DEFAULT_SCHEDULE, SCHEDULE_NAMES
 from repro.slapo.tuner import (
+    AutoTuner,
     SimCostModel,
     enumerate_space,
     parallelism_symbols,
@@ -117,3 +119,69 @@ class TestSimCostModelPipelineAxis:
         assert few.fits and many.fits
         # more micro-batches shrink the bubble → higher throughput
         assert many.throughput > few.throughput
+
+
+class TestJointScheduleSearch:
+    """pipeline_schedule as a fourth joint coordinate (pp × m × cuts ×
+    schedule), and the acceptance criterion: the tuner picks a
+    non-default schedule on its own."""
+
+    def test_schedule_symbol_only_on_pipelined_branches(self):
+        def update(space):
+            parallelism_symbols(space, 8,
+                                pipeline_schedules=SCHEDULE_NAMES)
+
+        configs = enumerate_space(update)
+        for config in configs:
+            if config["pp"] > 1:
+                assert config["pipeline_schedule"] in SCHEDULE_NAMES
+            else:
+                assert "pipeline_schedule" not in config
+        pipelined = {c["pipeline_schedule"] for c in configs
+                     if c["pp"] > 1}
+        assert pipelined == set(SCHEDULE_NAMES)
+
+    def test_default_space_is_unchanged(self):
+        """Without the opt-in the symbol must not appear — existing
+        spaces and their cached trials keep their exact shape."""
+        def update(space):
+            parallelism_symbols(space, 8)
+
+        assert all("pipeline_schedule" not in c
+                   for c in enumerate_space(update))
+
+    def test_schedule_coordinate_changes_prediction(self, gpt_cost_model):
+        base = {"tp": 4, "pp": 2, "micro_batch": 2,
+                "num_micro_batches": 8}
+        default = gpt_cost_model.estimate(base)
+        zb = gpt_cost_model.estimate(
+            dict(base, pipeline_schedule="zb"))
+        assert default.fits and zb.fits
+        assert zb.throughput > default.throughput
+
+    def test_inexpressible_schedule_is_pruned_not_fatal(self,
+                                                        gpt_cost_model):
+        # m = 6 is not divisible by pp = 4 → interleaved cannot run
+        estimate = gpt_cost_model.estimate(
+            {"tp": 2, "pp": 4, "micro_batch": 1, "num_micro_batches": 6,
+             "pipeline_schedule": "interleaved"})
+        assert not estimate.fits
+        assert estimate.throughput == 0.0
+
+    def test_tuner_selects_non_default_schedule(self, gpt_cost_model):
+        """Acceptance: the joint exhaustive search lands on a pipelined
+        mesh with a non-1F1B schedule (zb/interleaved fill the bubble at
+        no extra cost, so a plain 1F1B winner would be a pricing bug)."""
+        def update(space):
+            parallelism_symbols(space, 8,
+                                pipeline_schedules=SCHEDULE_NAMES)
+            space.create_symbol("micro_batch", [1, 2])
+
+        tuner = AutoTuner(
+            update,
+            lambda config: gpt_cost_model.estimate(config).throughput)
+        result = tuner.exhaustive()
+        best = result.best_config
+        assert best is not None and best["pp"] > 1
+        assert best.get("pipeline_schedule",
+                        DEFAULT_SCHEDULE) != DEFAULT_SCHEDULE
