@@ -24,11 +24,12 @@ bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
 
 # Perf trajectory: refreshes BENCH_sim_speed.json + BENCH_pipeline.json
-# + BENCH_moe.json.
+# + BENCH_moe.json + BENCH_planner.json.
 perf:
 	$(PYTHON) benchmarks/bench_sim_speed.py
 	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/bench_moe.py
+	$(PYTHON) benchmarks/bench_planner.py
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

@@ -1,0 +1,187 @@
+"""Batch-planner benchmark — the headline configs-per-second number.
+
+Prices a Megatron-scale GPT space (tp × pp × dp × micro-batch × ZeRO at
+world size 1024, >10k configurations) two ways:
+
+* the scalar oracle loop the tuner used before: ``parallel_fn`` +
+  ``predict_config`` per configuration;
+* one :func:`repro.sim.predict_batch` call over the columnar
+  :class:`~repro.sim.batch.BatchPoints` view of the same space (plus,
+  for reference, the mapping-input path that pays per-row
+  normalization).
+
+Both paths are timed steady-state (shared trace caches warmed), so the
+speedup is the honest ratio of pricing rates, not a cache artifact; the
+differential suite (``tests/sim/test_batch_predict.py``) separately
+asserts the answers are equal config-for-config.
+
+A second panel times the :class:`MeasurementPool` against sequential
+in-process measurement on I/O-bound trials, the worker-pool speedup.
+
+Writes ``BENCH_planner.json`` at the repo root (run via ``make perf``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_planner.json"
+
+WORLD_SIZE = 1024
+FAMILY = "GPT"
+#: per-trial sleep for the worker-pool panel (I/O-bound stand-in for a
+#: short measured trial)
+TRIAL_SECONDS = 0.05
+POOL_TRIALS = 16
+POOL_WORKERS = 4
+
+
+def build_trace():
+    import repro.slapo as slapo
+    from repro.models import MODEL_ZOO, data
+    from repro.schedules import SCHEDULES
+    from repro.sim import trace_model
+
+    cls, config = MODEL_ZOO[FAMILY]
+    config = config.tiny()
+    model = cls(config, device="meta")
+    sch = slapo.create_schedule(model)
+    SCHEDULES[FAMILY](sch, config, ckpt_ratio=0.0, use_tp=False)
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    return model, trace_model(model, ids)
+
+
+def build_space():
+    from repro.slapo.tuner.space import enumerate_space, parallelism_symbols
+
+    def update(space):
+        parallelism_symbols(space, WORLD_SIZE, max_tp=32, max_pp=64,
+                            min_micro_batches=(1, 2, 3, 4, 6, 8, 12, 16))
+        space.create_symbol("zero_stage", [0, 1, 2, 3])
+        space.create_symbol("micro_batch",
+                            [1, 2, 3, 4, 6, 8, 12, 16, 24, 32])
+
+    return enumerate_space(update)
+
+
+def time_planner() -> dict:
+    from repro.distributed import p3dn_cluster
+    from repro.sim import BatchPoints, predict_batch, predict_config
+    from repro.slapo.tuner import SimCostModel
+
+    model, trace = build_trace()
+    cluster = p3dn_cluster(WORLD_SIZE // 8)
+    configs = build_space()
+    parallel_fn = SimCostModel.parallel_fn(WORLD_SIZE)
+
+    def scalar_pass() -> int:
+        feasible = 0
+        for config in configs:
+            try:
+                parallel = parallel_fn(config)
+            except ValueError:
+                continue
+            prediction = predict_config(
+                trace, model, cluster, parallel, config["micro_batch"],
+                zero_stage=config["zero_stage"],
+                num_micro_batches=config.get("num_micro_batches", 1))
+            feasible += prediction.fits
+        return feasible
+
+    # Warm the shared per-trace caches (kernel-time sums, tick-program
+    # expressibility) once: both paths benefit identically, so the
+    # steady-state ratio below reflects pricing work, not cache fills.
+    scalar_pass()
+    start = time.perf_counter()
+    feasible = scalar_pass()
+    scalar_seconds = time.perf_counter() - start
+
+    # mapping input: pays the per-row normalization loop
+    start = time.perf_counter()
+    batch = predict_batch(trace, model, cluster, configs,
+                          parallel_fn=parallel_fn)
+    dict_seconds = time.perf_counter() - start
+
+    # columnar input: the all-numpy fast path (best of 5)
+    points = BatchPoints.from_configs(configs, parallel_fn=parallel_fn)
+    columnar_seconds = min(
+        _timed(lambda: predict_batch(trace, model, cluster, points))
+        for _ in range(5))
+
+    assert batch.num_feasible == feasible, "batch disagrees with scalar"
+    n = len(configs)
+    return {
+        "space": {"configs": n, "world_size": WORLD_SIZE,
+                  "family": FAMILY, "feasible": batch.num_feasible,
+                  "vectorized": batch.num_vectorized,
+                  "fallback": batch.num_fallback},
+        "scalar_loop": {
+            "seconds": scalar_seconds,
+            "per_config_latency_us": scalar_seconds / n * 1e6,
+        },
+        "batch_predict": {
+            "seconds": columnar_seconds,
+            "configs_per_second": n / columnar_seconds,
+            "speedup_vs_scalar": scalar_seconds / columnar_seconds,
+            "dict_input_seconds": dict_seconds,
+            "dict_input_speedup": scalar_seconds / dict_seconds,
+        },
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _pool_trial(config: dict) -> float:
+    time.sleep(TRIAL_SECONDS)
+    return 1.0 + config["i"]
+
+
+def time_worker_pool() -> dict:
+    from repro.slapo.tuner import MeasurementPool
+
+    configs = [{"i": i} for i in range(POOL_TRIALS)]
+    start = time.perf_counter()
+    for config in configs:
+        _pool_trial(config)
+    sequential_seconds = time.perf_counter() - start
+    with MeasurementPool(_pool_trial, num_workers=POOL_WORKERS,
+                         trial_timeout=30.0) as pool:
+        start = time.perf_counter()
+        results = pool.run(configs)
+        pool_seconds = time.perf_counter() - start
+    assert all(not r.lost for r in results)
+    return {
+        "trials": POOL_TRIALS,
+        "workers": POOL_WORKERS,
+        "sequential_seconds": sequential_seconds,
+        "pool_seconds": pool_seconds,
+        "speedup": sequential_seconds / pool_seconds,
+    }
+
+
+def main() -> None:
+    planner = time_planner()
+    pool = time_worker_pool()
+    report = {
+        "benchmark": "planner",
+        "python": platform.python_version(),
+        **planner,
+        "worker_pool": pool,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

@@ -76,7 +76,16 @@ def time_predict_sweep(num_configs: int = 64) -> dict:
                                     zero_stage=zero_stage)
         feasible += prediction.fits
     elapsed = time.perf_counter() - start
-    return {"seconds": elapsed, "configs": num_configs, "feasible": feasible}
+    # steady-state per-config latency: the oracle loop with the trace
+    # caches warm, i.e. what every tuner probe after the first pays
+    start = time.perf_counter()
+    for micro_batch, zero_stage, dp in configs:
+        predict_config(trace, model, P3DN_NODE, ParallelConfig(dp=dp),
+                       micro_batch, zero_stage=zero_stage)
+    warm = time.perf_counter() - start
+    return {"seconds": elapsed, "configs": num_configs,
+            "feasible": feasible,
+            "per_config_latency_us": warm / num_configs * 1e6}
 
 
 def time_fig7_fig8_wall_clock() -> dict:

@@ -3,8 +3,12 @@
 Compares every ``BENCH_*.json`` at the repo root against the version
 committed at ``HEAD``.  Numeric leaves are classified by key name:
 
-* *lower-is-better*: keys containing ``seconds`` / ``_ms``;
-* *higher-is-better*: keys containing ``throughput`` / ``speedup``.
+* *lower-is-better*: keys containing ``seconds`` / ``_ms`` /
+  ``latency`` (covers the ``predict_config_64`` per-config latency in
+  ``BENCH_sim_speed.json``);
+* *higher-is-better*: keys containing ``throughput`` / ``speedup`` /
+  ``per_second`` (covers the ``BENCH_planner.json`` headline: batch
+  configs/sec and batch-vs-scalar speedup).
 
 A metric that regressed more than ``THRESHOLD`` (20%) fails the check —
 so a PR that refreshes a benchmark file with a slower result must either
@@ -28,8 +32,8 @@ THRESHOLD = 0.20
 #: (a ±1 ms wobble on a 1 ms timer is ±100%) — skip them
 MIN_SECONDS = 0.05
 
-LOWER_BETTER = ("seconds", "_ms")
-HIGHER_BETTER = ("throughput", "speedup")
+LOWER_BETTER = ("seconds", "_ms", "latency")
+HIGHER_BETTER = ("throughput", "speedup", "per_second")
 
 
 def _committed(name: str) -> dict | None:

@@ -39,6 +39,7 @@ from .pipeline import (
     stage_profiles,
     stage_step_times,
 )
+from .batch import BatchPoints, BatchPrediction, predict_batch
 from .planner import (
     MICRO_BATCH_CANDIDATES,
     Plan,
@@ -63,4 +64,5 @@ __all__ = [
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
     "micro_batch_count_candidates",
     "Prediction", "predict_config",
+    "BatchPoints", "BatchPrediction", "predict_batch",
 ]

@@ -32,6 +32,7 @@ from .registry import (
     register_primitive,
 )
 from .schedule import PrimitiveRecord, Schedule, ScheduleContext, create_schedule
+from .service import PlanRequest, PlanResponse, PlanService, plan_service
 from .tuner import (
     AutoTuner,
     SimCostModel,
@@ -59,6 +60,7 @@ __all__ = [
     "run_fuzz", "ScheduleSpec",
     "AutoTuner", "Space", "TuneResult", "TuneReport", "enumerate_space",
     "SimCostModel", "TrialCache",
+    "PlanService", "plan_service", "PlanRequest", "PlanResponse",
     "ShardSpec", "PipelineModule", "partition_pipeline", "DecomposedLinear",
     "op", "pattern",
 ]

@@ -29,6 +29,7 @@ from .tuner import (
     TuneReport,
     TuneResult,
 )
+from .workers import MeasurementPool, MeasureResult
 
 __all__ = [
     "Space", "SpaceError", "enumerate_space", "symbol_values",
@@ -37,5 +38,6 @@ __all__ = [
     "CostModel", "CostEstimate", "SimCostModel", "CallableCostModel",
     "as_cost_model",
     "TrialCache", "config_key",
+    "MeasurementPool", "MeasureResult",
     "SECONDS_PER_TRIAL", "SECONDS_PER_FAILED_TRIAL",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 
@@ -42,6 +43,12 @@ class TrialCache:
     Missing or unreadable files start an empty cache (a cold cache is
     never an error); :meth:`save` writes atomically (temp file + rename)
     so a crash mid-save cannot corrupt earlier measurements.
+
+    Safe for concurrent use from one process: load/merge/store and the
+    get/put fast paths hold an internal lock, so ``plan_service``
+    threads answering queries against a shared cache never interleave a
+    merge-on-save with a put (the rename itself is atomic at the OS
+    level, which covers concurrent *processes* on the same path).
     """
 
     VERSION = 1
@@ -49,6 +56,7 @@ class TrialCache:
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self._entries: dict[str, dict] = {}
+        self._lock = threading.RLock()
         #: lookups answered from the cache (reset per process, not saved)
         self.hits = 0
         self.load()
@@ -75,47 +83,55 @@ class TrialCache:
         return entries
 
     def load(self) -> None:
-        self._entries.update(self._read_disk())
+        fresh = self._read_disk()
+        with self._lock:
+            self._entries.update(fresh)
 
     def save(self) -> None:
         # Merge-on-save: another cache instance (a concurrent benchmark,
         # a second tuner on the same path) may have written since we
         # loaded — fold its measurements in rather than clobbering them.
         # Our own entries win on conflict.
-        merged = self._read_disk()
-        merged.update(self._entries)
-        self._entries = merged
-        payload = {
-            "version": self.VERSION,
-            "trials": [self._entries[key] for key in sorted(self._entries)],
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-            os.replace(tmp, self.path)
-        except BaseException:
+        with self._lock:
+            merged = self._read_disk()
+            merged.update(self._entries)
+            self._entries = merged
+            payload = {
+                "version": self.VERSION,
+                "trials": [self._entries[key]
+                           for key in sorted(self._entries)],
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                       prefix=self.path.name,
+                                       suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, indent=1)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     # ------------------------------------------------------------------ #
     def get(self, config: dict) -> dict | None:
-        entry = self._entries.get(config_key(config))
-        if entry is not None:
-            self.hits += 1
+        with self._lock:
+            entry = self._entries.get(config_key(config))
+            if entry is not None:
+                self.hits += 1
         return entry
 
     def put(self, config: dict, throughput: float, valid: bool) -> None:
-        self._entries[config_key(config)] = {
+        entry = {
             "config": dict(config),
             "throughput": float(throughput),
             "valid": bool(valid),
         }
+        with self._lock:
+            self._entries[config_key(config)] = entry
 
     def __len__(self) -> int:
         return len(self._entries)

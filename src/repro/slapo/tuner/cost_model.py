@@ -25,11 +25,12 @@ return ``0``/``None`` to mark a config infeasible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.distributed.mesh import ParallelConfig
 from repro.distributed.topology import ClusterSpec
 from repro.pipeline import DEFAULT_SCHEDULE
+from repro.sim.batch import predict_batch
 from repro.sim.kernel_cost import KernelCostModel
 from repro.sim.memory import model_stats_for
 from repro.sim.planner import predict_config
@@ -52,6 +53,16 @@ class CostModel:
 
     def estimate(self, config: dict) -> CostEstimate:
         raise NotImplementedError
+
+    def predict_many(self, configs: Sequence[dict]) -> list[CostEstimate]:
+        """Price many configs at once.
+
+        The base implementation loops :meth:`estimate`; models with a
+        vectorized path (:class:`SimCostModel`) override it, so tuner
+        strategies can always hand over the whole space and let the
+        model pick the fastest way to price it.
+        """
+        return [self.estimate(config) for config in configs]
 
     def __call__(self, config: dict) -> float:
         """Convenience: a cost model is usable wherever an evaluate_fn is."""
@@ -241,3 +252,53 @@ class SimCostModel(CostModel):
                                 memory_bytes=prediction.memory_bytes)
         self._estimates[key] = estimate
         return estimate
+
+    def predict_many(self, configs: Sequence[dict]) -> list[CostEstimate]:
+        """Vectorized pricing via :func:`repro.sim.predict_batch`.
+
+        Configs are normalized exactly as :meth:`estimate` would (same
+        parallel/micro-batch resolvers, same memo), grouped by trace key
+        so each distinct trace is priced in one batched call, and the
+        answers land in the estimate memo — a later :meth:`estimate` of
+        any priced config is a dict hit.
+        """
+        results: list[CostEstimate | None] = [None] * len(configs)
+        groups: dict[object, list[tuple[int, dict]]] = {}
+        for i, config in enumerate(configs):
+            key = tuple(sorted(config.items()))
+            cached = self._estimates.get(key)
+            if cached is not None:
+                results[i] = cached
+                continue
+            self.num_estimates += 1
+            try:
+                parallel = self._resolve_parallel(config)
+            except ValueError:
+                results[i] = self._estimates[key] = CostEstimate(
+                    throughput=0.0, fits=False)
+                continue
+            row = dict(
+                parallel=parallel,
+                micro_batch=self._resolve_micro_batch(config, parallel),
+                num_micro_batches=int(config.get("num_micro_batches",
+                                                 self.num_micro_batches)),
+                pipeline_schedule=str(config.get("pipeline_schedule",
+                                                 DEFAULT_SCHEDULE)),
+            )
+            trace_key = tuple(sorted(config.items())) \
+                if self._trace_key_fn is None else self._trace_key_fn(config)
+            groups.setdefault(trace_key, []).append((i, row))
+        for trace_key, rows in groups.items():
+            model, trace = self._traced(configs[rows[0][0]])
+            batch = predict_batch(
+                trace, model, self.cluster, [row for _, row in rows],
+                cost_model=self.kernel_cost, zero_stage=self.zero_stage,
+                pipeline_cuts=self.pipeline_cuts)
+            for j, (i, _) in enumerate(rows):
+                estimate = CostEstimate(
+                    throughput=float(batch.throughput[j]),
+                    fits=bool(batch.fits[j]),
+                    memory_bytes=float(batch.memory_total[j]))
+                key = tuple(sorted(configs[i].items()))
+                results[i] = self._estimates[key] = estimate
+        return results

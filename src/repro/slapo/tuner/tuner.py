@@ -35,6 +35,7 @@ import numpy as np
 from .cache import TrialCache
 from .cost_model import CostModel, as_cost_model
 from .space import enumerate_space
+from .workers import MeasurementPool
 
 
 def _trial_key(config: dict) -> tuple:
@@ -56,6 +57,12 @@ class Trial:
     predicted: float | None = None
     #: served from the persistent TrialCache (costs zero search seconds)
     cached: bool = False
+    #: the measurement never completed (worker crash/timeout); lost
+    #: trials are recorded but never memoized or cached, so a later run
+    #: measures them afresh
+    lost: bool = False
+    #: loss reason from the measurement pool
+    error: str | None = None
 
 
 @dataclass
@@ -79,6 +86,8 @@ class TuneReport:
     #: feasible configs skipped for budget reasons (prefilter cutoff,
     #: below top-k) — distinct from cost-model rejections
     num_skipped: int = 0
+    #: trials lost to worker crashes/timeouts (recorded, never cached)
+    num_lost: int = 0
     search_seconds: float = 0.0
     #: estimated cost of measuring the whole space exhaustively:
     #: measured configs at their observed cost, predicted-infeasible ones
@@ -134,13 +143,16 @@ class AutoTuner:
                  evaluate_fn: Callable[[dict], float | None],
                  seed: int = 0,
                  cost_model: CostModel | Callable | None = None,
-                 cache: TrialCache | None = None):
+                 cache: TrialCache | None = None,
+                 pool: MeasurementPool | None = None):
         self.update_space_fn = update_space_fn
         self.evaluate_fn = evaluate_fn
         self.configs = enumerate_space(update_space_fn)
         self.cost_model = None if cost_model is None \
             else as_cost_model(cost_model)
         self.cache = cache
+        #: optional crash-isolated subprocess pool for measured trials
+        self.pool = pool
         self._rng = np.random.default_rng(seed)
         self._memo: dict[tuple, Trial] = {}
         self._trials: list[Trial] = []
@@ -200,6 +212,59 @@ class AutoTuner:
         self._trials.append(trial)
         return trial
 
+    def _evaluate_many(self, pairs: list[tuple[dict, float | None]]
+                       ) -> list[Trial]:
+        """Evaluate a batch of ``(config, predicted)`` pairs.
+
+        Memo and cache hits are resolved inline; the remainder runs
+        through the measurement ``pool`` when one is attached (crash
+        isolation, per-trial timeouts) and otherwise through the same
+        in-process path as :meth:`_evaluate`.  Lost trials are recorded
+        with ``lost=True`` but never memoized or cached, so only the
+        affected trials are forfeited — a clean rerun measures them.
+        """
+        trials: list[Trial | None] = [None] * len(pairs)
+        queue: list[tuple[int, dict, float | None]] = []
+        for i, (config, predicted) in enumerate(pairs):
+            key = _trial_key(config)
+            if key in self._memo:
+                trials[i] = self._memo[key]
+                continue
+            cached_entry = None if self.cache is None \
+                else self.cache.get(config)
+            if cached_entry is not None:
+                trial = Trial(config=dict(config),
+                              throughput=cached_entry["throughput"],
+                              valid=cached_entry["valid"],
+                              predicted=predicted, cached=True)
+                self._memo[key] = trial
+                self._trials.append(trial)
+                trials[i] = trial
+                continue
+            queue.append((i, config, predicted))
+        if not queue:
+            return trials
+        if self.pool is None:
+            for i, config, predicted in queue:
+                trials[i] = self._evaluate(config, predicted=predicted)
+            return trials
+        outcomes = self.pool.run([config for _, config, _ in queue])
+        for (i, config, predicted), outcome in zip(queue, outcomes):
+            if outcome.lost:
+                trial = Trial(config=dict(config), throughput=0.0,
+                              valid=False, predicted=predicted,
+                              lost=True, error=outcome.error)
+            else:
+                trial = Trial(config=dict(config),
+                              throughput=outcome.throughput,
+                              valid=outcome.valid, predicted=predicted)
+                if self.cache is not None:
+                    self.cache.put(config, trial.throughput, trial.valid)
+                self._memo[_trial_key(config)] = trial
+            self._trials.append(trial)
+            trials[i] = trial
+        return trials
+
     def _report(self, strategy: str, pruned: int = 0,
                 skipped: int = 0) -> TuneReport:
         return TuneReport(strategy=strategy, space_size=len(self.configs),
@@ -207,16 +272,19 @@ class AutoTuner:
 
     def _score(self, configs: list[dict]
                ) -> tuple[list[tuple[float, dict]], list[dict]]:
-        """Price ``configs`` with the cost model.
+        """Price ``configs`` with the cost model, whole list at once.
 
-        Returns the feasible configs ranked deterministically (predicted
-        throughput descending, config key as the tiebreak) and the list
-        of predicted-infeasible ones.
+        Goes through :meth:`CostModel.predict_many`, so a vectorized
+        model (:class:`.cost_model.SimCostModel`) prices the entire
+        space in one batched call — exhaustive-by-prediction ranking at
+        any space size.  Returns the feasible configs ranked
+        deterministically (predicted throughput descending, config key
+        as the tiebreak) and the list of predicted-infeasible ones.
         """
         scored: list[tuple[float, dict]] = []
         pruned: list[dict] = []
-        for config in configs:
-            estimate = self.cost_model.estimate(config)
+        for config, estimate in zip(configs,
+                                    self.cost_model.predict_many(configs)):
             if not estimate.fits or estimate.throughput <= 0:
                 pruned.append(config)
                 continue
@@ -243,6 +311,7 @@ class AutoTuner:
             report.num_trials = len(run_trials)
             report.num_cache_hits = sum(1 for t in run_trials if t.cached)
             report.num_measured = report.num_trials - report.num_cache_hits
+            report.num_lost = sum(1 for t in run_trials if t.lost)
             report.search_seconds = self._trial_seconds(run_trials)
             report.predictions = [(t.predicted, t.throughput)
                                   for t in run_trials
@@ -277,8 +346,7 @@ class AutoTuner:
     def exhaustive(self) -> TuneResult:
         """Evaluate every configuration in the space (the baseline)."""
         start = len(self._trials)
-        for config in self.configs:
-            self._evaluate(config)
+        self._evaluate_many([(config, None) for config in self.configs])
         return self._result(self._report("exhaustive"), start)
 
     def coordinate_descent(self, restarts: int = 1,
@@ -347,8 +415,8 @@ class AutoTuner:
         if quota > 0:
             picks = self._rng.choice(len(rest), size=quota, replace=False)
             chosen += [rest[int(i)] for i in sorted(picks)]
-        for predicted, config in chosen:
-            self._evaluate(config, predicted=predicted)
+        self._evaluate_many([(config, predicted)
+                             for predicted, config in chosen])
         skipped = len(scored) - len(chosen)
         return self._result(
             self._report("simulator_guided", pruned=pruned, skipped=skipped),
@@ -397,10 +465,10 @@ class AutoTuner:
             pruned_keys.update(_trial_key(c) for c in seed_pruned)
             skipped_keys.update(_trial_key(c)
                                 for _, c in scored[pop_size:])
-            current = [self._evaluate(c, predicted=p)
-                       for p, c in scored[:pop_size]]
+            current = self._evaluate_many([(c, p)
+                                           for p, c in scored[:pop_size]])
         else:
-            current = [self._evaluate(c) for c in seeds]
+            current = self._evaluate_many([(c, None) for c in seeds])
         if not current:  # cost model rejected the entire sample
             return finish()
 
@@ -429,10 +497,10 @@ class AutoTuner:
                 keep = max(1, math.ceil(prefilter * len(scored))) \
                     if scored else 0
                 skipped_keys.update(_trial_key(c) for _, c in scored[keep:])
-                offspring = [self._evaluate(c, predicted=p)
-                             for p, c in scored[:keep]]
+                offspring = self._evaluate_many([(c, p)
+                                                 for p, c in scored[:keep]])
             else:
-                offspring = [self._evaluate(c) for c in brood]
+                offspring = self._evaluate_many([(c, None) for c in brood])
             # Generational replacement with elitism: the best `elite`
             # parents always survive, the rest of the slots go to the
             # fittest of (offspring ∪ remaining parents).

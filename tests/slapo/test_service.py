@@ -1,0 +1,164 @@
+"""plan_service: concurrent queries, coalescing, trace and trial reuse."""
+
+import threading
+
+import pytest
+
+import repro.slapo as slapo
+from repro.models import MODEL_ZOO, data
+from repro.schedules import SCHEDULES
+from repro.sim import trace_model
+from repro.slapo import PlanRequest, PlanService, plan_service
+from repro.slapo.tuner import MeasurementPool, TrialCache
+
+
+def gpt_trace(family):
+    cls, config = MODEL_ZOO[family]
+    config = config.tiny()
+    model = cls(config, device="meta")
+    sch = slapo.create_schedule(model)
+    SCHEDULES[family](sch, config, ckpt_ratio=0.0, use_tp=False)
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    return model, trace_model(model, ids)
+
+
+class TestPlanQueries:
+    def test_predict_only_answer(self):
+        with plan_service(gpt_trace) as service:
+            response = service.query(PlanRequest("GPT", world_size=16))
+        assert response.config is not None
+        assert response.throughput > 0
+        assert response.predicted
+        assert response.num_feasible > 0
+        assert response.space_size >= response.num_feasible
+        # the plan resolves to a real mesh over the requested world size
+        config = response.config
+        assert config.get("tp", 1) * config.get("dp", 1) * \
+            config.get("pp", 1) == 16
+
+    def test_distinct_requests_get_distinct_answers(self):
+        with plan_service(gpt_trace) as service:
+            a = service.query(PlanRequest("GPT", world_size=8))
+            b = service.query(PlanRequest("GPT", world_size=16))
+        assert a.request != b.request
+        assert a.config.get("dp", 1) * a.config.get("tp", 1) * \
+            a.config.get("pp", 1) == 8
+        assert service.traces_built == 1  # family trace shared
+
+    def test_infeasible_space_returns_none(self):
+        import dataclasses
+        from repro.distributed import p3dn_cluster
+        base = p3dn_cluster(1)
+        tiny_gpu = dataclasses.replace(
+            base.gpu, memory_capacity=base.gpu.memory_reserved)
+        starved = dataclasses.replace(base, gpu=tiny_gpu)
+        with plan_service(gpt_trace,
+                          cluster_fn=lambda ws: starved) as service:
+            response = service.query(PlanRequest("GPT", world_size=8))
+        assert response.config is None
+        assert response.num_feasible == 0
+        assert response.throughput == 0.0
+
+
+@pytest.mark.slow
+class TestCoalescing:
+    def test_identical_inflight_queries_share_one_future(self):
+        gate = threading.Event()
+
+        def gated(family):
+            gate.wait(timeout=30)
+            return gpt_trace(family)
+
+        with plan_service(gated, max_workers=4) as service:
+            request = PlanRequest("GPT", world_size=16)
+            futures = [service.submit(request) for _ in range(8)]
+            gate.set()
+            responses = [f.result() for f in futures]
+        # one shared future → one shared response object, one trace
+        assert all(f is futures[0] for f in futures[1:])
+        assert all(r is responses[0] for r in responses)
+        assert service.coalesced == 7
+        assert service.traces_built == 1
+
+    def test_coalescing_is_per_request_key(self):
+        with plan_service(gpt_trace, max_workers=2) as service:
+            a = service.submit(PlanRequest("GPT", world_size=8))
+            b = service.submit(PlanRequest("GPT", world_size=16))
+            assert a is not b
+            a.result(), b.result()
+        assert service.coalesced == 0
+
+    def test_completed_requests_do_not_coalesce(self):
+        """Coalescing is for in-flight queries only; a finished request
+        is re-answered (and re-priced) on the next submission."""
+        with plan_service(gpt_trace) as service:
+            first = service.query(PlanRequest("GPT", world_size=8))
+            second = service.query(PlanRequest("GPT", world_size=8))
+        assert service.coalesced == 0
+        assert first is not second
+        assert first.config == second.config
+        assert first.throughput == second.throughput
+
+    def test_concurrent_distinct_queries(self):
+        requests = [PlanRequest("GPT", world_size=ws, budget=0)
+                    for ws in (8, 16, 24, 32)]
+        with plan_service(gpt_trace, max_workers=4) as service:
+            responses = [f.result()
+                         for f in [service.submit(r) for r in requests]]
+        assert service.traces_built == 1
+        for request, response in zip(requests, responses):
+            assert response.request is request
+            assert response.config is not None
+
+
+@pytest.mark.slow
+class TestBudgetedQueries:
+    def test_budget_measures_top_predictions(self, tmp_path):
+        cache = TrialCache(tmp_path / "trials.json")
+        measured = []
+
+        def measure(config):
+            measured.append(dict(config))
+            return 50.0 + config["micro_batch"]
+
+        with plan_service(gpt_trace, cache=cache,
+                          measure_fn=measure) as service:
+            response = service.query(
+                PlanRequest("GPT", world_size=8, budget=4))
+        assert not response.predicted
+        assert response.num_measured == 4 == len(measured)
+        assert response.config in [m[0] for m in response.measurements]
+        # measurements are durable: an identical query is free
+        with plan_service(gpt_trace, cache=cache,
+                          measure_fn=measure) as service:
+            again = service.query(
+                PlanRequest("GPT", world_size=8, budget=4))
+        assert again.num_cache_hits == 4
+        assert again.num_measured == 0
+        assert len(measured) == 4
+        assert again.config == response.config
+
+    def test_budget_through_measurement_pool_survives_crash(self, tmp_path):
+        import os
+
+        with plan_service(gpt_trace) as service:
+            best_predicted = service.query(
+                PlanRequest("GPT", world_size=8)).config
+
+        def crashy(config):
+            if config == best_predicted:
+                os._exit(42)  # best predicted config crashes its worker
+            return 50.0 + config["micro_batch"]
+
+        cache = TrialCache(tmp_path / "trials.json")
+        pool = MeasurementPool(crashy, num_workers=2, trial_timeout=5.0)
+        with plan_service(gpt_trace, cache=cache,
+                          measure_fn=pool) as service:
+            response = service.query(
+                PlanRequest("GPT", world_size=8, budget=4))
+        # the crash forfeits one candidate; the query still answers
+        # from the surviving measurements
+        assert not response.predicted
+        assert response.num_measured == 3
+        assert response.config is not None
+        assert pool.workers_lost == 1

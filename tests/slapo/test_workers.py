@@ -1,0 +1,148 @@
+"""Worker-pool robustness: crashes and hangs cost one trial, not the run.
+
+The acceptance shape: a tuning run with an injected worker crash and an
+injected hang completes, returns the *same best config* as a clean run,
+and loses only the affected trials — with `TuneReport` counts that say
+so.  Results must be deterministic and independent of worker count.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.slapo.tuner import (
+    AutoTuner,
+    MeasurementPool,
+    MeasureResult,
+    TrialCache,
+)
+
+CRASH_X = 3    # evaluate() hard-kills its worker process
+HANG_X = 5     # evaluate() sleeps past the trial timeout
+SPACE = list(range(10))
+
+
+def update_space(space):
+    space.create_symbol("x", SPACE)
+
+
+def faulty_evaluate(config):
+    x = config["x"]
+    if x == CRASH_X:
+        os._exit(42)
+    if x == HANG_X:
+        time.sleep(60)
+    return 10.0 + x
+
+
+def clean_evaluate(config):
+    return 10.0 + config["x"]
+
+
+def make_pool(num_workers):
+    return MeasurementPool(faulty_evaluate, num_workers=num_workers,
+                          trial_timeout=2.0)
+
+
+@pytest.mark.slow
+class TestPoolRobustness:
+    def test_crash_and_hang_cost_one_trial_each(self):
+        with make_pool(num_workers=3) as pool:
+            results = pool.run([{"x": x} for x in SPACE])
+        assert len(results) == len(SPACE)
+        by_x = {r.config["x"]: r for r in results}
+        assert by_x[CRASH_X].lost and "crash" in by_x[CRASH_X].error
+        assert by_x[HANG_X].lost and "timed out" in by_x[HANG_X].error
+        for x in SPACE:
+            if x in (CRASH_X, HANG_X):
+                continue
+            assert not by_x[x].lost
+            assert by_x[x].throughput == 10.0 + x
+        # one worker died per injected fault
+        assert pool.workers_lost == 2
+
+    def test_results_deterministic_across_worker_counts(self):
+        outcomes = []
+        for workers in (1, 2, 4):
+            with make_pool(workers) as pool:
+                results = pool.run([{"x": x} for x in SPACE])
+            outcomes.append([(r.config["x"], r.throughput, r.lost)
+                             for r in results])
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_pool_reusable_after_losses(self):
+        with make_pool(num_workers=2) as pool:
+            first = pool.run([{"x": CRASH_X}, {"x": HANG_X}])
+            assert all(r.lost for r in first)
+            second = pool.run([{"x": 0}, {"x": 1}])
+            assert [r.throughput for r in second] == [10.0, 11.0]
+
+    def test_in_process_error_is_isolated_without_killing_worker(self):
+        def raising(config):
+            if config["x"] == 0:
+                raise RuntimeError("boom")
+            return 1.0
+
+        with MeasurementPool(raising, num_workers=1,
+                             trial_timeout=5.0) as pool:
+            results = pool.run([{"x": 0}, {"x": 1}])
+        assert results[0].lost and "boom" in results[0].error
+        assert results[1].throughput == 1.0
+        assert pool.workers_lost == 0  # the worker survived the exception
+
+
+@pytest.mark.slow
+class TestTunerWithPool:
+    def test_same_best_config_as_clean_run(self, tmp_path):
+        clean = AutoTuner(update_space, clean_evaluate)
+        clean_result = clean.exhaustive()
+
+        cache = TrialCache(tmp_path / "trials.json")
+        with make_pool(num_workers=2) as pool:
+            tuner = AutoTuner(update_space, faulty_evaluate, pool=pool,
+                              cache=cache)
+            result = tuner.exhaustive()
+
+        assert result.best_config == clean_result.best_config
+        assert result.best_throughput == clean_result.best_throughput
+        report = result.report
+        assert report.num_trials == len(SPACE)
+        assert report.num_lost == 2
+        assert report.num_measured == len(SPACE)
+        # lost trials are forfeited, not poisoned: neither memoized ...
+        lost = [t for t in result.trials if t.lost]
+        assert {t.config["x"] for t in lost} == {CRASH_X, HANG_X}
+        assert all(not t.valid and t.throughput == 0.0 for t in lost)
+        # ... nor written to the persistent cache
+        assert {"x": CRASH_X} not in cache
+        assert {"x": HANG_X} not in cache
+        assert {"x": 0} in cache
+
+    def test_lost_trials_remeasured_on_next_run(self, tmp_path):
+        cache = TrialCache(tmp_path / "trials.json")
+        with make_pool(num_workers=2) as pool:
+            tuner = AutoTuner(update_space, faulty_evaluate, pool=pool,
+                              cache=cache)
+            tuner.exhaustive()
+        # second, clean run over the same cache: only the two lost
+        # configs still need measuring, and the run completes fully
+        rerun = AutoTuner(update_space, clean_evaluate, cache=cache)
+        result = rerun.exhaustive()
+        assert result.report.num_cache_hits == len(SPACE) - 2
+        assert result.report.num_measured == 2
+        assert result.report.num_lost == 0
+        assert all(t.valid for t in result.trials)
+
+    def test_simulator_guided_with_pool(self):
+        """Pool trials flow through prediction bookkeeping unchanged."""
+        predictions = {x: 10.0 + x for x in SPACE}
+        with make_pool(num_workers=2) as pool:
+            tuner = AutoTuner(
+                update_space, faulty_evaluate, pool=pool,
+                cost_model=lambda config: predictions[config["x"]])
+            result = tuner.simulator_guided(top_k=len(SPACE))
+        assert result.best_config == {"x": max(
+            x for x in SPACE if x not in (CRASH_X, HANG_X))}
+        measured = [t for t in result.trials if not t.lost]
+        assert all(t.predicted is not None for t in measured)
