@@ -30,6 +30,7 @@ perf:
 	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/bench_moe.py
 	$(PYTHON) benchmarks/bench_planner.py
+	$(PYTHON) benchmarks/bench_topology.py
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

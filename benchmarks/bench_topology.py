@@ -1,0 +1,201 @@
+"""Thousand-GPU topology panel — what hierarchy-aware pricing buys.
+
+Two questions, answered with numbers written to ``BENCH_topology.json``
+for 1024- and 4096-GPU A100 clusters (two link tiers: NVLink islands
+joined by a rail-optimized HDR fabric):
+
+* **Does placement matter?**  Price the same tp=8 GPT-2.9B layout with
+  tensor parallelism on the NVLink island (``order=("tp","ep","dp","pp")``,
+  dp striding across nodes) against the pathological inversion (dp
+  innermost, the tp all-reduces of every layer crossing the IB fabric).
+  The gap is the cost of getting placement wrong — and sweeping every
+  tuned placement order must hand the win to tp-intra-node, which is the
+  planner-prefers-tp-inside assertion of the PR.
+* **Does comm/compute overlap pay at scale?**  With dp spanning hundreds
+  of nodes the gradient all-reduce is expensive; bucketed
+  ``overlap_grad_sync`` pricing must hide most of it under the backward
+  window and beat the serial timeline.
+
+Run via ``make perf``; committing the refreshed JSON records the
+trajectory over PRs (``scripts/check_bench.py`` guards regressions).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_topology.json"
+
+TP = 8
+MICRO_BATCH = 1
+#: (panel label, number of A100 nodes) — 1024 and 4096 GPUs
+WORLDS = (("1024", 128), ("4096", 512))
+
+
+def _tp_sharded_gpt():
+    import repro.slapo as slapo
+    from repro.distributed import DeviceMesh, ParallelConfig
+    from repro.models import MODEL_ZOO, data
+    from repro.schedules import schedule_gpt
+    from repro.sim import trace_model
+
+    cls, config = MODEL_ZOO["GPT"]
+    model = cls(config, device="meta")
+    mesh = DeviceMesh(ParallelConfig(tp=TP), rank=0, sim=True)
+    sch = slapo.create_schedule(model, mesh=mesh)
+    schedule_gpt(sch, config)
+    built = slapo.build(sch).model
+    ids, _ = data.lm_batch(config, 1, device="meta")
+    return config, built, trace_model(built, ids)
+
+
+def _tp_spans_nodes(cluster, parallel) -> bool:
+    from repro.distributed.mesh import axis_ranks
+
+    return cluster.spans_nodes(axis_ranks(0, parallel)["tp"])
+
+
+def placement_panel(model, trace, cluster, world: int) -> dict:
+    """Good vs bad axis placement, plus the full tuned-placement sweep."""
+    from repro.distributed import ParallelConfig
+    from repro.sim import step_time
+    from repro.slapo.tuner.space import DEFAULT_PLACEMENTS
+
+    dp = world // TP
+    sweep = {}
+    best_order = None
+    for placement in DEFAULT_PLACEMENTS:
+        order = tuple(placement.split(","))
+        parallel = ParallelConfig(tp=TP, dp=dp, order=order)
+        breakdown = step_time(trace, model, cluster, parallel, MICRO_BATCH)
+        sweep[placement] = {
+            "step_seconds": breakdown.total,
+            "tp_comm_seconds": breakdown.tp_comm,
+            "dp_comm_seconds": breakdown.dp_comm,
+            "tp_crosses_nodes": _tp_spans_nodes(cluster, parallel),
+        }
+        if best_order is None \
+                or breakdown.total < sweep[best_order]["step_seconds"]:
+            best_order = placement
+    good = ParallelConfig(tp=TP, dp=dp)
+    bad = ParallelConfig(tp=TP, dp=dp, order=("dp", "ep", "tp", "pp"))
+    t_good = step_time(trace, model, cluster, good, MICRO_BATCH)
+    t_bad = step_time(trace, model, cluster, bad, MICRO_BATCH)
+    return {
+        "world_size": world,
+        "tp": TP, "dp": dp,
+        "placement_sweep": sweep,
+        "best_placement": best_order,
+        "good_step_seconds": t_good.total,
+        "bad_step_seconds": t_bad.total,
+        "placement_gap_speedup": t_bad.total / t_good.total,
+    }
+
+
+#: bucket sizes swept by the overlap panel (MiB).  At hundreds of dp
+#: ranks the ring alpha is milliseconds per bucket, so the DDP-style
+#: 25 MiB default drowns in latency — the sweep shows bucket size is a
+#: real tuning knob, and the panel reports the best point
+BUCKET_SWEEP_MB = (25.0, 100.0, 200.0, 400.0, 800.0)
+
+
+def overlap_panel(model, trace, cluster, world: int) -> dict:
+    """Serial vs bucketed-overlap dp gradient sync at scale."""
+    from repro.distributed import ParallelConfig
+    from repro.sim import step_time
+
+    parallel = ParallelConfig(tp=TP, dp=world // TP)
+    plain = step_time(trace, model, cluster, parallel, MICRO_BATCH)
+    sweep = {}
+    best_mb = None
+    for bucket_mb in BUCKET_SWEEP_MB:
+        breakdown = step_time(trace, model, cluster, parallel, MICRO_BATCH,
+                              overlap_grad_sync=True,
+                              overlap_bucket_mb=bucket_mb)
+        sweep[str(bucket_mb)] = {
+            "step_seconds": breakdown.total,
+            "dp_comm_exposed_seconds": breakdown.dp_comm,
+            "dp_comm_hidden_seconds": breakdown.dp_comm_hidden,
+        }
+        if best_mb is None \
+                or breakdown.total < sweep[str(best_mb)]["step_seconds"]:
+            best_mb = bucket_mb
+    best = sweep[str(best_mb)]
+    return {
+        "world_size": world,
+        "plain_step_seconds": plain.total,
+        "bucket_sweep": sweep,
+        "best_bucket_mb": best_mb,
+        "overlap_step_seconds": best["step_seconds"],
+        "overlap_speedup": plain.total / best["step_seconds"],
+        "dp_comm_exposed_seconds": best["dp_comm_exposed_seconds"],
+        "dp_comm_hidden_seconds": best["dp_comm_hidden_seconds"],
+    }
+
+
+def main() -> None:
+    from repro.distributed import a100_cluster
+
+    start = time.perf_counter()
+    config, model, trace = _tp_sharded_gpt()
+    panels = {}
+    for label, nodes in WORLDS:
+        cluster = a100_cluster(nodes)
+        placement = placement_panel(model, trace, cluster,
+                                    cluster.world_size)
+        overlap = overlap_panel(model, trace, cluster, cluster.world_size)
+        panels[label] = {"placement": placement, "overlap": overlap}
+
+        # the acceptance assertions of the topology PR, per world size
+        assert placement["placement_gap_speedup"] > 1.0, \
+            "tp-inside-the-node must beat tp-across-the-fabric"
+        best = placement["placement_sweep"][placement["best_placement"]]
+        assert not best["tp_crosses_nodes"], \
+            "the planner-swept best placement must keep tp on NVLink"
+        assert overlap["overlap_speedup"] >= 1.0, \
+            "bucketed overlap must never lose to the serial timeline"
+        assert overlap["dp_comm_hidden_seconds"] > 0.0, \
+            "overlap must report dp gradient traffic as hidden"
+
+        print(f"\n[{label} GPUs] {config.name}, tp={TP} "
+              f"dp={placement['dp']}")
+        for order, cell in placement["placement_sweep"].items():
+            marker = " <-- best" if order == placement["best_placement"] \
+                else ""
+            print(f"  {order:<14} {cell['step_seconds'] * 1e3:>9.1f}ms "
+                  f"(tp_comm {cell['tp_comm_seconds'] * 1e3:.1f}ms, "
+                  f"crosses nodes: {cell['tp_crosses_nodes']}){marker}")
+        print(f"  placement gap: {placement['placement_gap_speedup']:.2f}x"
+              f"   overlap: {overlap['overlap_speedup']:.3f}x "
+              f"({overlap['dp_comm_hidden_seconds'] * 1e3:.1f}ms hidden)")
+
+    report = {
+        "benchmark": "topology",
+        "python": platform.python_version(),
+        "seconds": time.perf_counter() - start,
+        "model": config.name,
+        "worlds": panels,
+        "headline": {
+            "placement_gap_speedup_1024":
+                panels["1024"]["placement"]["placement_gap_speedup"],
+            "placement_gap_speedup_4096":
+                panels["4096"]["placement"]["placement_gap_speedup"],
+            "overlap_speedup_1024":
+                panels["1024"]["overlap"]["overlap_speedup"],
+            "overlap_speedup_4096":
+                panels["4096"]["overlap"]["overlap_speedup"],
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+    print(f"\nwrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

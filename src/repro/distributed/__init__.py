@@ -8,12 +8,33 @@ from .group import (
     SingleGroup,
     ThreadGroup,
 )
-from .mesh import DeviceMesh, ParallelConfig, axis_ranks, single_device_mesh
-from .topology import P3DN_NODE, ClusterSpec, GPUSpec, p3dn_cluster
+from .mesh import (
+    DEFAULT_AXIS_ORDER,
+    DeviceMesh,
+    ParallelConfig,
+    axis_ranks,
+    axis_stride,
+    single_device_mesh,
+)
+from .topology import (
+    A100_NODE,
+    GBPS,
+    H100_NODE,
+    P3DN_NODE,
+    ClusterSpec,
+    GPUSpec,
+    LinkTier,
+    a100_cluster,
+    h100_cluster,
+    p3dn_cluster,
+)
 
 __all__ = [
     "LocalCluster", "Communicator", "ClusterError",
     "BaseGroup", "SingleGroup", "ThreadGroup", "SimGroup", "RankContext",
-    "DeviceMesh", "ParallelConfig", "axis_ranks", "single_device_mesh",
-    "GPUSpec", "ClusterSpec", "P3DN_NODE", "p3dn_cluster",
+    "DeviceMesh", "ParallelConfig", "axis_ranks", "axis_stride",
+    "DEFAULT_AXIS_ORDER", "single_device_mesh",
+    "GPUSpec", "ClusterSpec", "LinkTier", "GBPS",
+    "P3DN_NODE", "p3dn_cluster",
+    "A100_NODE", "H100_NODE", "a100_cluster", "h100_cluster",
 ]

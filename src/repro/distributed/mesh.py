@@ -1,10 +1,17 @@
 """Device meshes: factor a world of ranks into tp × ep × dp × pp axes.
 
-Follows the Megatron-LM convention: tensor-parallel groups are innermost
-(consecutive ranks, so TP traffic stays on NVLink), then expert parallel
-(the all-to-all-heavy MoE axis, kept close for the same reason), then data
-parallel, then pipeline parallel outermost.  With ``ep = 1`` (the default)
-the layout reduces exactly to the historical tp × dp × pp factorization.
+Follows the Megatron-LM convention by default: tensor-parallel groups are
+innermost (consecutive ranks, so TP traffic stays on NVLink), then expert
+parallel (the all-to-all-heavy MoE axis, kept close for the same reason),
+then data parallel, then pipeline parallel outermost.  With ``ep = 1`` (the
+default) the layout reduces exactly to the historical tp × dp × pp
+factorization.
+
+The axis order is itself a coordinate: :class:`ParallelConfig` carries an
+``order`` tuple (innermost first) so the planner can sweep *placement* —
+which axes sit inside an NVLink island and which cross the network — rather
+than inheriting it as an accident of rank numbering.  See
+``docs/topology.md``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ from dataclasses import dataclass
 from .group import BaseGroup, RankContext, SimGroup, SingleGroup
 from .topology import ClusterSpec
 
+#: Megatron-style default placement, innermost axis first
+DEFAULT_AXIS_ORDER = ("tp", "ep", "dp", "pp")
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -21,13 +31,24 @@ class ParallelConfig:
 
     ``ep`` (expert parallelism) is declared last so the historical
     positional form ``ParallelConfig(tp, dp, pp)`` keeps meaning what it
-    always did.
+    always did.  ``order`` lists the axes innermost-first; the default is
+    the Megatron placement (tp on NVLink, dp/pp across nodes).
     """
 
     tp: int = 1
     dp: int = 1
     pp: int = 1
     ep: int = 1
+    order: tuple[str, ...] = DEFAULT_AXIS_ORDER
+
+    def __post_init__(self):
+        order = tuple(self.order)
+        if sorted(order) != sorted(DEFAULT_AXIS_ORDER):
+            raise ValueError(
+                f"order must be a permutation of {DEFAULT_AXIS_ORDER}, "
+                f"got {order!r}"
+            )
+        object.__setattr__(self, "order", order)
 
     @property
     def world_size(self) -> int:
@@ -41,6 +62,21 @@ class ParallelConfig:
             )
 
 
+def axis_stride(config: ParallelConfig, axis: str) -> int:
+    """Rank stride between neighbours along one mesh axis.
+
+    The stride is the product of all axis sizes placed *inside* ``axis``
+    in ``config.order`` — 1 for the innermost axis.  Collective pricing
+    uses it to decide which topology tier a group's traffic crosses.
+    """
+    stride = 1
+    for name in config.order:
+        if name == axis:
+            return stride
+        stride *= getattr(config, name)
+    raise ValueError(f"unknown mesh axis: {axis!r}")
+
+
 def axis_ranks(rank: int, config: ParallelConfig
                ) -> dict[str, tuple[int, ...]]:
     """Ranks sharing each mesh-axis group with ``rank``.
@@ -48,26 +84,19 @@ def axis_ranks(rank: int, config: ParallelConfig
     This is the **single** source of truth for rank-group layout: both
     :class:`DeviceMesh` (functional collectives) and the simulator's
     collective pricing (:mod:`repro.sim.throughput`) derive their groups
-    here, so the two can never drift apart.  Layout (innermost first):
-    ``rank = tp_idx + tp·(ep_idx + ep·(dp_idx + dp·pp_idx))``.
+    here, so the two can never drift apart.  With the default order the
+    layout is ``rank = tp_idx + tp·(ep_idx + ep·(dp_idx + dp·pp_idx))``;
+    a custom ``config.order`` permutes which axis owns which stride.
     """
-    tp, ep, dp, pp = config.tp, config.ep, config.dp, config.pp
-    tp_idx = rank % tp
-    ep_idx = (rank // tp) % ep
-    dp_idx = (rank // (tp * ep)) % dp
-    pp_idx = rank // (tp * ep * dp)
-
-    def build(axis_size: int, stride: int, axis_idx: int
-              ) -> tuple[int, ...]:
-        base = rank - axis_idx * stride
-        return tuple(base + i * stride for i in range(axis_size))
-
-    return {
-        "tp": build(tp, 1, tp_idx),
-        "ep": build(ep, tp, ep_idx),
-        "dp": build(dp, tp * ep, dp_idx),
-        "pp": build(pp, tp * ep * dp, pp_idx),
-    }
+    groups: dict[str, tuple[int, ...]] = {}
+    stride = 1
+    for axis in config.order:
+        size = getattr(config, axis)
+        idx = (rank // stride) % size
+        base = rank - idx * stride
+        groups[axis] = tuple(base + i * stride for i in range(size))
+        stride *= size
+    return groups
 
 
 #: backwards-compatible alias (pre-unification internal name)
@@ -132,7 +161,7 @@ class DeviceMesh:
     @property
     def pp_stage(self) -> int:
         c = self.config
-        return self.rank // (c.tp * c.ep * c.dp)
+        return (self.rank // axis_stride(c, "pp")) % c.pp
 
     def __repr__(self) -> str:
         c = self.config

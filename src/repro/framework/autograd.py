@@ -157,6 +157,15 @@ def backward(root, grad: np.ndarray | None = None) -> None:
                 continue
             if not (parent.requires_grad or parent.grad_fn is not None):
                 continue
+            if parent.grad_fn is None:
+                # Leaf: accumulate eagerly (PyTorch's AccumulateGrad
+                # node) instead of parking the gradient until the tape
+                # walk reaches the leaf.  Backward *hooks* then observe
+                # ready parameter gradients — the contract bucketed
+                # comm/compute overlap needs to launch gradient
+                # all-reduces while backward is still running.
+                parent._accumulate_grad(parent_grad)
+                continue
             key = id(parent)
             if key in grads:
                 grads[key] = grads[key] + parent_grad

@@ -48,7 +48,13 @@ from .planner import (
     plan_micro_batch,
     predict_config,
 )
-from .throughput import StepBreakdown, step_time, throughput
+from .throughput import (
+    DEFAULT_BUCKET_MB,
+    StepBreakdown,
+    overlap_exposed,
+    step_time,
+    throughput,
+)
 
 __all__ = [
     "OpEvent", "CommEvent", "ModelTrace", "LayerSpan", "TraceRecorder",
@@ -61,6 +67,7 @@ __all__ = [
     "SchedulePlan", "ScheduleCandidate", "plan_pipeline_schedule",
     "schedule_timeline", "schedule_stage_inflight",
     "StepBreakdown", "step_time", "throughput",
+    "overlap_exposed", "DEFAULT_BUCKET_MB",
     "Plan", "plan_micro_batch", "MICRO_BATCH_CANDIDATES",
     "micro_batch_count_candidates",
     "Prediction", "predict_config",

@@ -12,10 +12,15 @@ aggregates and :class:`~repro.sim.memory.ModelStats`:
   sums depend only on the micro-batch scale, of which a sweep has ~10
   distinct values (each memoized on the compiled trace);
 * per-config *collectives* are affine (α·count + β·bytes) with
-  coefficients that depend only on the parallel mesh, of which a space
-  has a few dozen distinct values — gathered from small tables that are
-  themselves memoized on the compiled trace, so steady-state pricing
-  never re-derives a mesh it has seen;
+  coefficients that depend only on the parallel mesh **and its axis
+  placement** (``ParallelConfig.order`` decides which topology tier each
+  group crosses), of which a space has a few dozen distinct values —
+  gathered from small tables that are themselves memoized on the
+  compiled trace, so steady-state pricing never re-derives a mesh it has
+  seen;
+* per-config *overlap* (``overlap_grad_sync``) is an affine bucketed
+  expression over the per-mesh dp α-β coefficients and the per-row
+  backward window, so overlap × placement spaces vectorize too;
 * per-config *memory* is the fixed ZeRO state (a function of the
   distinct (pp, dp, zero) triples) plus activation/workspace terms
   linear in the micro-batch.
@@ -32,12 +37,18 @@ float64, so they are in fact bit-identical).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.distributed.mesh import ParallelConfig, axis_ranks
+from repro.distributed.mesh import (
+    DEFAULT_AXIS_ORDER,
+    ParallelConfig,
+    axis_ranks,
+    axis_stride,
+)
 from repro.distributed.topology import ClusterSpec
 from repro.pipeline import DEFAULT_SCHEDULE
 
@@ -45,12 +56,21 @@ from .events import ModelTrace
 from .kernel_cost import KernelCostModel
 from .memory import MemoryBreakdown, fixed_state_bytes, model_stats_for
 from .planner import Prediction, _schedule_expressible, predict_config
-from .throughput import DP_OVERLAP, ZERO_OVERLAP
+from .throughput import DEFAULT_BUCKET_MB
 
 #: packing radix for composite integer group keys (axis degrees, micro
-#: counts and ZeRO stages are all far below 2^15, and four 15-bit fields
-#: fit one int64)
-_PACK = 1 << 15
+#: counts and ZeRO stages are all far below 2^13; four 13-bit fields
+#: plus a 5-bit placement index fit one int64)
+_PACK = 1 << 13
+
+#: all 24 axis placements, in a canonical order so a placement is one
+#: small integer in the packed mesh key
+_ORDERS: tuple[tuple[str, ...], ...] = tuple(
+    sorted(itertools.permutations(DEFAULT_AXIS_ORDER)))
+_ORDER_INDEX: dict[tuple[str, ...], int] = {
+    order: i for i, order in enumerate(_ORDERS)}
+_DEFAULT_PLACE = _ORDER_INDEX[DEFAULT_AXIS_ORDER]
+_PLACE = 32
 
 
 @dataclass
@@ -72,6 +92,12 @@ class BatchPoints:
     zero_stage: np.ndarray | None = None
     #: one schedule name for every row, or a per-row list
     schedules: str | Sequence[str] = DEFAULT_SCHEDULE
+    #: per-row axis placement index into the canonical permutation table
+    place: np.ndarray | None = None
+    #: per-row ``overlap_grad_sync`` flag (bucketed dp grad sync pricing)
+    overlap: np.ndarray | None = None
+    #: per-row overlap bucket size (MiB)
+    bucket_mb: np.ndarray | None = None
     #: rows whose parallel resolver failed (infeasible, never priced)
     invalid: np.ndarray | None = None
     #: (row, predict_config kwargs) pairs needing the scalar oracle
@@ -88,6 +114,13 @@ class BatchPoints:
             else as_ints(self.num_micro_batches)
         self.zero_stage = np.zeros(n, np.int64) \
             if self.zero_stage is None else as_ints(self.zero_stage)
+        self.place = np.full(n, _DEFAULT_PLACE, np.int64) \
+            if self.place is None else as_ints(self.place)
+        self.overlap = np.zeros(n, bool) if self.overlap is None \
+            else np.asarray(self.overlap, dtype=bool)
+        self.bucket_mb = np.full(n, DEFAULT_BUCKET_MB, np.float64) \
+            if self.bucket_mb is None \
+            else np.asarray(self.bucket_mb, dtype=np.float64)
         if self.invalid is None:
             self.invalid = np.zeros(n, bool)
 
@@ -107,7 +140,10 @@ class BatchPoints:
                      num_micro_batches: int = 1,
                      pipeline_cuts=None,
                      pipeline_schedule: str = DEFAULT_SCHEDULE,
-                     num_layers: int = 0) -> "BatchPoints":
+                     num_layers: int = 0,
+                     overlap_grad_sync: bool = False,
+                     overlap_bucket_mb: float = DEFAULT_BUCKET_MB
+                     ) -> "BatchPoints":
         """Normalize config mappings (``predict_config`` keyword names,
         plus ``parallel``/``tp``/``dp``/``pp``/``ep`` mesh coordinates).
 
@@ -127,6 +163,9 @@ class BatchPoints:
         micro = np.ones(n, np.int64)
         m = np.ones(n, np.int64)
         zero = np.zeros(n, np.int64)
+        place = np.full(n, _DEFAULT_PLACE, np.int64)
+        overlap = np.zeros(n, bool)
+        bucket = np.full(n, overlap_bucket_mb, np.float64)
         invalid = np.zeros(n, bool)
         schedules: list[str] = []
         scalar_rows: list[tuple[int, dict]] = []
@@ -151,8 +190,13 @@ class BatchPoints:
                     continue
             tp[i], dp[i] = parallel.tp, parallel.dp
             pp[i], ep[i] = parallel.pp, parallel.ep
+            place[i] = _ORDER_INDEX[parallel.order]
             zero[i] = int(config.get("zero_stage", zero_stage))
             m[i] = int(config.get("num_micro_batches", num_micro_batches))
+            overlap[i] = bool(config.get("overlap_grad_sync",
+                                         overlap_grad_sync))
+            bucket[i] = float(config.get("overlap_bucket_mb",
+                                         overlap_bucket_mb))
             micro_arg = config.get("micro_batch")
             global_batch = config.get("global_batch")
             cuts_arg = config.get("pipeline_cuts", pipeline_cuts)
@@ -176,11 +220,14 @@ class BatchPoints:
                     zero_stage=int(zero[i]),
                     num_micro_batches=int(m[i]),
                     global_batch=global_batch, pipeline_cuts=cuts_arg,
-                    pipeline_schedule=schedule)))
+                    pipeline_schedule=schedule,
+                    overlap_grad_sync=bool(overlap[i]),
+                    overlap_bucket_mb=float(bucket[i]))))
         uniform = {pipeline_schedule}.issuperset(schedules)
         return cls(tp=tp, dp=dp, pp=pp, ep=ep, micro_batch=micro,
                    num_micro_batches=m, zero_stage=zero,
                    schedules=pipeline_schedule if uniform else schedules,
+                   place=place, overlap=overlap, bucket_mb=bucket,
                    invalid=invalid, scalar_rows=scalar_rows)
 
 
@@ -257,7 +304,9 @@ class BatchPrediction:
 def _parallel_terms(cluster: ClusterSpec, parallel: ParallelConfig,
                     stats, cost: KernelCostModel, compiled) -> dict:
     """Per-mesh constants of the step-time model, computed once per
-    distinct :class:`ParallelConfig` with the exact scalar routines."""
+    distinct (:class:`ParallelConfig`, placement) with the exact scalar
+    routines — the rank groups (and therefore the topology tier each
+    axis pays) follow ``parallel.order``."""
     groups = axis_ranks(0, parallel)
     pp = parallel.pp
     param_bytes = stats.param_bytes / pp
@@ -274,17 +323,25 @@ def _parallel_terms(cluster: ClusterSpec, parallel: ParallelConfig,
     dp_ranks = groups["dp"]
     gather = cluster.all_gather_time(param_bytes, dp_ranks)
     scatter = cluster.reduce_scatter_time(param_bytes, dp_ranks)
-    # adjacent pipeline stages sit tp·ep·dp ranks apart (pp outermost)
-    stride = parallel.tp * parallel.ep * parallel.dp
-    same_node = cluster.node_of(0) == cluster.node_of(stride)
+    ar_alpha, ar_beta = cluster.collective_coeffs("all_reduce", dp_ranks)
+    rs_alpha, rs_beta = cluster.collective_coeffs("reduce_scatter",
+                                                  dp_ranks)
+    # adjacent pipeline stages sit one pp-axis stride apart
+    hop_tier = cluster.tier_for((0, axis_stride(parallel, "pp")))
     return {
         "axis_coeffs": coeffs,
-        "zero_exposed": (2 * gather + scatter) * (1 - ZERO_OVERLAP),
+        "param_bytes": param_bytes,
+        "zero_gather": gather,
+        "zero_exposed": (2 * gather + scatter)
+        * (1 - cluster.zero_prefetch_overlap),
+        "zero_total": 2 * gather + scatter,
         "dp_allreduce": cluster.all_reduce_time(param_bytes, dp_ranks),
+        "dp_ar_alpha": ar_alpha, "dp_ar_beta": ar_beta,
+        "dp_rs_alpha": rs_alpha, "dp_rs_beta": rs_beta,
         "opt_full": cost.optimizer_time(param_count),
         "opt_sharded": cost.optimizer_time(param_count / parallel.dp),
-        "hop_bw": cluster.intra_node_bandwidth if same_node
-        else cluster.inter_node_bandwidth,
+        "hop_bw": hop_tier.bandwidth,
+        "hop_lat": hop_tier.latency,
     }
 
 
@@ -296,7 +353,9 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                   zero_stage: int = 0,
                   num_micro_batches: int = 1,
                   pipeline_cuts=None,
-                  pipeline_schedule: str = DEFAULT_SCHEDULE
+                  pipeline_schedule: str = DEFAULT_SCHEDULE,
+                  overlap_grad_sync: bool = False,
+                  overlap_bucket_mb: float = DEFAULT_BUCKET_MB
                   ) -> BatchPrediction:
     """Price ``configs`` in one vectorized pass — :func:`predict_config`
     semantics, array answers.
@@ -318,9 +377,12 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
             num_micro_batches=num_micro_batches,
             pipeline_cuts=pipeline_cuts,
             pipeline_schedule=pipeline_schedule,
-            num_layers=len(trace.layers))
+            num_layers=len(trace.layers),
+            overlap_grad_sync=overlap_grad_sync,
+            overlap_bucket_mb=overlap_bucket_mb)
     n = len(points)
     tp, dp, pp, ep = points.tp, points.dp, points.pp, points.ep
+    place = points.place
     micro = points.micro_batch.copy()
     m = points.num_micro_batches.copy()
     zero = points.zero_stage
@@ -328,7 +390,8 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
     memo = compiled._time_cache  # per-trace memo shared across calls
 
     # -- per-mesh lookup tables (memoized per distinct ParallelConfig) --- #
-    mesh_key = ((tp * _PACK + dp) * _PACK + pp) * _PACK + ep
+    mesh_key = ((((tp * _PACK + dp) * _PACK + pp) * _PACK + ep)
+                * _PLACE + place)
     mesh_unique, mesh_first, mesh_inv = np.unique(
         mesh_key, return_index=True, return_inverse=True)
     par_table: list[dict] = []
@@ -337,7 +400,8 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
         entry = memo.get(key)
         if entry is None:
             parallel = ParallelConfig(tp=int(tp[first]), dp=int(dp[first]),
-                                      pp=int(pp[first]), ep=int(ep[first]))
+                                      pp=int(pp[first]), ep=int(ep[first]),
+                                      order=_ORDERS[int(place[first])])
             entry = memo[key] = _parallel_terms(cluster, parallel, stats,
                                                 cost, compiled)
         par_table.append(entry)
@@ -371,14 +435,47 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
     ep_comm = 2 * per_micro["ep"] / pp * m
 
     # -- ZeRO / DP gradient traffic and the optimizer update ------------- #
+    # The bucketed overlap expressions replicate throughput.overlap_exposed
+    # row-wise: the backward window is the last micro-batch's backward
+    # (bwd/pp — the same lookup the scalar path divides), buckets are
+    # ceil(bytes / bucket), and the final bucket is always exposed.
     zero3 = (zero >= 3) & (dp > 1)
     dp_plain = ~zero3 & (dp > 1)
-    zero_comm = np.where(zero3, gather_column("zero_exposed"), 0.0)
+    overlap = points.overlap
+    window = bwd_u[micro_inv] / pp
+    bucket_bytes = points.bucket_mb * float(1 << 20)
+    param_bytes = gather_column("param_bytes")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        buckets = np.ceil(param_bytes / bucket_bytes)
+
+    ar_alpha = gather_column("dp_ar_alpha")
+    ar_beta = gather_column("dp_ar_beta")
+    ar_total = buckets * ar_alpha + ar_beta * param_bytes
+    ar_tail = ar_alpha + ar_beta * np.minimum(bucket_bytes, param_bytes)
+    ar_exposed = np.maximum(ar_total - window, ar_tail)
+
+    rs_alpha = gather_column("dp_rs_alpha")
+    rs_beta = gather_column("dp_rs_beta")
+    rs_total = buckets * rs_alpha + rs_beta * param_bytes
+    rs_tail = rs_alpha + rs_beta * np.minimum(bucket_bytes, param_bytes)
+    rs_exposed = np.maximum(rs_total - window, rs_tail)
+
+    two_gather = 2 * gather_column("zero_gather")
+    zero_hidden_g = two_gather * cluster.zero_prefetch_overlap
+    zero_comm = np.where(
+        zero3,
+        np.where(overlap,
+                 two_gather - zero_hidden_g + rs_exposed,
+                 gather_column("zero_exposed")),
+        0.0)
     allreduce = gather_column("dp_allreduce")
     dp_comm = np.where(
         dp_plain,
-        np.maximum(allreduce * (1 - DP_OVERLAP),
-                   allreduce - backward * DP_OVERLAP),
+        np.where(overlap,
+                 ar_exposed,
+                 np.maximum(allreduce * (1 - cluster.dp_sync_overlap),
+                            allreduce
+                            - backward * cluster.dp_sync_overlap)),
         0.0)
     optimizer = np.where((zero >= 1) & (dp > 1),
                          gather_column("opt_sharded"),
@@ -389,7 +486,7 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
     boundary = compiled.boundary_bytes * scale
     hop = np.where(boundary != 0.0,
                    boundary / gather_column("hop_bw")
-                   + cluster.link_latency,
+                   + gather_column("hop_lat"),
                    0.0)
     pp_comm = np.where(pipelined, 2 * hop * m, 0.0)
     steady = forward + backward + tp_comm + ep_comm + pp_comm
@@ -469,7 +566,10 @@ def predict_batch(trace: ModelTrace, model, cluster: ClusterSpec,
             num_micro_batches=kwargs["num_micro_batches"],
             global_batch=kwargs["global_batch"], cost_model=cost,
             pipeline_cuts=kwargs["pipeline_cuts"],
-            pipeline_schedule=kwargs["pipeline_schedule"])
+            pipeline_schedule=kwargs["pipeline_schedule"],
+            overlap_grad_sync=kwargs.get("overlap_grad_sync", False),
+            overlap_bucket_mb=kwargs.get("overlap_bucket_mb",
+                                         DEFAULT_BUCKET_MB))
         scalar_predictions[i] = pred
         throughput[i] = pred.throughput
         fits[i] = pred.fits

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.distributed.mesh import ParallelConfig, axis_ranks
+from repro.distributed.mesh import ParallelConfig, axis_ranks, axis_stride
 from repro.distributed.topology import ClusterSpec
 from repro.pipeline import (
     DEFAULT_SCHEDULE,
@@ -239,9 +239,10 @@ class _StageTimer:
             coeffs = {kind: cluster.collective_coeffs(kind, ranks)
                       for kind in cums}
             self.axis_comms[axis] = (cums, coeffs)
-        #: adjacent pipeline stages sit tp·ep·dp ranks apart (Megatron
-        #: layout with the expert axis nested inside dp)
-        self.hop_stride = parallel.tp * parallel.ep * parallel.dp
+        #: adjacent pipeline stages sit one pp-axis stride apart — tp·ep·dp
+        #: ranks under the default Megatron placement, whatever
+        #: ``parallel.order`` dictates otherwise
+        self.hop_stride = axis_stride(parallel, "pp")
 
     def _axis_comm(self, axis: str, p: StageProfile) -> float:
         if axis not in self.axis_comms:

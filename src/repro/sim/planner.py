@@ -25,7 +25,7 @@ from repro.pipeline import DEFAULT_SCHEDULE, make_program, schedule_info
 from .events import ModelTrace
 from .kernel_cost import KernelCostModel
 from .memory import MemoryBreakdown, model_memory, model_stats_for
-from .throughput import throughput
+from .throughput import DEFAULT_BUCKET_MB, throughput
 
 #: candidate micro-batch sizes swept by the planner
 MICRO_BATCH_CANDIDATES = (1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
@@ -183,7 +183,9 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
                    global_batch: int | None = None,
                    cost_model: KernelCostModel | None = None,
                    pipeline_cuts: Sequence[int] | str | None = None,
-                   pipeline_schedule: str = DEFAULT_SCHEDULE
+                   pipeline_schedule: str = DEFAULT_SCHEDULE,
+                   overlap_grad_sync: bool = False,
+                   overlap_bucket_mb: float = DEFAULT_BUCKET_MB
                    ) -> Prediction:
     """Price one configuration: predicted throughput + memory feasibility.
 
@@ -206,7 +208,9 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
         plan = plan_micro_batch(trace, model, cluster, parallel, zero_stage,
                                 num_micro_batches, global_batch, cost_model,
                                 pipeline_cuts=pipeline_cuts,
-                                pipeline_schedule=pipeline_schedule)
+                                pipeline_schedule=pipeline_schedule,
+                                overlap_grad_sync=overlap_grad_sync,
+                                overlap_bucket_mb=overlap_bucket_mb)
         if plan is None:
             return Prediction(throughput=0.0, fits=False,
                               pipeline_schedule=pipeline_schedule)
@@ -261,7 +265,9 @@ def predict_config(trace: ModelTrace, model, cluster: ClusterSpec,
                           pipeline_schedule=pipeline_schedule)
     rate = throughput(trace, model, cluster, parallel, micro_batch,
                       zero_stage, num_micro_batches, cost_model,
-                      pipeline_cuts=cuts, pipeline_schedule=pipeline_schedule)
+                      pipeline_cuts=cuts, pipeline_schedule=pipeline_schedule,
+                      overlap_grad_sync=overlap_grad_sync,
+                      overlap_bucket_mb=overlap_bucket_mb)
     return Prediction(throughput=rate, fits=True, memory=memory,
                       micro_batch=micro_batch,
                       num_micro_batches=num_micro_batches,
@@ -276,7 +282,9 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                      cost_model: KernelCostModel | None = None,
                      candidates=MICRO_BATCH_CANDIDATES,
                      pipeline_cuts: Sequence[int] | str | None = None,
-                     pipeline_schedule: str = DEFAULT_SCHEDULE
+                     pipeline_schedule: str = DEFAULT_SCHEDULE,
+                     overlap_grad_sync: bool = False,
+                     overlap_bucket_mb: float = DEFAULT_BUCKET_MB
                      ) -> Plan | None:
     """Best feasible micro-batch (None if even batch 1 overflows memory).
 
@@ -331,7 +339,9 @@ def plan_micro_batch(trace: ModelTrace, model, cluster: ClusterSpec,
                 continue
             rate = throughput(trace, model, cluster, parallel, micro,
                               zero_stage, m, cost_model, pipeline_cuts=cuts,
-                              pipeline_schedule=pipeline_schedule)
+                              pipeline_schedule=pipeline_schedule,
+                              overlap_grad_sync=overlap_grad_sync,
+                              overlap_bucket_mb=overlap_bucket_mb)
             if best is None or rate > best.throughput:
                 best = Plan(micro_batch=micro, throughput=rate,
                             memory=memory, num_micro_batches=m,

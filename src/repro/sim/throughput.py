@@ -16,6 +16,19 @@ samples.  The step time composes:
 * the pipeline bubble ``(pp-1)/(m+pp-1)``,
 * the optimizer update.
 
+Comm/compute overlap is modelled per stream: each axis's collectives run
+on their own timeline against the backward-compute window, and only the
+**exposed** remainder lands on the critical path — the hidden portion is
+reported separately (``StepBreakdown.*_comm_hidden``) so planners can see
+what overlap bought.  With ``overlap_grad_sync`` the dp gradient
+all-reduce is bucketed (:func:`overlap_exposed`): buckets launch as their
+gradients become ready during the last micro-batch's backward, the final
+bucket is always exposed, and the α-per-bucket latency makes the bucket
+size a real trade-off.  Without it the legacy fractional model applies,
+driven by the documented ``ClusterSpec.dp_sync_overlap`` /
+``zero_prefetch_overlap`` knobs (formerly the module constants
+``DP_OVERLAP`` / ``ZERO_OVERLAP``, kept as aliases of the defaults).
+
 Pipelines are priced two ways.  Without cut points the model is assumed
 to split uniformly (compute, params and activations all ``/pp`` — the
 pre-stage-accurate behaviour, kept for parallelism-agnostic estimates).
@@ -28,10 +41,11 @@ stage *imbalance*, not just the bubble, then shows up in the estimate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.distributed.mesh import ParallelConfig, axis_ranks
+from repro.distributed.mesh import ParallelConfig, axis_ranks, axis_stride
 from repro.distributed.topology import ClusterSpec
 from repro.pipeline import DEFAULT_SCHEDULE, schedule_info
 
@@ -39,11 +53,17 @@ from .events import ModelTrace
 from .kernel_cost import KernelCostModel
 from .memory import model_stats_for
 
-#: fraction of DP gradient all-reduce hidden under backward compute
-DP_OVERLAP = 0.7
+#: fraction of DP gradient all-reduce hidden under backward compute —
+#: the default of the ``ClusterSpec.dp_sync_overlap`` knob
+DP_OVERLAP = ClusterSpec.dp_sync_overlap
 #: fraction of ZeRO-3 gathers hidden by prefetching (modest on V100-era
-#: DeepSpeed: bucketed blocking all-gathers)
-ZERO_OVERLAP = 0.25
+#: DeepSpeed: bucketed blocking all-gathers) — the default of the
+#: ``ClusterSpec.zero_prefetch_overlap`` knob
+ZERO_OVERLAP = ClusterSpec.zero_prefetch_overlap
+
+#: default gradient bucket for ``overlap_grad_sync`` pricing (MiB),
+#: matching the runtime primitive's default
+DEFAULT_BUCKET_MB = 25.0
 
 
 @dataclass
@@ -59,6 +79,13 @@ class StepBreakdown:
     pp_comm: float = 0.0
     bubble: float = 0.0
     optimizer: float = 0.0
+    #: comm seconds *hidden* under compute, per stream — informational
+    #: companions to the exposed ``*_comm`` components above; they are
+    #: NOT part of :meth:`components` / :attr:`total`
+    tp_comm_hidden: float = 0.0
+    ep_comm_hidden: float = 0.0
+    zero_comm_hidden: float = 0.0
+    dp_comm_hidden: float = 0.0
     detail: dict = field(default_factory=dict)
 
     def components(self) -> dict[str, float]:
@@ -75,11 +102,39 @@ class StepBreakdown:
                 "dp_comm": self.dp_comm, "pp_comm": self.pp_comm,
                 "bubble": self.bubble, "optimizer": self.optimizer}
 
+    def hidden_components(self) -> dict[str, float]:
+        """Per-stream comm hidden under compute (not additive to total)."""
+        return {"tp_comm_hidden": self.tp_comm_hidden,
+                "ep_comm_hidden": self.ep_comm_hidden,
+                "zero_comm_hidden": self.zero_comm_hidden,
+                "dp_comm_hidden": self.dp_comm_hidden}
+
     @property
     def total(self) -> float:
         return (self.forward + self.backward + self.tp_comm + self.ep_comm
                 + self.zero_comm + self.dp_comm + self.pp_comm + self.bubble
                 + self.optimizer)
+
+
+def overlap_exposed(alpha: float, beta: float, nbytes: float,
+                    bucket_bytes: float, window: float
+                    ) -> tuple[float, float]:
+    """(exposed, total) seconds of a bucketed collective inside a window.
+
+    ``nbytes`` of traffic is split into ``ceil(nbytes / bucket_bytes)``
+    buckets, each costing ``α + β·bucket``; buckets launch as their
+    inputs become ready during ``window`` seconds of compute, so at most
+    ``window`` of the total hides — except the **final** bucket, whose
+    inputs only exist when the window ends, so it is always exposed.
+    Smaller buckets hide more but pay more α; a single huge bucket
+    degenerates to fully-exposed (the pre-overlap serial model).
+    """
+    if nbytes <= 0:
+        return 0.0, 0.0
+    buckets = math.ceil(nbytes / bucket_bytes)
+    total = buckets * alpha + beta * nbytes
+    tail = alpha + beta * min(bucket_bytes, nbytes)
+    return max(total - window, tail), total
 
 
 def _axis_ranks(cluster: ClusterSpec, parallel: ParallelConfig, axis: str
@@ -89,7 +144,8 @@ def _axis_ranks(cluster: ClusterSpec, parallel: ParallelConfig, axis: str
     Derived from the same :func:`repro.distributed.mesh.axis_ranks`
     helper that lays out :class:`~repro.distributed.mesh.DeviceMesh`
     groups, so simulator pricing and the functional runtime agree by
-    construction.
+    construction — including the axis *placement* (``parallel.order``),
+    which decides the topology tier each group's traffic crosses.
     """
     return axis_ranks(0, parallel)[axis]
 
@@ -99,7 +155,10 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
               zero_stage: int = 0, num_micro_batches: int = 1,
               cost_model: KernelCostModel | None = None,
               pipeline_cuts: Sequence[int] | None = None,
-              pipeline_schedule: str = DEFAULT_SCHEDULE) -> StepBreakdown:
+              pipeline_schedule: str = DEFAULT_SCHEDULE,
+              overlap_grad_sync: bool = False,
+              overlap_bucket_mb: float = DEFAULT_BUCKET_MB
+              ) -> StepBreakdown:
     """Seconds per optimizer step for one pipeline stage's GPU.
 
     With ``pipeline_cuts`` set (and ``pp > 1``), the bottleneck stage is
@@ -109,7 +168,8 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     ``"1f1b"`` keeps the closed-form bubble paths byte-identical to the
     pre-schedule-aware simulator, any other schedule is priced by the
     exact per-stage timeline (:func:`repro.sim.pipeline.schedule_timeline`
-    — see :func:`_schedule_breakdown`).
+    — see :func:`_schedule_breakdown`).  ``overlap_grad_sync`` prices the
+    bucketed dp gradient sync of the schedule primitive of the same name.
     """
     cost = cost_model or KernelCostModel(cluster.gpu)
     scale = micro_batch / trace.ref_batch
@@ -126,7 +186,8 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
         return _staged_step_time(trace, model, cluster, parallel,
                                  micro_batch, zero_stage,
                                  num_micro_batches, cost,
-                                 tuple(pipeline_cuts), pipeline_schedule)
+                                 tuple(pipeline_cuts), pipeline_schedule,
+                                 overlap_grad_sync, overlap_bucket_mb)
     breakdown = StepBreakdown()
 
     # -- compute (per micro-batch, per stage) --------------------------- #
@@ -160,14 +221,17 @@ def step_time(trace: ModelTrace, model, cluster: ClusterSpec,
     param_bytes = stats.param_bytes / pp
     param_count = stats.param_count / pp
     _shared_step_terms(breakdown, cluster, parallel, param_bytes,
-                       param_count, zero_stage, cost)
+                       param_count, zero_stage, cost,
+                       backward_window=bwd_micro,
+                       overlap_grad_sync=overlap_grad_sync,
+                       overlap_bucket_mb=overlap_bucket_mb)
 
     # -- pipeline: stage boundary sends + bubble ------------------------ #
     if pp > 1:
         boundary = _boundary_bytes(trace, scale)
-        # adjacent stages sit tp·ep·dp ranks apart (pp is outermost)
-        hop = cluster.p2p_time(boundary, 0,
-                               parallel.tp * parallel.ep * parallel.dp)
+        # adjacent stages sit one pp-axis stride apart (tp·ep·dp ranks
+        # under the default placement)
+        hop = cluster.p2p_time(boundary, 0, axis_stride(parallel, "pp"))
         breakdown.pp_comm = 2 * hop * num_micro_batches  # fwd + bwd
         steady = (breakdown.forward + breakdown.backward
                   + breakdown.tp_comm + breakdown.ep_comm
@@ -225,23 +289,56 @@ def _schedule_breakdown(breakdown: StepBreakdown, times, num_micro_batches,
 def _shared_step_terms(breakdown: StepBreakdown, cluster: ClusterSpec,
                        parallel: ParallelConfig, param_bytes: float,
                        param_count: float, zero_stage: int,
-                       cost: KernelCostModel) -> None:
+                       cost: KernelCostModel,
+                       backward_window: float = 0.0,
+                       overlap_grad_sync: bool = False,
+                       overlap_bucket_mb: float = DEFAULT_BUCKET_MB
+                       ) -> None:
     """ZeRO / DP gradient traffic and the optimizer update, for one
-    stage's local parameter shard."""
+    stage's local parameter shard.
+
+    ``backward_window`` is the backward-compute time of **one**
+    micro-batch — under gradient accumulation the sync only runs during
+    the last micro-batch's backward (``no_sync`` on the others), so that
+    is the window bucketed comm can hide in.
+    """
     if zero_stage >= 3 and parallel.dp > 1:
         dp_ranks = _axis_ranks(cluster, parallel, "dp")
         gather = cluster.all_gather_time(param_bytes, dp_ranks)
         scatter = cluster.reduce_scatter_time(param_bytes, dp_ranks)
-        exposed = (2 * gather + scatter) * (1 - ZERO_OVERLAP)
-        breakdown.zero_comm = exposed
+        if overlap_grad_sync:
+            # the gradient reduce-scatter rides the bucketed overlap
+            # stream; gathers keep the prefetch model
+            alpha, beta = cluster.collective_coeffs(
+                "reduce_scatter", dp_ranks)
+            bucket_bytes = overlap_bucket_mb * float(1 << 20)
+            exposed_s, total_s = overlap_exposed(
+                alpha, beta, param_bytes, bucket_bytes, backward_window)
+            hidden_g = 2 * gather * cluster.zero_prefetch_overlap
+            breakdown.zero_comm = 2 * gather - hidden_g + exposed_s
+            breakdown.zero_comm_hidden = hidden_g + (total_s - exposed_s)
+        else:
+            exposed = (2 * gather + scatter) \
+                * (1 - cluster.zero_prefetch_overlap)
+            breakdown.zero_comm = exposed
+            breakdown.zero_comm_hidden = (2 * gather + scatter) - exposed
     elif parallel.dp > 1:
         # plain data parallelism: all-reduce full local gradients
         dp_ranks = _axis_ranks(cluster, parallel, "dp")
-        comm = cluster.all_reduce_time(param_bytes, dp_ranks)
-        breakdown.dp_comm = max(
-            comm * (1 - DP_OVERLAP),
-            comm - breakdown.backward * DP_OVERLAP,
-        )
+        if overlap_grad_sync:
+            alpha, beta = cluster.collective_coeffs("all_reduce", dp_ranks)
+            bucket_bytes = overlap_bucket_mb * float(1 << 20)
+            exposed, total = overlap_exposed(
+                alpha, beta, param_bytes, bucket_bytes, backward_window)
+            breakdown.dp_comm = exposed
+            breakdown.dp_comm_hidden = total - exposed
+        else:
+            comm = cluster.all_reduce_time(param_bytes, dp_ranks)
+            breakdown.dp_comm = max(
+                comm * (1 - cluster.dp_sync_overlap),
+                comm - breakdown.backward * cluster.dp_sync_overlap,
+            )
+            breakdown.dp_comm_hidden = comm - breakdown.dp_comm
     opt_params = param_count
     if zero_stage >= 1 and parallel.dp > 1:
         opt_params /= parallel.dp
@@ -252,7 +349,9 @@ def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
                       parallel: ParallelConfig, micro_batch: int,
                       zero_stage: int, num_micro_batches: int,
                       cost: KernelCostModel, cuts: tuple[int, ...],
-                      pipeline_schedule: str = DEFAULT_SCHEDULE
+                      pipeline_schedule: str = DEFAULT_SCHEDULE,
+                      overlap_grad_sync: bool = False,
+                      overlap_bucket_mb: float = DEFAULT_BUCKET_MB
                       ) -> StepBreakdown:
     """Stage-accurate pricing: the bottleneck stage paces the pipeline."""
     from .pipeline import stage_profiles, stage_step_times
@@ -274,7 +373,10 @@ def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
         b = _schedule_breakdown(breakdown, times, m, pipeline_schedule)
         _shared_step_terms(breakdown, cluster, parallel,
                            profiles[b].param_bytes,
-                           profiles[b].param_count, zero_stage, cost)
+                           profiles[b].param_count, zero_stage, cost,
+                           backward_window=times[b].backward,
+                           overlap_grad_sync=overlap_grad_sync,
+                           overlap_bucket_mb=overlap_bucket_mb)
     else:
         b = max(range(len(steady)), key=lambda i: steady[i])
         breakdown.forward = times[b].forward * m
@@ -284,7 +386,10 @@ def _staged_step_time(trace: ModelTrace, model, cluster: ClusterSpec,
         breakdown.pp_comm = times[b].pp_comm * m
         _shared_step_terms(breakdown, cluster, parallel,
                            profiles[b].param_bytes,
-                           profiles[b].param_count, zero_stage, cost)
+                           profiles[b].param_count, zero_stage, cost,
+                           backward_window=times[b].backward,
+                           overlap_grad_sync=overlap_grad_sync,
+                           overlap_bucket_mb=overlap_bucket_mb)
         steady_step = (breakdown.forward + breakdown.backward
                        + breakdown.tp_comm + breakdown.ep_comm
                        + breakdown.pp_comm)
@@ -312,11 +417,15 @@ def throughput(trace: ModelTrace, model, cluster: ClusterSpec,
                zero_stage: int = 0, num_micro_batches: int = 1,
                cost_model: KernelCostModel | None = None,
                pipeline_cuts: Sequence[int] | None = None,
-               pipeline_schedule: str = DEFAULT_SCHEDULE) -> float:
+               pipeline_schedule: str = DEFAULT_SCHEDULE,
+               overlap_grad_sync: bool = False,
+               overlap_bucket_mb: float = DEFAULT_BUCKET_MB) -> float:
     """Training throughput in samples/second."""
     breakdown = step_time(trace, model, cluster, parallel, micro_batch,
                           zero_stage, num_micro_batches, cost_model,
                           pipeline_cuts=pipeline_cuts,
-                          pipeline_schedule=pipeline_schedule)
+                          pipeline_schedule=pipeline_schedule,
+                          overlap_grad_sync=overlap_grad_sync,
+                          overlap_bucket_mb=overlap_bucket_mb)
     samples = parallel.dp * micro_batch * num_micro_batches
     return samples / breakdown.total

@@ -46,6 +46,10 @@ def build(sch: Schedule, target: str = "native") -> BuiltModel:
         "history": list(context.history),
         "mesh": context.mesh,
     }
+    # .overlap_grad_sync() annotation: the live bucketed-sync state the
+    # runtime/verifier must flush() after each backward
+    if "overlap_grad_sync" in context.metadata:
+        metadata["overlap_grad_sync"] = context.metadata["overlap_grad_sync"]
     if not context.pipeline_cuts:
         model = context.root
         if target == "deepspeed":

@@ -1,6 +1,7 @@
 """Built-in schedule primitives (importing registers them)."""
 
-from . import extras, pipeline, sharding, structural, tracing  # noqa: F401
+from . import extras, overlap, pipeline, sharding, structural, \
+    tracing  # noqa: F401
 from .pipeline import PipelineModule, partition_pipeline
 from .sharding import ShardSpec
 from .structural import DecomposedLinear

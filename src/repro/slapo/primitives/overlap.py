@@ -1,0 +1,214 @@
+"""Comm/compute overlap for the data-parallel gradient sync.
+
+``.overlap_grad_sync(bucket_mb=...)`` replaces the post-backward
+data-parallel all-reduce with DDP-style *bucketed* synchronisation: as
+each module's backward completes, its parameter gradients join the
+current bucket, and a full bucket launches one fused all-reduce while
+the rest of the backward is still running.  The simulator prices the
+same mechanism (:func:`repro.sim.throughput.overlap_exposed`) — only the
+portion of the sync that does not fit inside the backward window is
+charged as exposed time.
+
+The primitive is a root-level annotation (like ``.pipeline_schedule``):
+it attaches backward hooks to every parameter-carrying module and parks
+a :class:`_BucketedGradSync` state object in the schedule context's
+metadata, where ``slapo.build()`` forwards it to the runtime/verifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.throughput import DEFAULT_BUCKET_MB
+
+from ..registry import Primitive, SchedulingError, register_primitive
+
+
+class _BucketedGradSync:
+    """Per-model overlap state: buckets dp gradients during backward.
+
+    Hooks fire when a module's input gradients are ready — by then the
+    module's own parameter gradients have been accumulated, so they are
+    safe to sync *if* no other mount point will contribute more gradient
+    later.  The plan therefore splits parameters in two:
+
+    * **exclusively-owned** (mounted in exactly one module): synced from
+      the hook, bucket by bucket, overlapped with backward;
+    * everything else (tied weights, multiply-mounted modules, and
+      parameters whose hook never fires — an embedding fed integer ids
+      wraps no differentiable input): synced by the final ``flush()``.
+
+    Hooks may fire several times per backward (once per wrapped tensor
+    argument), so queueing is idempotent.  Every synced parameter is
+    marked ``_slapo_dp_synced`` so the verifier's explicit dp averaging
+    skips it — re-averaging an already-averaged gradient is idempotent
+    and would mask a broken hook.
+    """
+
+    def __init__(self, root, group, bucket_mb: float):
+        self.root = root
+        self.group = group
+        self.dp = group.size
+        self.bucket_mb = float(bucket_mb)
+        self.bucket_bytes = int(self.bucket_mb * (1 << 20))
+        #: fused all-reduce launches so far (observable by tests)
+        self.flushes = 0
+        self._exclusive: set[int] | None = None
+        self._queued: set[int] = set()
+        self._bucket: list = []
+        self._bucket_nbytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Plan
+    # ------------------------------------------------------------------ #
+    def _build_plan(self) -> None:
+        counts: dict[int, int] = {}
+        for module in self.root.modules():
+            for param in module._parameters.values():
+                if param is not None:
+                    counts[id(param)] = counts.get(id(param), 0) + 1
+        # A parameter mounted in several modules accumulates gradient
+        # from every mount point; syncing it when the *first* hook fires
+        # would all-reduce a partial gradient.
+        self._exclusive = {pid for pid, n in counts.items() if n == 1}
+
+    # ------------------------------------------------------------------ #
+    # Hot path: called from module backward hooks
+    # ------------------------------------------------------------------ #
+    def on_module_backward(self, module) -> None:
+        if self._exclusive is None:
+            self._build_plan()
+        for param in module._parameters.values():
+            if param is None or id(param) not in self._exclusive:
+                continue
+            self._queue(param)
+
+    def _queue(self, param) -> None:
+        if id(param) in self._queued:
+            return
+        grad = param.grad
+        if grad is None or param.is_meta:
+            return
+        self._queued.add(id(param))
+        self._bucket.append(param)
+        self._bucket_nbytes += grad.data.nbytes
+        if self._bucket_nbytes >= self.bucket_bytes:
+            self._flush_bucket()
+
+    def _flush_bucket(self) -> None:
+        if not self._bucket:
+            return
+        grads = [param.grad.data for param in self._bucket]
+        flat = np.concatenate([g.astype(np.float64).ravel() for g in grads])
+        reduced = self.group.all_reduce(flat) / float(self.dp)
+        offset = 0
+        for param, grad in zip(self._bucket, grads):
+            size = grad.size
+            grad[...] = reduced[offset:offset + size].reshape(
+                grad.shape).astype(grad.dtype)
+            offset += size
+            param._slapo_dp_synced = True
+        self.flushes += 1
+        self._bucket = []
+        self._bucket_nbytes = 0
+
+    # ------------------------------------------------------------------ #
+    # End of backward
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Sync the partial bucket plus every parameter the hooks missed."""
+        if self._exclusive is None:
+            self._build_plan()
+        self._flush_bucket()
+        seen: set[int] = set()
+        for param in self.root.parameters():
+            if id(param) in seen or id(param) in self._queued:
+                continue
+            seen.add(id(param))
+            if param.grad is None or param.is_meta:
+                continue
+            self._queued.add(id(param))
+            self._bucket.append(param)
+            self._bucket_nbytes += param.grad.data.nbytes
+            if self._bucket_nbytes >= self.bucket_bytes:
+                self._flush_bucket()
+        self._flush_bucket()
+        # Reset for the next step; the plan survives (the module tree is
+        # final once a backward has run).
+        self._queued.clear()
+        self._bucket = []
+        self._bucket_nbytes = 0
+
+
+@register_primitive()
+class OverlapGradSyncPrimitive(Primitive):
+    """``.overlap_grad_sync(bucket_mb=...)`` — bucket the data-parallel gradient all-reduce and launch it during backward.
+
+    A whole-model (root-only) annotation.  ``bucket_mb`` sets the fusion
+    granularity: smaller buckets start communicating earlier (more
+    overlap) at the price of more collective launches — exactly the
+    trade-off the simulator's :func:`~repro.sim.throughput.overlap_exposed`
+    prices, so the tuner can sweep the knob against the model and
+    topology.  Requires ``dp > 1``; does not compose with pipeline
+    partitioning (``pp > 1``), where the tick program already interleaves
+    stage communication with compute.
+    """
+
+    name = "overlap_grad_sync"
+    fuzzable = True
+
+    @staticmethod
+    def check(sch, bucket_mb: float = DEFAULT_BUCKET_MB) -> None:
+        if sch.path:
+            raise SchedulingError(
+                ".overlap_grad_sync() is a whole-model property; call it "
+                "on the root schedule"
+            )
+        config = sch.mesh.config
+        if config.dp <= 1:
+            raise SchedulingError(
+                ".overlap_grad_sync() requires a mesh with dp > 1 "
+                "(verifier rule: distributed primitives need a distributed "
+                "environment)"
+            )
+        if config.pp > 1:
+            raise SchedulingError(
+                ".overlap_grad_sync() does not compose with pipeline "
+                "partitioning (pp > 1): each stage's backward is driven by "
+                "the tick program, which already overlaps p2p transfers "
+                "with compute"
+            )
+        if not bucket_mb or float(bucket_mb) <= 0:
+            raise SchedulingError(
+                f"overlap_grad_sync bucket_mb must be positive, got "
+                f"{bucket_mb!r}"
+            )
+        if sch.context.applied("overlap_grad_sync", ""):
+            raise SchedulingError(
+                "overlap_grad_sync is already applied to this schedule"
+            )
+
+    @staticmethod
+    def apply(sch, bucket_mb: float = DEFAULT_BUCKET_MB):
+        state = _BucketedGradSync(sch.context.root, sch.mesh.dp_group,
+                                  bucket_mb)
+        sch.context.metadata["overlap_grad_sync"] = state
+
+        def grad_sync_hook(module, grad):
+            state.on_module_backward(module)
+            return None
+
+        for module in sch.context.root.modules():
+            if any(p is not None for p in module._parameters.values()):
+                module.register_backward_hook(grad_sync_hook)
+        return sch
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        config = sch.mesh.config
+        if sch.path or config.dp <= 1 or config.pp > 1 \
+                or sch.context.applied("overlap_grad_sync", ""):
+            return []
+        # A deliberately tiny bucket: fuzz models are ~100 KB of
+        # parameters, so this still exercises multi-bucket flushing.
+        return [((), {"bucket_mb": 0.25})]

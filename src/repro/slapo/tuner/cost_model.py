@@ -27,13 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.distributed.mesh import ParallelConfig
+from repro.distributed.mesh import DEFAULT_AXIS_ORDER, ParallelConfig
 from repro.distributed.topology import ClusterSpec
 from repro.pipeline import DEFAULT_SCHEDULE
 from repro.sim.batch import predict_batch
 from repro.sim.kernel_cost import KernelCostModel
 from repro.sim.memory import model_stats_for
 from repro.sim.planner import predict_config
+from repro.sim.throughput import DEFAULT_BUCKET_MB
 
 
 @dataclass(frozen=True)
@@ -171,7 +172,11 @@ class SimCostModel(CostModel):
         Missing axes are inferred: ``dp`` defaults to the co-factor of
         ``world_size`` over the explicitly given axes (so with only
         ``tp``/``pp``/``ep`` given the leftover becomes data
-        parallelism).  A config whose axes do not factor ``world_size``
+        parallelism).  A ``placement`` coordinate (a comma-joined axis
+        order, innermost first — see
+        :data:`repro.slapo.tuner.space.DEFAULT_PLACEMENTS`) becomes the
+        mesh's ``order``, so the tuner can sweep which axes sit on
+        NVLink.  A config whose axes do not factor ``world_size``
         raises ``ValueError`` (the tuner treats that as an infeasible
         trial).  Pair with
         :func:`repro.slapo.tuner.space.parallelism_symbols`, which only
@@ -190,7 +195,11 @@ class SimCostModel(CostModel):
                         f"world size {world_size}"
                     )
                 dp = world_size // (tp * pp * ep)
-            parallel = ParallelConfig(tp=tp, dp=dp, pp=pp, ep=ep)
+            placement = config.get("placement")
+            order = tuple(str(placement).split(",")) \
+                if placement is not None else DEFAULT_AXIS_ORDER
+            parallel = ParallelConfig(tp=tp, dp=dp, pp=pp, ep=ep,
+                                      order=order)
             parallel.validate(world_size)
             return parallel
 
@@ -246,6 +255,10 @@ class SimCostModel(CostModel):
             pipeline_cuts=self.pipeline_cuts,
             pipeline_schedule=str(config.get("pipeline_schedule",
                                              DEFAULT_SCHEDULE)),
+            overlap_grad_sync=bool(config.get("overlap_grad_sync",
+                                              False)),
+            overlap_bucket_mb=float(config.get("overlap_bucket_mb",
+                                               DEFAULT_BUCKET_MB)),
         )
         estimate = CostEstimate(throughput=prediction.throughput,
                                 fits=prediction.fits,
@@ -284,6 +297,10 @@ class SimCostModel(CostModel):
                                                  self.num_micro_batches)),
                 pipeline_schedule=str(config.get("pipeline_schedule",
                                                  DEFAULT_SCHEDULE)),
+                overlap_grad_sync=bool(config.get("overlap_grad_sync",
+                                                  False)),
+                overlap_bucket_mb=float(config.get("overlap_bucket_mb",
+                                                   DEFAULT_BUCKET_MB)),
             )
             trace_key = tuple(sorted(config.items())) \
                 if self._trace_key_fn is None else self._trace_key_fn(config)

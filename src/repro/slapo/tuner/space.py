@@ -17,6 +17,17 @@ class SpaceError(ValueError):
     """Raised on ill-formed search-space definitions."""
 
 
+#: axis placements worth sweeping (innermost-first, comma-joined for the
+#: ``placement`` symbol): the Megatron default (tp on NVLink), dp
+#: innermost (the classic mistake at scale), and ep innermost (keeps the
+#: MoE all-to-all on NVLink at the price of tp crossing nodes)
+DEFAULT_PLACEMENTS = (
+    "tp,ep,dp,pp",
+    "dp,ep,tp,pp",
+    "ep,tp,dp,pp",
+)
+
+
 class Space:
     """One trial's view of the space: symbols resolve to concrete values."""
 
@@ -96,6 +107,8 @@ def parallelism_symbols(space: Space, world_size: int,
                         min_micro_batches: tuple[int, ...] = (1, 2, 4, 8),
                         max_ep: int | None = None,
                         pipeline_schedules: Sequence[str] | None = None,
+                        overlap_grad_sync: bool = False,
+                        placements: Sequence[str] | None = None,
                         ) -> tuple[int, ...]:
     """Declare a ``tp``/``pp``[/``ep``]/``dp`` mesh factorization as
     search symbols.
@@ -123,6 +136,16 @@ def parallelism_symbols(space: Space, world_size: int,
     micro-batch counts are multiples of ``pp``, so every enumerated
     point can express every registered schedule (interleaved requires
     ``m % pp == 0``).
+
+    ``overlap_grad_sync=True`` declares a boolean ``overlap_grad_sync``
+    symbol whenever the resolved mesh has ``dp > 1`` and ``pp == 1``
+    (the primitive's applicability condition) — the tuner then sweeps
+    bucketed grad-sync overlap jointly with the mesh.  ``placements``
+    (e.g. :data:`DEFAULT_PLACEMENTS`; comma-joined axis orders,
+    innermost first) declares a ``placement`` symbol whenever more than
+    one axis is non-trivial, making *where* each axis lands on the
+    topology a search coordinate.  Both default to off, keeping existing
+    spaces and their enumerations unchanged.
     """
     tp_candidates = _divisors(world_size)
     if max_tp is not None:
@@ -145,6 +168,11 @@ def parallelism_symbols(space: Space, world_size: int,
         if pipeline_schedules:
             space.create_symbol("pipeline_schedule",
                                 list(pipeline_schedules))
+    if overlap_grad_sync and dp > 1 and pp == 1:
+        space.create_symbol("overlap_grad_sync", [False, True])
+    if placements and sum(1 for axis in (tp, dp, pp, ep or 1)
+                          if axis > 1) > 1:
+        space.create_symbol("placement", list(placements))
     if ep is None:
         return tp, dp, pp
     return tp, dp, pp, ep

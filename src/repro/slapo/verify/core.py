@@ -385,10 +385,21 @@ def _run_scheduled(model_factory, schedule_fn, inputs_factory, parallel,
     loss = _loss(_to_output_list(run_model(*local_inputs)))
     loss.backward()
 
+    # ``.overlap_grad_sync()`` schedules sync their own dp gradients
+    # (bucketed, during backward); flush the tail bucket and whatever the
+    # hooks missed, exactly as a real training loop would.
+    overlap_state = built.metadata.get("overlap_grad_sync")
+    if overlap_state is not None:
+        overlap_state.flush()
+
     if dp > 1:
         group = mesh.dp_group
         for _, param, _, _ in mapped:
-            if param.grad is not None:
+            # Hook-synced parameters are deliberately NOT re-averaged:
+            # averaging an already-averaged gradient is idempotent and
+            # would mask a broken overlap hook.
+            if param.grad is not None and \
+                    not getattr(param, "_slapo_dp_synced", False):
                 reduced = group.all_reduce(param.grad.data) / float(dp)
                 param.grad.data[...] = reduced.astype(param.grad.data.dtype)
 

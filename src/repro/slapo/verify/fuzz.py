@@ -233,6 +233,20 @@ def sample_spec(family: str, world_size: int, seed: int,
             dry.try_step("pipeline_split", layers[int(index)])
         dry.try_step("pipeline_schedule", "", (spec.pipeline_schedule,))
 
+    # Phase 6: data-parallel grad-sync overlap.  A dedicated spec field
+    # rather than a step (shrink() must preserve it); validated against
+    # the dry schedule like any other candidate.  Tiny buckets dominate
+    # so fuzz models (~100 KB of parameters) exercise multi-bucket
+    # flushing, not just the tail flush.
+    if spec.dp > 1 and spec.pp == 1 and rng.random() < 0.5:
+        bucket_mb = float(rng.choice((0.05, 0.25, 25.0)))
+        try:
+            dry.sch.overlap_grad_sync(bucket_mb=bucket_mb)
+        except SchedulingError:
+            pass
+        else:
+            spec = replace(spec, overlap_grad_sync=bucket_mb)
+
     return replace(spec, steps=dry.steps)
 
 
@@ -344,6 +358,30 @@ def check_sim_invariants(spec: ScheduleSpec) -> None:
             raise SimInvariantError(
                 f"{spec.family}: invalid step-time components under "
                 f"{schedule!r}: {negative or parts}"
+            )
+
+    # -- overlap pricing: still additive, hidden comm non-negative ------ #
+    if spec.overlap_grad_sync:
+        overlapped = step_time(trace, model, cluster, spec.parallel, 1,
+                               zero_stage=spec.zero_stage,
+                               overlap_grad_sync=True,
+                               overlap_bucket_mb=float(
+                                   spec.overlap_grad_sync))
+        parts = overlapped.components()
+        gap = abs(overlapped.total - sum(parts.values()))
+        if gap > 1e-12 * max(overlapped.total, 1.0):
+            raise SimInvariantError(
+                f"{spec.family}: step-time breakdown is not additive with "
+                f"overlap_grad_sync (total {overlapped.total:.6e} vs parts "
+                f"{sum(parts.values()):.6e})"
+            )
+        hidden = overlapped.hidden_components()
+        bad_hidden = {name: value for name, value in hidden.items()
+                      if not value >= 0}
+        if bad_hidden:
+            raise SimInvariantError(
+                f"{spec.family}: negative hidden communication under "
+                f"overlap_grad_sync: {bad_hidden}"
             )
 
     # -- m >= pp: planner and runtime agree ----------------------------- #

@@ -325,6 +325,11 @@ class ScheduleSpec:
     num_micro_batches: int = 1
     #: tick program the pipeline executes/prices under (pp > 1)
     pipeline_schedule: str = "1f1b"
+    #: bucket size (MB) for ``.overlap_grad_sync``, or None for no overlap.
+    #: A dedicated field rather than a step: :func:`shrink` deletes steps
+    #: only, so a minimized repro always keeps the overlap property that
+    #: (possibly) provoked the failure.
+    overlap_grad_sync: float | None = None
     steps: list = field(default_factory=list)
     note: str = ""
 
@@ -382,6 +387,10 @@ def apply_steps(sch: Schedule, spec: ScheduleSpec) -> Schedule:
     tp = sch.mesh.tp_group.size
     for step in spec.steps:
         apply_step(sch, config, tp, step)
+    # Overlap is applied after the steps so its backward hooks see the
+    # final module tree (replacements, fusions, expert slices included).
+    if spec.overlap_grad_sync:
+        sch.overlap_grad_sync(bucket_mb=float(spec.overlap_grad_sync))
     return sch
 
 

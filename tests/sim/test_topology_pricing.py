@@ -1,0 +1,247 @@
+"""Topology-aware pricing: flat identity, overlap exposure, and the
+vectorized batch path over placement × overlap spaces.
+
+The refactor's compatibility contract: a flat (legacy two-tier) cluster
+prices every MODEL_ZOO family byte-identically whether the hierarchy is
+implicit (``tiers=None``) or written out, and ``predict_batch`` answers
+exactly like scalar ``predict_config`` when the space grows
+``overlap_grad_sync`` and ``placement`` coordinates.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.distributed import (
+    DEFAULT_AXIS_ORDER,
+    LinkTier,
+    ParallelConfig,
+    p3dn_cluster,
+)
+from repro.models import MODEL_ZOO, data
+from repro.sim import (
+    DEFAULT_BUCKET_MB,
+    overlap_exposed,
+    predict_batch,
+    predict_config,
+    step_time,
+    trace_model,
+)
+from repro.slapo.tuner import SimCostModel
+from repro.slapo.tuner.space import (
+    DEFAULT_PLACEMENTS,
+    enumerate_space,
+    parallelism_symbols,
+)
+
+WORLD_SIZE = 16
+CLUSTER = p3dn_cluster(2)
+
+
+def family_trace(family):
+    cls, config = MODEL_ZOO[family]
+    config = config.tiny()
+    model = cls(config, device="meta")
+    if family == "WideResNet":
+        images, _ = data.image_batch(config, 1, device="meta")
+        args = (images,)
+    elif family == "T5":
+        src, tgt, _ = data.seq2seq_batch(config, 1, 8, 6, device="meta")
+        args = (src, tgt)
+    else:
+        ids, _ = data.lm_batch(config, 1, 8, device="meta")
+        args = (ids,)
+    return model, trace_model(model, *args)
+
+
+def explicit_flat(cluster):
+    """The same cluster with its implicit legacy hierarchy written out."""
+    return dataclasses.replace(
+        cluster,
+        tiers=(
+            LinkTier("intra_node", cluster.gpus_per_node,
+                     cluster.intra_node_bandwidth, cluster.link_latency),
+            LinkTier("inter_node", 0, cluster.inter_node_bandwidth,
+                     cluster.link_latency),
+        ))
+
+
+PARALLELS = [
+    ParallelConfig(tp=2, dp=4, pp=2),
+    ParallelConfig(tp=4, dp=4),
+    ParallelConfig(dp=16, ),
+    ParallelConfig(tp=2, ep=2, dp=4),
+]
+
+
+class TestFlatIdentity:
+    @pytest.mark.parametrize("family", sorted(MODEL_ZOO))
+    def test_flat_spec_prices_every_family_byte_identically(self, family):
+        model, trace = family_trace(family)
+        flat = explicit_flat(CLUSTER)
+        for parallel in PARALLELS:
+            for zero in (0, 3):
+                implicit = step_time(trace, model, CLUSTER, parallel, 1,
+                                     zero_stage=zero)
+                explicit = step_time(trace, model, flat, parallel, 1,
+                                     zero_stage=zero)
+                assert implicit.total == explicit.total, (parallel, zero)
+                assert implicit.components() == explicit.components()
+                assert implicit.hidden_components() \
+                    == explicit.hidden_components()
+
+
+#: tiny-model overlap regime: fuzz-sized models carry ~KBs of gradients,
+#: so hiding is only observable with sub-parameter-size buckets and a
+#: latency-light fabric (otherwise the per-bucket alpha floor dominates)
+FAST = dataclasses.replace(CLUSTER, link_latency=1e-8)
+SMALL_BUCKET_MB = 0.004  # 4 KiB — several buckets even for tiny models
+
+
+class TestOverlapPricing:
+    def test_overlap_exposed_closed_form(self):
+        bucket = float(1 << 20)
+        alpha, beta = 1e-5, 1e-9
+        nbytes = 10 * bucket
+        exposed, total = overlap_exposed(alpha, beta, nbytes, bucket, 0.0)
+        # zero window: everything is exposed
+        assert exposed == total == 10 * alpha + beta * nbytes
+        # huge window: only the tail bucket remains exposed
+        exposed, total = overlap_exposed(alpha, beta, nbytes, bucket, 1e9)
+        assert exposed == alpha + beta * bucket
+        # empty payload costs nothing
+        assert overlap_exposed(alpha, beta, 0.0, bucket, 1.0) == (0.0, 0.0)
+
+    def test_overlap_hides_dp_comm_in_breakdown(self):
+        model, trace = family_trace("GPT")
+        parallel = ParallelConfig(dp=16)
+        plain = step_time(trace, model, FAST, parallel, 1)
+        overlapped = step_time(trace, model, FAST, parallel, 1,
+                               overlap_grad_sync=True,
+                               overlap_bucket_mb=SMALL_BUCKET_MB)
+        assert overlapped.dp_comm_hidden > 0
+        assert plain.dp_comm_hidden > 0  # the heuristic also reports it
+        # hidden comm never appears in the additive components
+        assert "dp_comm_hidden" not in overlapped.components()
+        total = overlapped.dp_comm + overlapped.dp_comm_hidden
+        # exposed + hidden is the full bucketed sync cost: at least the
+        # wire time of the gradients
+        alpha, beta = FAST.collective_coeffs("all_reduce", range(16))
+        assert total >= beta * sum(
+            p.numel() * 4 for p in model.parameters()) * 0.9
+
+    def test_single_bucket_sync_cannot_hide(self):
+        """The final bucket only launches after the last gradient is
+        ready, so a whole-model bucket stays fully exposed."""
+        model, trace = family_trace("GPT")
+        parallel = ParallelConfig(dp=16)
+        one_bucket = step_time(trace, model, FAST, parallel, 1,
+                               overlap_grad_sync=True,
+                               overlap_bucket_mb=1024.0)
+        assert one_bucket.dp_comm_hidden == 0.0
+
+    def test_overlap_speedup_when_backward_window_is_large(self):
+        model, trace = family_trace("GPT")
+        parallel = ParallelConfig(dp=16)
+        # the backward window dwarfs the sync cost here, so bucketed
+        # overlap hides all but the tail bucket
+        plain = step_time(trace, model, FAST, parallel, 8)
+        overlapped = step_time(trace, model, FAST, parallel, 8,
+                               overlap_grad_sync=True,
+                               overlap_bucket_mb=SMALL_BUCKET_MB)
+        assert overlapped.dp_comm < plain.dp_comm
+        assert overlapped.total < plain.total
+
+    def test_overlap_is_priced_for_zero3_prefetch_too(self):
+        model, trace = family_trace("GPT")
+        parallel = ParallelConfig(dp=16)
+        plain = step_time(trace, model, FAST, parallel, 8, zero_stage=3)
+        overlapped = step_time(trace, model, FAST, parallel, 8,
+                               zero_stage=3, overlap_grad_sync=True,
+                               overlap_bucket_mb=SMALL_BUCKET_MB)
+        assert overlapped.zero_comm_hidden > 0
+        assert overlapped.total <= plain.total
+
+
+def overlap_space_configs():
+    def update(space):
+        parallelism_symbols(
+            space, WORLD_SIZE, max_tp=8, max_pp=4,
+            pipeline_schedules=["1f1b", "gpipe"],
+            overlap_grad_sync=True, placements=DEFAULT_PLACEMENTS)
+        space.create_symbol("zero_stage", [0, 1, 3])
+        space.create_symbol("micro_batch", [1, 4])
+    return enumerate_space(update)
+
+
+class TestBatchEquivalenceWithOverlapAndPlacement:
+    def test_space_has_the_new_symbols(self):
+        configs = overlap_space_configs()
+        assert any(c.get("overlap_grad_sync") is True for c in configs)
+        assert any(c.get("overlap_grad_sync") is False for c in configs)
+        placements = {c.get("placement") for c in configs} - {None}
+        assert placements == set(DEFAULT_PLACEMENTS)
+        # overlap only where the primitive applies: dp > 1, pp == 1
+        for c in configs:
+            if "overlap_grad_sync" in c:
+                assert c["dp"] > 1 and c["pp"] == 1, c
+
+    @pytest.mark.parametrize("family", ["GPT", "BERT", "T5"])
+    def test_batch_matches_scalar_over_overlap_placement_space(
+            self, family):
+        model, trace = family_trace(family)
+        configs = overlap_space_configs()
+        parallel_fn = SimCostModel.parallel_fn(WORLD_SIZE)
+        batch = predict_batch(trace, model, CLUSTER, configs,
+                              parallel_fn=parallel_fn)
+        assert len(batch) == len(configs)
+        nondefault_orders = 0
+        for i, config in enumerate(configs):
+            parallel = parallel_fn(config)
+            nondefault_orders += parallel.order != DEFAULT_AXIS_ORDER
+            got = batch.prediction(i)
+            want = predict_config(
+                trace, model, CLUSTER, parallel,
+                config.get("micro_batch"),
+                zero_stage=config.get("zero_stage", 0),
+                num_micro_batches=config.get("num_micro_batches", 1),
+                pipeline_schedule=config.get("pipeline_schedule", "1f1b"),
+                overlap_grad_sync=bool(config.get("overlap_grad_sync",
+                                                  False)),
+                overlap_bucket_mb=float(config.get("overlap_bucket_mb",
+                                                   DEFAULT_BUCKET_MB)))
+            assert got.fits == want.fits, config
+            assert got.throughput == pytest.approx(want.throughput,
+                                                   abs=1e-9), config
+            if want.memory is not None:
+                assert got.memory.total == want.memory.total, config
+        assert nondefault_orders > 0
+        assert batch.num_vectorized > 0
+
+    def test_placement_changes_the_price_across_nodes(self):
+        """tp inside the node vs tp across nodes must price differently
+        on a hierarchical cluster (that is the whole point)."""
+        import repro.slapo as slapo
+        from repro.distributed import DeviceMesh
+        from repro.schedules import schedule_gpt
+
+        cls, config = MODEL_ZOO["GPT"]
+        config = config.tiny()
+        model = cls(config, device="meta")
+        mesh = DeviceMesh(ParallelConfig(tp=2), rank=0, sim=True)
+        sch = slapo.create_schedule(model, mesh=mesh)
+        schedule_gpt(sch, config)
+        built = slapo.build(sch).model
+        ids, _ = data.lm_batch(config, 1, 8, device="meta")
+        trace = trace_model(built, ids)
+
+        # tp innermost → the tp pair shares a node; tp outermost (dp
+        # innermost) → the tp pair sits one per node, 8 apart
+        inner = ParallelConfig(tp=2, dp=8)
+        outer = ParallelConfig(tp=2, dp=8, order=("dp", "ep", "tp", "pp"))
+        t_inner = step_time(trace, built, CLUSTER, inner, 1)
+        t_outer = step_time(trace, built, CLUSTER, outer, 1)
+        # tp all-reduces every layer; dp syncs once — tp belongs on the
+        # NVLink island, dp can afford the network hop
+        assert t_inner.tp_comm < t_outer.tp_comm
+        assert t_inner.total < t_outer.total

@@ -16,9 +16,10 @@ from repro.slapo.verify import DEFAULT_FAMILIES, run_fuzz
 
 CORPUS_SIZE = 225
 # seed chosen so the sampled corpus covers every mesh axis (incl. the
-# rare ep×tp mix) and all four pipeline tick programs — re-search with
+# rare ep×tp mix), all four pipeline tick programs, and grad-sync
+# overlap (alone, × ZeRO, × ep) — re-search with
 # scripts/fuzz_schedules.py when the sampling stream changes shape
-CORPUS_SEED = 20
+CORPUS_SEED = 17
 WORLD_SIZES = (1, 2, 4, 8)
 
 
@@ -54,13 +55,15 @@ def test_corpus_exercises_every_mesh_axis(tmp_path):
 
     rng = np.random.default_rng(CORPUS_SEED)
     axes = {"tp": 0, "dp": 0, "pp": 0, "ep": 0, "zero": 0,
-            "ep_x_tp": 0, "ep_x_dp": 0}
+            "ep_x_tp": 0, "ep_x_dp": 0,
+            "overlap": 0, "overlap_x_zero": 0, "overlap_x_ep": 0}
     schedules = dict.fromkeys(SCHEDULE_NAMES, 0)
     for _ in range(CORPUS_SIZE):
         family = DEFAULT_FAMILIES[int(rng.integers(len(DEFAULT_FAMILIES)))]
         world = WORLD_SIZES[int(rng.integers(len(WORLD_SIZES)))]
         spec = sample_spec(family, world, int(rng.integers(2 ** 31 - 1)),
                            rng=rng)
+        overlap = spec.overlap_grad_sync is not None
         axes["tp"] += spec.tp > 1
         axes["dp"] += spec.dp > 1
         axes["pp"] += spec.pp > 1
@@ -68,6 +71,9 @@ def test_corpus_exercises_every_mesh_axis(tmp_path):
         axes["zero"] += spec.zero_stage > 0
         axes["ep_x_tp"] += spec.ep > 1 and spec.tp > 1
         axes["ep_x_dp"] += spec.ep > 1 and spec.dp > 1
+        axes["overlap"] += overlap
+        axes["overlap_x_zero"] += overlap and spec.zero_stage > 0
+        axes["overlap_x_ep"] += overlap and spec.ep > 1
         if spec.pp > 1:
             schedules[spec.pipeline_schedule] += 1
     assert all(count > 0 for count in axes.values()), axes
