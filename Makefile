@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast fuzz bench perf docs docs-check
+.PHONY: test test-fast fuzz bench perf docs docs-check train-model
 
 # tier-1 verification (pyproject.toml already pins pythonpath=src) — the
 # full suite includes the seeded fuzz corpus (marked `slow`) — then the
@@ -24,13 +24,20 @@ bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q -s
 
 # Perf trajectory: refreshes BENCH_sim_speed.json + BENCH_pipeline.json
-# + BENCH_moe.json + BENCH_planner.json.
+# + BENCH_moe.json + BENCH_planner.json + BENCH_learned.json.
 perf:
 	$(PYTHON) benchmarks/bench_sim_speed.py
 	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/bench_moe.py
 	$(PYTHON) benchmarks/bench_planner.py
 	$(PYTHON) benchmarks/bench_topology.py
+	$(PYTHON) benchmarks/bench_learned.py
+
+# Learned-cost-model training gate: fails if training is
+# nondeterministic, the weights JSON doesn't round-trip byte-stably, or
+# stale feature-schema weights are accepted.
+train-model:
+	$(PYTHON) scripts/train_cost_model.py --check
 
 # Regenerate docs/primitives.md from the registry, then fail if the
 # committed copy was stale (so CI catches un-regenerated docs).

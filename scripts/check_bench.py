@@ -5,7 +5,9 @@ committed at ``HEAD``.  Numeric leaves are classified by key name:
 
 * *lower-is-better*: keys containing ``seconds`` / ``_ms`` /
   ``latency`` (covers the ``predict_config_64`` per-config latency in
-  ``BENCH_sim_speed.json``);
+  ``BENCH_sim_speed.json``), plus ``error`` and ``trials_to`` (the
+  ``BENCH_learned.json`` headline: held-out prediction error and
+  trials-to-optimum of the learned cost model);
 * *higher-is-better*: keys containing ``throughput`` / ``speedup`` /
   ``per_second`` (covers the ``BENCH_planner.json`` headline: batch
   configs/sec and batch-vs-scalar speedup).
@@ -32,7 +34,11 @@ THRESHOLD = 0.20
 #: (a ±1 ms wobble on a 1 ms timer is ±100%) — skip them
 MIN_SECONDS = 0.05
 
-LOWER_BETTER = ("seconds", "_ms", "latency")
+LOWER_BETTER = ("seconds", "_ms", "latency", "error", "trials_to")
+#: the noise-floor exemption only makes sense for wall-clock metrics;
+#: deterministic lower-is-better metrics (errors, trial counts) are
+#: gated at any magnitude
+TIMING_KEYS = ("seconds", "_ms", "latency")
 HIGHER_BETTER = ("throughput", "speedup", "per_second")
 
 
@@ -79,7 +85,8 @@ def check_file(path: Path) -> list[str]:
     for name, (old_value, direction) in old.items():
         if name not in new or old_value == 0:
             continue
-        if direction == "lower" and old_value < MIN_SECONDS:
+        if direction == "lower" and old_value < MIN_SECONDS and \
+                any(h in name.lower() for h in TIMING_KEYS):
             continue  # sub-noise-floor timing: 20% of ~nothing is noise
         new_value, _ = new[name]
         change = (new_value - old_value) / abs(old_value)

@@ -17,6 +17,14 @@ from .events import (
     TraceRecorder,
     trace_model,
 )
+from .features import (
+    CLUSTER_FEATURE_NAMES,
+    STATS_FEATURE_NAMES,
+    TRACE_FEATURE_NAMES,
+    cluster_features,
+    stats_features,
+    trace_features,
+)
 from .kernel_cost import KernelCostModel
 from .memory import (
     MemoryBreakdown,
@@ -72,4 +80,6 @@ __all__ = [
     "micro_batch_count_candidates",
     "Prediction", "predict_config",
     "BatchPoints", "BatchPrediction", "predict_batch",
+    "STATS_FEATURE_NAMES", "TRACE_FEATURE_NAMES", "CLUSTER_FEATURE_NAMES",
+    "stats_features", "trace_features", "cluster_features",
 ]

@@ -1,0 +1,147 @@
+"""Stable numeric features of a traced model and its cluster.
+
+The learned cost model (:mod:`repro.slapo.tuner.learned`) ranks tuner
+configurations from a feature vector, and the parts of that vector that
+describe the *workload* and the *hardware* live here, next to the data
+they are derived from: :class:`~repro.sim.memory.ModelStats` (parameter
+statics), the trace's :class:`~repro.sim.compiled.CompiledTrace`
+aggregates (flops, activation footprint, per-axis collective traffic),
+and :meth:`ClusterSpec.collective_coeffs
+<repro.distributed.topology.ClusterSpec.collective_coeffs>` (the α–β
+interconnect coefficients that summarize the topology the way the
+simulator actually prices it).
+
+Every extractor returns a float64 vector aligned with its ``*_NAMES``
+tuple.  The names ARE the schema: the learned model serializes them
+alongside its weights, and a weights file trained against a different
+schema is refused (see ``FEATURE_VERSION`` in the learned module), so
+adding/reordering a feature here is a schema change by construction —
+bump that version when you do.
+
+Scales are chosen so ridge regression is well-conditioned without
+per-corpus tuning: byte/flop counts are log10-compressed, collective
+latencies are in µs, inverse bandwidths in ps/byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributed.topology import ClusterSpec
+
+from .events import ModelTrace
+from .memory import ModelStats
+
+#: parameter statics of the (scheduled) model — tp/ep sharding already
+#: shrank these on the meta model, so they describe the *local* shard
+STATS_FEATURE_NAMES = (
+    "log_param_bytes",
+    "log_param_count",
+    "layer_count",
+)
+
+#: aggregates of the compiled trace — the workload's shape as the
+#: simulator sees it (per micro-batch, at the trace's reference batch)
+TRACE_FEATURE_NAMES = (
+    "log_total_flops",
+    "checkpoint_flop_fraction",
+    "log_activation_bytes",
+    "log_boundary_bytes",
+    "log_max_out_bytes",
+    "log_num_launches",
+    "gemm_fraction",
+    "log_ref_batch",
+    "log_tp_comm_bytes",
+    "log_tp_comm_count",
+    "log_ep_comm_bytes",
+    "log_ep_comm_count",
+)
+
+#: hardware summary: GPU peaks plus the α–β collective coefficients of
+#: the two rank sets that matter (one NVLink node, the whole cluster)
+CLUSTER_FEATURE_NAMES = (
+    "log_world_size",
+    "log_gpus_per_node",
+    "log_peak_fp16_flops",
+    "log_memory_bandwidth",
+    "log_usable_memory",
+    "node_allreduce_alpha_us",
+    "node_allreduce_beta_ps",
+    "world_allreduce_alpha_us",
+    "world_allreduce_beta_ps",
+    "world_alltoall_alpha_us",
+    "world_alltoall_beta_ps",
+)
+
+
+def _log10(value: float) -> float:
+    """log10 of a non-negative count, with log10(0) pinned to 0."""
+    return math.log10(value) if value > 0 else 0.0
+
+
+def stats_features(stats: ModelStats) -> np.ndarray:
+    """Feature block for one :class:`ModelStats` (see
+    :data:`STATS_FEATURE_NAMES`)."""
+    return np.array([
+        _log10(stats.param_bytes),
+        _log10(stats.param_count),
+        float(stats.layer_count),
+    ])
+
+
+def trace_features(trace: ModelTrace) -> np.ndarray:
+    """Feature block for one trace's :class:`CompiledTrace` aggregates
+    (see :data:`TRACE_FEATURE_NAMES`)."""
+    compiled = trace.compiled()
+    comm: dict[str, tuple[float, float]] = {}
+    for (tag, kind), (count, total) in sorted(compiled.comm_totals.items()):
+        prev = comm.get(tag, (0.0, 0.0))
+        comm[tag] = (prev[0] + count, prev[1] + total)
+    tp_count, tp_bytes = comm.get("tp", (0.0, 0.0))
+    ep_count, ep_bytes = comm.get("ep", (0.0, 0.0))
+    launches = max(compiled.num_launches, 1)
+    ckpt_fraction = compiled.checkpointed_flops / compiled.total_flops \
+        if compiled.total_flops > 0 else 0.0
+    return np.array([
+        _log10(compiled.total_flops),
+        ckpt_fraction,
+        _log10(compiled.activation_bytes),
+        _log10(compiled.boundary_bytes),
+        _log10(compiled.max_out_bytes),
+        _log10(compiled.num_launches),
+        float(compiled.is_gemm.sum()) / launches,
+        _log10(trace.ref_batch),
+        _log10(tp_bytes),
+        _log10(tp_count),
+        _log10(ep_bytes),
+        _log10(ep_count),
+    ])
+
+
+def cluster_features(cluster: ClusterSpec) -> np.ndarray:
+    """Feature block for one :class:`ClusterSpec` (see
+    :data:`CLUSTER_FEATURE_NAMES`).
+
+    The α–β pairs come from :meth:`ClusterSpec.collective_coeffs` over
+    the actual rank sets — a tiered hierarchy and a flat legacy spec
+    that price collectives identically produce identical features, and
+    two clusters that price differently differ here too.
+    """
+    world = cluster.num_nodes * cluster.gpus_per_node
+    node_ranks = tuple(range(cluster.gpus_per_node))
+    world_ranks = tuple(range(world))
+    node_ar = cluster.collective_coeffs("all_reduce", node_ranks)
+    world_ar = cluster.collective_coeffs("all_reduce", world_ranks)
+    world_a2a = cluster.collective_coeffs("all_to_all", world_ranks)
+    return np.array([
+        _log10(world),
+        _log10(cluster.gpus_per_node),
+        _log10(cluster.gpu.peak_fp16_flops),
+        _log10(cluster.gpu.memory_bandwidth),
+        _log10(cluster.gpu.usable_memory),
+        node_ar[0] * 1e6, node_ar[1] * 1e12,
+        world_ar[0] * 1e6, world_ar[1] * 1e12,
+        world_a2a[0] * 1e6, world_a2a[1] * 1e12,
+    ])

@@ -35,6 +35,8 @@ from .schedule import PrimitiveRecord, Schedule, ScheduleContext, create_schedul
 from .service import PlanRequest, PlanResponse, PlanService, plan_service
 from .tuner import (
     AutoTuner,
+    LearnedCostModel,
+    ResidualCostModel,
     SimCostModel,
     Space,
     TrialCache,
@@ -60,6 +62,7 @@ __all__ = [
     "run_fuzz", "ScheduleSpec",
     "AutoTuner", "Space", "TuneResult", "TuneReport", "enumerate_space",
     "SimCostModel", "TrialCache",
+    "LearnedCostModel", "ResidualCostModel",
     "PlanService", "plan_service", "PlanRequest", "PlanResponse",
     "ShardSpec", "PipelineModule", "partition_pipeline", "DecomposedLinear",
     "op", "pattern",

@@ -42,6 +42,7 @@ from repro.distributed.topology import ClusterSpec, p3dn_cluster
 from ..sim.batch import predict_batch
 from .tuner.cache import TrialCache
 from .tuner.cost_model import SimCostModel
+from .tuner.learned import ResidualCostModel
 from .tuner.space import enumerate_space, parallelism_symbols
 from .tuner.workers import MeasurementPool
 
@@ -91,6 +92,10 @@ class PlanResponse:
     num_cache_hits: int = 0
     #: (config, throughput, valid) for every measured candidate
     measurements: list = field(default_factory=list)
+    #: which model ranked the candidates: "analytic", or "residual" when
+    #: a learned correction trained on this (family, world_size) corpus
+    #: was active for this answer
+    cost_model: str = "analytic"
 
 
 class PlanService:
@@ -115,29 +120,48 @@ class PlanService:
         Without it, budgets fall back to prediction-only answers.
     max_workers:
         Query threads answering in parallel.
+    learned:
+        Opportunistically retrain a
+        :class:`~repro.slapo.tuner.learned.ResidualCostModel` per
+        (family, world_size) from the shared cache's measurements and
+        re-rank feasible candidates with it once the matching corpus
+        reaches ``min_corpus`` rows.  Budgeted queries write their
+        measurements back tagged with that context, so a service that
+        keeps answering queries keeps sharpening its own ranking.
+    min_corpus:
+        Matching measurements required before a correction activates.
     """
 
     def __init__(self, trace_fn: Callable[[str], tuple],
                  cluster_fn: Callable[[int], ClusterSpec] | None = None,
                  cache: TrialCache | None = None,
                  measure_fn=None,
-                 max_workers: int = 4):
+                 max_workers: int = 4,
+                 learned: bool = True,
+                 min_corpus: int = 8):
         self._trace_fn = trace_fn
         self._cluster_fn = cluster_fn or self._default_cluster
         self.cache = cache
         self._measure = measure_fn
+        self.learned = learned
+        self.min_corpus = min_corpus
         self._executor = ThreadPoolExecutor(max_workers=max_workers)
         self._lock = threading.RLock()
         self._inflight: dict[PlanRequest, Future] = {}
         self._traces: dict[str, tuple] = {}
         self._trace_lock = threading.Lock()
         self._measure_lock = threading.Lock()
+        #: (family, world_size) → (cache size at fit, ResidualCostModel)
+        self._corrections: dict[tuple, tuple[int, ResidualCostModel]] = {}
+        self._learned_lock = threading.Lock()
         #: total queries accepted (including coalesced ones)
         self.queries = 0
         #: queries answered by joining an identical in-flight future
         self.coalesced = 0
         #: traces built (≤ number of distinct families queried)
         self.traces_built = 0
+        #: residual-correction refits triggered by corpus growth
+        self.refits = 0
 
     @staticmethod
     def _default_cluster(world_size: int) -> ClusterSpec:
@@ -178,6 +202,40 @@ class PlanService:
                     self.traces_built += 1
         return entry
 
+    def _correction(self, request: PlanRequest, model, trace
+                    ) -> ResidualCostModel | None:
+        """The (family, world_size) residual correction, refitted from
+        the shared cache whenever it has grown since the last fit.
+        Returns None until the matching corpus reaches ``min_corpus``.
+        """
+        if self.cache is None or not self.learned:
+            return None
+        key = (request.family, request.world_size)
+        with self._learned_lock:
+            size = len(self.cache)
+            fitted = self._corrections.get(key)
+            if fitted is not None and fitted[0] == size:
+                residual = fitted[1]
+            else:
+                if fitted is None:
+                    analytic = SimCostModel(
+                        lambda _config, entry=(model, trace): entry,
+                        self._cluster_fn(request.world_size),
+                        parallel=SimCostModel.parallel_fn(
+                            request.world_size),
+                        trace_key_fn=lambda _config: request.family)
+                    residual = ResidualCostModel(
+                        analytic, min_samples=self.min_corpus)
+                else:
+                    residual = fitted[1]
+                residual.fit_from_cache(self.cache, context={
+                    "family": request.family,
+                    "world_size": request.world_size,
+                })
+                self.refits += 1
+                self._corrections[key] = (size, residual)
+        return residual if residual.active else None
+
     def _answer(self, request: PlanRequest) -> PlanResponse:
         model, trace = self._traced(request.family)
         cluster = self._cluster_fn(request.world_size)
@@ -193,9 +251,19 @@ class PlanService:
         order = sorted(range(len(configs)),
                        key=lambda i: (-batch.throughput[i], i))
         feasible = [i for i in order if batch.fits[i]]
-        best = feasible[0]
-        response.config = dict(configs[best])
-        response.throughput = float(batch.throughput[best])
+        correction = self._correction(request, model, trace)
+        if correction is not None:
+            estimates = correction.predict_many(
+                [configs[i] for i in feasible])
+            ranked = sorted(
+                zip(feasible, estimates),
+                key=lambda pair: (-pair[1].throughput, pair[0]))
+            feasible = [i for i, _ in ranked]
+            response.cost_model = "residual"
+            response.throughput = float(ranked[0][1].throughput)
+        else:
+            response.throughput = float(batch.throughput[feasible[0]])
+        response.config = dict(configs[feasible[0]])
         if request.budget > 0 and self._measure is not None:
             self._measure_top(request, configs, batch, feasible, response)
         return response
@@ -224,11 +292,13 @@ class PlanService:
                 for config in to_run:
                     value = float(self._measure(config) or 0.0)
                     measured.append((config, value, value > 0))
+            context = {"family": request.family,
+                       "world_size": request.world_size}
             for config, value, valid in measured:
                 response.num_measured += 1
                 response.measurements.append((dict(config), value, valid))
                 if self.cache is not None:
-                    self.cache.put(config, value, valid)
+                    self.cache.put(config, value, valid, context=context)
         winner = max((m for m in response.measurements if m[2]),
                      key=lambda m: m[1], default=None)
         if winner is not None:

@@ -14,6 +14,16 @@ from .cost_model import (
     SimCostModel,
     as_cost_model,
 )
+from .learned import (
+    FEATURE_NAMES,
+    FEATURE_VERSION,
+    LearnedCostModel,
+    ResidualCostModel,
+    StaleWeightsError,
+    featurize,
+    featurize_many,
+    mean_relative_error,
+)
 from .space import (
     Space,
     SpaceError,
@@ -37,6 +47,9 @@ __all__ = [
     "AutoTuner", "Trial", "TuneResult", "TuneReport",
     "CostModel", "CostEstimate", "SimCostModel", "CallableCostModel",
     "as_cost_model",
+    "LearnedCostModel", "ResidualCostModel", "StaleWeightsError",
+    "featurize", "featurize_many", "mean_relative_error",
+    "FEATURE_NAMES", "FEATURE_VERSION",
     "TrialCache", "config_key",
     "MeasurementPool", "MeasureResult",
     "SECONDS_PER_TRIAL", "SECONDS_PER_FAILED_TRIAL",

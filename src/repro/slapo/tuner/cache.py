@@ -73,11 +73,14 @@ class TrialCache:
         entries: dict[str, dict] = {}
         for entry in payload.get("trials", []):
             try:
-                entries[config_key(entry["config"])] = {
+                row = {
                     "config": dict(entry["config"]),
                     "throughput": float(entry["throughput"]),
                     "valid": bool(entry["valid"]),
                 }
+                if isinstance(entry.get("context"), dict):
+                    row["context"] = dict(entry["context"])
+                entries[config_key(entry["config"])] = row
             except (KeyError, TypeError, ValueError):
                 continue  # skip malformed rows, keep the rest
         return entries
@@ -124,14 +127,28 @@ class TrialCache:
                 self.hits += 1
         return entry
 
-    def put(self, config: dict, throughput: float, valid: bool) -> None:
+    def put(self, config: dict, throughput: float, valid: bool,
+            context: dict | None = None) -> None:
+        """Record one measurement.  ``context`` is optional free-form
+        JSON metadata (e.g. ``{"family": ..., "world_size": ...}``) that
+        lets corpus consumers — the learned cost model above all —
+        select comparable rows from a shared cache."""
         entry = {
             "config": dict(config),
             "throughput": float(throughput),
             "valid": bool(valid),
         }
+        if context:
+            entry["context"] = dict(context)
         with self._lock:
             self._entries[config_key(config)] = entry
+
+    def entries(self) -> list[dict]:
+        """Snapshot of all entries (copies — safe to mutate), sorted by
+        canonical config key so iteration order is deterministic."""
+        with self._lock:
+            return [dict(self._entries[key])
+                    for key in sorted(self._entries)]
 
     def __len__(self) -> int:
         return len(self._entries)

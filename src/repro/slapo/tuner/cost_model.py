@@ -52,8 +52,19 @@ class CostEstimate:
 class CostModel:
     """Base contract: subclass and implement :meth:`estimate`."""
 
+    #: short identifier recorded by TuneReport (which model ranked a trial)
+    name = "cost_model"
+
     def estimate(self, config: dict) -> CostEstimate:
         raise NotImplementedError
+
+    def rank_source(self, config: dict) -> str:
+        """Which underlying model produced the ranking for ``config``.
+
+        Composite models (``ResidualCostModel``) override this per
+        config; plain models are their own source.
+        """
+        return self.name
 
     def predict_many(self, configs: Sequence[dict]) -> list[CostEstimate]:
         """Price many configs at once.
@@ -73,6 +84,8 @@ class CostModel:
 
 class CallableCostModel(CostModel):
     """Wrap a plain ``config -> float`` callable (``<= 0``/None = infeasible)."""
+
+    name = "callable"
 
     def __init__(self, fn: Callable[[dict], float | None]):
         self._fn = fn
@@ -138,6 +151,8 @@ class SimCostModel(CostModel):
         ``trace_fn``.  Defaults to the full config, i.e. one trace per
         distinct configuration.
     """
+
+    name = "analytic"
 
     def __init__(self, trace_fn: Callable[[dict], tuple],
                  cluster: ClusterSpec,
@@ -249,7 +264,7 @@ class SimCostModel(CostModel):
         model, trace = self._traced(config)
         prediction = predict_config(
             trace, model, self.cluster, parallel, micro,
-            zero_stage=self.zero_stage,
+            zero_stage=int(config.get("zero_stage", self.zero_stage)),
             num_micro_batches=num_micro,
             cost_model=self.kernel_cost,
             pipeline_cuts=self.pipeline_cuts,
@@ -293,6 +308,7 @@ class SimCostModel(CostModel):
             row = dict(
                 parallel=parallel,
                 micro_batch=self._resolve_micro_batch(config, parallel),
+                zero_stage=int(config.get("zero_stage", self.zero_stage)),
                 num_micro_batches=int(config.get("num_micro_batches",
                                                  self.num_micro_batches)),
                 pipeline_schedule=str(config.get("pipeline_schedule",

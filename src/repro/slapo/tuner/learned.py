@@ -1,0 +1,630 @@
+"""Learned cost model trained on the trial history (ROADMAP item).
+
+The analytic simulator (:class:`.cost_model.SimCostModel`) extrapolates
+well but is systematically wrong wherever the hardware deviates from its
+model — kernel-efficiency profiles, recompute locality, bandwidth
+saturation.  Every tuning run persists predicted-vs-measured evidence of
+exactly those deviations in the :class:`.cache.TrialCache`, and this
+module turns that corpus into a regressor (Steiner et al.'s
+value-function idea, kept residual):
+
+* :func:`featurize` maps one configuration onto a **stable, versioned
+  feature vector**: config coordinates (tp/dp/pp/ep/micro/m/zero/
+  placement/overlap/schedule), :class:`~repro.sim.memory.ModelStats`,
+  :meth:`ClusterSpec.collective_coeffs` outputs and
+  :class:`~repro.sim.compiled.CompiledTrace` aggregates (the latter
+  blocks live in :mod:`repro.sim.features`).  The schema is the ordered
+  :data:`FEATURE_NAMES` tuple plus :data:`FEATURE_VERSION`; weights
+  serialized under a different schema are refused
+  (:class:`StaleWeightsError`).
+* :class:`LearnedCostModel` is a dependency-free (numpy-only) regressor:
+  closed-form ridge on standardized features plus optional
+  gradient-boosted decision stumps on the residuals.  Training is
+  deterministic under its seed, weights round-trip through JSON
+  byte-stably, and :meth:`LearnedCostModel.predict_features` prices a
+  whole ``(N, F)`` feature matrix in one numpy pass that is bit-exact
+  with the scalar path (row-wise reductions only — no shape-dependent
+  BLAS reassociation).
+* :class:`ResidualCostModel` composes the two: ``analytic ×
+  exp(learned correction)``, where the correction is trained on
+  ``log(measured / analytic)`` pairs from the cache.  A **coverage
+  guard** keeps the analytic model's extrapolation strength: the
+  correction only applies when the corpus is large enough
+  (``min_samples``) and the config's features lie inside the trained
+  distribution (``ood_margin``); predictions are always clamped to the
+  residual range actually observed in training.  Features that were
+  *constant* across the corpus carry exactly zero weight (their
+  standardized column is zero, so ridge assigns them a zero
+  coefficient and stumps never split on them) and are excluded from
+  the distribution check — which is what lets a correction learned on
+  one model family transfer to another: the family-identity features
+  drop out, the shared configuration features carry the signal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distributed.topology import ClusterSpec
+from repro.sim.events import ModelTrace
+from repro.sim.features import (
+    CLUSTER_FEATURE_NAMES,
+    STATS_FEATURE_NAMES,
+    TRACE_FEATURE_NAMES,
+    cluster_features,
+    stats_features,
+    trace_features,
+)
+from repro.sim.memory import ModelStats, model_stats_for
+
+from .cache import TrialCache, config_key
+from .cost_model import CostEstimate, CostModel, as_cost_model
+
+#: bump when FEATURE_NAMES changes meaning, length, or order — weights
+#: trained under another version are refused at load time
+FEATURE_VERSION = 1
+#: serialization envelope version (independent of the feature schema)
+WEIGHTS_VERSION = 1
+
+#: tick-program names featurized one-hot (a stable, closed set — an
+#: unknown schedule featurizes as all-zeros rather than a new column)
+_SCHEDULE_NAMES = ("gpipe", "1f1b", "interleaved", "zb")
+#: innermost mesh axis of the placement coordinate, one-hot
+_INNERMOST_AXES = ("tp", "dp", "ep")
+
+#: configuration-coordinate feature block
+CONFIG_FEATURE_NAMES = (
+    "log_tp", "log_dp", "log_pp", "log_ep",
+    "log_micro_batch", "log_batch_size", "log_num_micro_batches",
+    "zero_stage", "ckpt_ratio", "has_ckpt_ratio",
+    "overlap_grad_sync", "overlap_bucket_mb",
+) + tuple(f"schedule_{name}" for name in _SCHEDULE_NAMES) \
+  + tuple(f"innermost_{axis}" for axis in _INNERMOST_AXES)
+
+#: the full, ordered feature schema (version :data:`FEATURE_VERSION`)
+FEATURE_NAMES = (CONFIG_FEATURE_NAMES + STATS_FEATURE_NAMES
+                 + CLUSTER_FEATURE_NAMES + TRACE_FEATURE_NAMES)
+
+
+class StaleWeightsError(ValueError):
+    """Serialized weights do not match the current feature schema."""
+
+
+def _log2(value) -> float:
+    value = float(value)
+    return math.log2(value) if value > 0 else 0.0
+
+
+def featurize(config: dict, model_stats: ModelStats | None,
+              cluster: ClusterSpec | None,
+              trace: ModelTrace | None = None) -> np.ndarray:
+    """One config → one float64 vector aligned with :data:`FEATURE_NAMES`.
+
+    ``model_stats``, ``cluster`` and ``trace`` may each be ``None``;
+    their blocks are then zero (the vector length never changes —
+    that is the schema contract the property tests pin).  Config
+    coordinates outside the known set are ignored, again so that the
+    schema cannot drift with the search space.
+    """
+    micro = config.get("micro_batch")
+    batch = config.get("batch_size")
+    ckpt = config.get("ckpt_ratio")
+    schedule = str(config.get("pipeline_schedule", ""))
+    placement = config.get("placement")
+    innermost = str(placement).split(",")[0] if placement is not None else ""
+    values = [
+        _log2(config.get("tp", 1)),
+        _log2(config.get("dp", 1)),
+        _log2(config.get("pp", 1)),
+        _log2(config.get("ep", 1)),
+        _log2(micro if micro is not None else 0),
+        _log2(batch if batch is not None else 0),
+        _log2(config.get("num_micro_batches", 1)),
+        float(config.get("zero_stage", 0)),
+        float(ckpt) if ckpt is not None else 0.0,
+        1.0 if ckpt is not None else 0.0,
+        1.0 if config.get("overlap_grad_sync") else 0.0,
+        float(config.get("overlap_bucket_mb", 0.0)),
+    ]
+    values += [1.0 if schedule == name else 0.0
+               for name in _SCHEDULE_NAMES]
+    values += [1.0 if innermost == axis else 0.0
+               for axis in _INNERMOST_AXES]
+    vector = np.empty(len(FEATURE_NAMES))
+    vector[:len(values)] = values
+    cursor = len(values)
+    for block, names in (
+        (None if model_stats is None else stats_features(model_stats),
+         STATS_FEATURE_NAMES),
+        (None if cluster is None else cluster_features(cluster),
+         CLUSTER_FEATURE_NAMES),
+        (None if trace is None else trace_features(trace),
+         TRACE_FEATURE_NAMES),
+    ):
+        width = len(names)
+        vector[cursor:cursor + width] = 0.0 if block is None else block
+        cursor += width
+    return vector
+
+
+def featurize_many(configs: Sequence[dict],
+                   model_stats: ModelStats | None,
+                   cluster: ClusterSpec | None,
+                   trace: ModelTrace | None = None) -> np.ndarray:
+    """Stack :func:`featurize` over ``configs`` into an ``(N, F)`` matrix."""
+    if not configs:
+        return np.empty((0, len(FEATURE_NAMES)))
+    return np.stack([featurize(config, model_stats, cluster, trace=trace)
+                     for config in configs])
+
+
+@dataclass(frozen=True)
+class _Stump:
+    """One boosted decision stump; ``left``/``right`` already carry the
+    learning rate."""
+
+    feature: int
+    threshold: float
+    left: float
+    right: float
+
+
+class LearnedCostModel(CostModel):
+    """Numpy-only ridge + gradient-boosted-stump regressor on
+    :func:`featurize` vectors, implementing the :class:`CostModel`
+    contract.
+
+    The model predicts in **log space** — :meth:`fit` takes whatever
+    log-target the caller chose (log-throughput for a direct model,
+    log measured/analytic for a residual correction) and
+    :meth:`estimate` exponentiates.  Training is exactly reproducible:
+    ridge is a closed-form solve, stump splits scan features and
+    thresholds in a fixed order with deterministic tie-breaks, and the
+    seed only enters where a caller asks for a held-out split
+    (:meth:`holdout_split`).
+
+    ``featurizer`` (``config -> feature vector``) is only needed when
+    the model is used directly as a tuner cost model; the feature-matrix
+    API (:meth:`fit` / :meth:`predict_features`) works without it.
+    """
+
+    name = "learned"
+
+    def __init__(self, featurizer: Callable[[dict], np.ndarray]
+                 | None = None,
+                 seed: int = 0, l2: float = 1e-2, boost_rounds: int = 32,
+                 learning_rate: float = 0.3):
+        self.featurizer = featurizer
+        self.seed = int(seed)
+        self.l2 = float(l2)
+        self.boost_rounds = int(boost_rounds)
+        self.learning_rate = float(learning_rate)
+        self.feature_names: tuple[str, ...] = FEATURE_NAMES
+        self.num_samples = 0
+        self._mean = np.zeros(len(FEATURE_NAMES))
+        self._scale = np.ones(len(FEATURE_NAMES))
+        self._coef = np.zeros(len(FEATURE_NAMES))
+        self._intercept = 0.0
+        self._stumps: list[_Stump] = []
+        #: per-feature training range (the coverage-guard envelope)
+        self._lo = np.zeros(len(FEATURE_NAMES))
+        self._hi = np.zeros(len(FEATURE_NAMES))
+        #: training-target range — predictions are clamped into it
+        self._target_lo = 0.0
+        self._target_hi = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def trained(self) -> bool:
+        return self.num_samples > 0
+
+    def fit(self, features, targets) -> "LearnedCostModel":
+        """Fit on an ``(N, F)`` matrix and ``N`` log-space targets.
+
+        Rows must arrive in a canonical order for bit-reproducible
+        weights; the corpus helpers (:meth:`fit_pairs`,
+        :meth:`ResidualCostModel.fit_from_cache`) sort by
+        :func:`~repro.slapo.tuner.cache.config_key` before calling.
+        """
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected (N, {len(self.feature_names)}) features, "
+                f"got {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        n = X.shape[0]
+        self.num_samples = n
+        self._lo = X.min(axis=0)
+        self._hi = X.max(axis=0)
+        self._target_lo = float(y.min())
+        self._target_hi = float(y.max())
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._scale = np.where(std > 0, std, 1.0)
+        Z = (X - self._mean) / self._scale
+        # Closed-form ridge.  Constant features have an all-zero Z
+        # column, so their normal-equation row is l2·n·e_j — their
+        # coefficient is exactly 0 and they can never influence a
+        # prediction (the transfer property the module docstring leans
+        # on).
+        self._intercept = float(y.mean())
+        gram = Z.T @ Z + self.l2 * n * np.eye(Z.shape[1])
+        self._coef = np.linalg.solve(gram, Z.T @ (y - self._intercept))
+        residual = y - self._predict_matrix(Z)
+        for _ in range(self.boost_rounds):
+            stump = self._fit_stump(Z, residual)
+            if stump is None:
+                break
+            self._stumps.append(stump)
+            residual = residual - self._stump_column(stump, Z)
+        return self
+
+    def fit_pairs(self, configs: Sequence[dict], targets: Sequence[float]
+                  ) -> "LearnedCostModel":
+        """Featurize ``configs`` (via ``featurizer``) and fit on
+        ``log(targets)``.  Rows are sorted by canonical config key first,
+        so the fitted weights are invariant to trial ordering."""
+        if self.featurizer is None:
+            raise ValueError("fit_pairs needs a featurizer")
+        rows = sorted(zip(configs, targets),
+                      key=lambda pair: config_key(pair[0]))
+        X = np.stack([self.featurizer(config) for config, _ in rows])
+        y = np.array([math.log(float(value)) for _, value in rows])
+        return self.fit(X, y)
+
+    def _fit_stump(self, Z: np.ndarray, residual: np.ndarray
+                   ) -> _Stump | None:
+        """Best single split by SSE reduction; deterministic tie-break
+        (strictly-greater gain, features scanned in schema order,
+        thresholds ascending)."""
+        n = Z.shape[0]
+        total = residual.sum()
+        best: tuple[float, _Stump] | None = None
+        for j in range(Z.shape[1]):
+            order = np.argsort(Z[:, j], kind="stable")
+            zs = Z[order, j]
+            left_sum = np.cumsum(residual[order])[:-1]
+            counts = np.arange(1, n)
+            splittable = zs[:-1] < zs[1:]
+            if not splittable.any():
+                continue
+            right_sum = total - left_sum
+            gain = left_sum ** 2 / counts \
+                + right_sum ** 2 / (n - counts)
+            gain = np.where(splittable, gain, -np.inf)
+            pick = int(gain.argmax())
+            if gain[pick] <= 1e-12:
+                continue
+            if best is None or gain[pick] > best[0]:
+                stump = _Stump(
+                    feature=j,
+                    threshold=float((zs[pick] + zs[pick + 1]) / 2),
+                    left=self.learning_rate
+                    * float(left_sum[pick] / counts[pick]),
+                    right=self.learning_rate
+                    * float(right_sum[pick] / (n - counts[pick])),
+                )
+                best = (float(gain[pick]), stump)
+        return None if best is None else best[1]
+
+    @staticmethod
+    def _stump_column(stump: _Stump, Z: np.ndarray) -> np.ndarray:
+        return np.where(Z[:, stump.feature] <= stump.threshold,
+                        stump.left, stump.right)
+
+    def _predict_matrix(self, Z: np.ndarray) -> np.ndarray:
+        # Row-wise multiply-reduce, NOT a matrix product: np.sum over the
+        # last axis reduces each row independently of how many rows the
+        # matrix has, so predict_features on an (N, F) batch is bit-exact
+        # with N separate single-row calls (BLAS gemv/gemm would not be).
+        out = self._intercept + (Z * self._coef).sum(axis=1)
+        for stump in self._stumps:
+            out = out + self._stump_column(stump, Z)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def predict_features(self, features, clamp: bool = True) -> np.ndarray:
+        """Log-space predictions for an ``(N, F)`` feature matrix.
+
+        ``clamp=True`` (the default) bounds every prediction to the
+        target range seen in training — the second half of the coverage
+        guard: even an in-distribution config can never receive a more
+        extreme correction than the corpus ever exhibited.
+        """
+        if not self.trained:
+            raise ValueError("predict before fit; train the model first")
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        Z = (X - self._mean) / self._scale
+        out = self._predict_matrix(Z)
+        if clamp:
+            out = np.clip(out, self._target_lo, self._target_hi)
+        return out
+
+    def in_distribution(self, features, margin: float = 0.5) -> np.ndarray:
+        """Per-row verdict: do the *varying* features lie within the
+        trained range, stretched by ``margin`` × range on each side?
+
+        Features that were constant across the corpus are ignored —
+        they carry exactly zero weight (see :meth:`fit`), so excluding
+        them rejects nothing the model actually knows about, and it is
+        what allows cross-family / cross-cluster transfer.
+        """
+        if not self.trained:
+            raise ValueError("in_distribution before fit")
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        span = self._hi - self._lo
+        varying = span > 0
+        if not varying.any():
+            return np.ones(X.shape[0], dtype=bool)
+        slack = margin * span[varying]
+        inside = (X[:, varying] >= self._lo[varying] - slack) \
+            & (X[:, varying] <= self._hi[varying] + slack)
+        return inside.all(axis=1)
+
+    def holdout_split(self, n: int, fraction: float = 0.25
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic (seeded) train/held-out index split of ``n`` rows."""
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n)
+        held = max(1, int(round(fraction * n))) if n > 1 else 0
+        return np.sort(order[held:]), np.sort(order[:held])
+
+    # -- CostModel contract -------------------------------------------- #
+    def estimate(self, config: dict) -> CostEstimate:
+        if self.featurizer is None:
+            raise ValueError("estimate() needs a featurizer")
+        if not self.trained:
+            return CostEstimate(throughput=0.0, fits=False)
+        value = self.predict_features(self.featurizer(config)[None])[0]
+        return CostEstimate(throughput=float(np.exp(value)), fits=True)
+
+    def predict_many(self, configs: Sequence[dict]) -> list[CostEstimate]:
+        if self.featurizer is None:
+            raise ValueError("predict_many() needs a featurizer")
+        if not self.trained:
+            return [CostEstimate(throughput=0.0, fits=False)
+                    for _ in configs]
+        if not configs:
+            return []
+        X = np.stack([self.featurizer(config) for config in configs])
+        rates = np.exp(self.predict_features(X))
+        return [CostEstimate(throughput=float(rate), fits=True)
+                for rate in rates]
+
+    # -- serialization -------------------------------------------------- #
+    def state(self) -> dict:
+        """JSON-ready weights + schema + hyperparameters."""
+        return {
+            "weights_version": WEIGHTS_VERSION,
+            "feature_version": FEATURE_VERSION,
+            "feature_names": list(self.feature_names),
+            "seed": self.seed,
+            "l2": self.l2,
+            "boost_rounds": self.boost_rounds,
+            "learning_rate": self.learning_rate,
+            "num_samples": self.num_samples,
+            "mean": [float(v) for v in self._mean],
+            "scale": [float(v) for v in self._scale],
+            "coef": [float(v) for v in self._coef],
+            "intercept": float(self._intercept),
+            "stumps": [[s.feature, float(s.threshold), float(s.left),
+                        float(s.right)] for s in self._stumps],
+            "feature_lo": [float(v) for v in self._lo],
+            "feature_hi": [float(v) for v in self._hi],
+            "target_lo": float(self._target_lo),
+            "target_hi": float(self._target_hi),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — two fits of the same corpus (or a round
+        trip through :meth:`from_json`) produce byte-identical text."""
+        return json.dumps(self.state(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   featurizer: Callable[[dict], np.ndarray] | None = None
+                   ) -> "LearnedCostModel":
+        if state.get("feature_version") != FEATURE_VERSION or \
+                tuple(state.get("feature_names", ())) != FEATURE_NAMES:
+            raise StaleWeightsError(
+                f"weights were trained under feature schema "
+                f"v{state.get('feature_version')} "
+                f"({len(state.get('feature_names', ()))} features); "
+                f"current schema is v{FEATURE_VERSION} "
+                f"({len(FEATURE_NAMES)} features) — retrain "
+                f"(scripts/train_cost_model.py)")
+        if state.get("weights_version") != WEIGHTS_VERSION:
+            raise StaleWeightsError(
+                f"unsupported weights envelope "
+                f"v{state.get('weights_version')}")
+        model = cls(featurizer=featurizer, seed=state["seed"],
+                    l2=state["l2"], boost_rounds=state["boost_rounds"],
+                    learning_rate=state["learning_rate"])
+        model.num_samples = int(state["num_samples"])
+        model._mean = np.array(state["mean"])
+        model._scale = np.array(state["scale"])
+        model._coef = np.array(state["coef"])
+        model._intercept = float(state["intercept"])
+        model._stumps = [_Stump(int(f), t, left, right)
+                         for f, t, left, right in state["stumps"]]
+        model._lo = np.array(state["feature_lo"])
+        model._hi = np.array(state["feature_hi"])
+        model._target_lo = float(state["target_lo"])
+        model._target_hi = float(state["target_hi"])
+        return model
+
+    @classmethod
+    def from_json(cls, text: str,
+                  featurizer: Callable[[dict], np.ndarray] | None = None
+                  ) -> "LearnedCostModel":
+        return cls.from_state(json.loads(text), featurizer=featurizer)
+
+
+def mean_relative_error(predicted, measured) -> float:
+    """Mean |predicted − measured| / measured over positive measurements."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    mask = measured > 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs(predicted[mask] - measured[mask])
+                         / measured[mask]))
+
+
+class ResidualCostModel(CostModel):
+    """``analytic × exp(learned correction)`` with a coverage guard.
+
+    Wraps any :class:`CostModel` (in practice
+    :class:`.cost_model.SimCostModel`) and multiplies its throughput
+    prediction by a learned correction factor trained on
+    ``log(measured / analytic)`` pairs from a
+    :class:`~repro.slapo.tuner.cache.TrialCache` corpus
+    (:meth:`fit_from_cache`).  Feasibility verdicts and memory always
+    come from the analytic model — the learned part only ever re-ranks
+    feasible configurations.
+
+    Fallback to *pure analytic* (recorded per config in
+    :meth:`rank_source`, surfaced as ``TuneReport.rankers``) happens
+    when:
+
+    * the corpus holds fewer than ``min_samples`` usable pairs
+      (:attr:`active` is then False and the wrapper is the identity);
+    * the config's features fall outside the trained distribution by
+      more than ``ood_margin`` × the per-feature training range
+      (:meth:`LearnedCostModel.in_distribution`);
+    * the analytic model already deems the config infeasible.
+
+    Even when the correction applies it is clamped to the residual
+    range observed in training, so a thin corpus can bend the analytic
+    ranking but never overrule it with an extrapolated fantasy.
+
+    ``featurizer`` defaults to :func:`featurize` over the analytic
+    model's memoized stats/cluster when ``analytic`` is a
+    :class:`SimCostModel`; any other analytic model needs an explicit
+    one.  The default deliberately leaves the trace block zeroed: the
+    correction's domain is the *configuration* (that is what the
+    residual varies with), while trace aggregates are family identity
+    the analytic model already priced — folding them in would pin the
+    correction to the training family's absolute flop/byte counts and
+    defeat cross-family transfer.  Pass an explicit featurizer with
+    ``trace=`` filled to opt back in.
+    """
+
+    name = "residual"
+
+    def __init__(self, analytic,
+                 learned: LearnedCostModel | None = None,
+                 min_samples: int = 8, ood_margin: float = 0.5,
+                 featurizer: Callable[[dict], np.ndarray] | None = None,
+                 seed: int = 0):
+        self.analytic = as_cost_model(analytic)
+        self.learned = learned if learned is not None \
+            else LearnedCostModel(seed=seed)
+        self.min_samples = int(min_samples)
+        self.ood_margin = float(ood_margin)
+        self._featurizer = featurizer
+        #: corrections skipped by the coverage guard (OOD configs)
+        self.num_fallbacks = 0
+        #: corpus rows used by the last fit_from_cache
+        self.corpus_size = 0
+        self._sources: dict[str, str] = {}
+
+    @property
+    def active(self) -> bool:
+        """Is the learned correction applied at all?"""
+        return self.learned.trained \
+            and self.learned.num_samples >= self.min_samples
+
+    # ------------------------------------------------------------------ #
+    def features(self, config: dict) -> np.ndarray:
+        if self._featurizer is not None:
+            return self._featurizer(config)
+        traced = getattr(self.analytic, "_traced", None)
+        cluster = getattr(self.analytic, "cluster", None)
+        if traced is None:
+            raise ValueError(
+                "ResidualCostModel needs an explicit featurizer when the "
+                "analytic model is not a SimCostModel")
+        model, trace = traced(config)
+        stats = model_stats_for(trace, model)
+        return featurize(config, stats, cluster)
+
+    def fit_from_cache(self, cache: TrialCache,
+                       context: dict | None = None) -> int:
+        """Train the correction on every usable cached measurement.
+
+        Usable = measured valid with positive throughput *and* priced
+        feasible-and-positive by the analytic model (the residual is
+        undefined otherwise).  ``context`` restricts the corpus to
+        entries whose recorded context carries matching key/value pairs
+        (how :class:`~repro.slapo.service.PlanService` keeps families
+        apart in a shared cache).  Rows are ordered by canonical config
+        key, so the fitted weights are independent of the order trials
+        were recorded in.  Returns the corpus size actually fitted (0
+        leaves any previous fit untouched).
+        """
+        entries = sorted(
+            (entry for entry in cache.entries()
+             if entry["valid"] and entry["throughput"] > 0
+             and (not context or all(
+                 entry.get("context", {}).get(key) == value
+                 for key, value in context.items()))),
+            key=lambda entry: config_key(entry["config"]))
+        configs = [entry["config"] for entry in entries]
+        estimates = self.analytic.predict_many(configs)
+        rows = [(config, entry["throughput"], estimate.throughput)
+                for config, entry, estimate
+                in zip(configs, entries, estimates)
+                if estimate.fits and estimate.throughput > 0]
+        self.corpus_size = len(rows)
+        if not rows:
+            return 0
+        X = np.stack([self.features(config) for config, _, _ in rows])
+        y = np.array([math.log(measured / predicted)
+                      for _, measured, predicted in rows])
+        self.learned.fit(X, y)
+        return len(rows)
+
+    # ------------------------------------------------------------------ #
+    def _corrected(self, configs: Sequence[dict],
+                   base: Sequence[CostEstimate]) -> list[CostEstimate]:
+        out = list(base)
+        rows = [i for i, estimate in enumerate(base)
+                if estimate.fits and estimate.throughput > 0]
+        for i, estimate in enumerate(base):
+            self._sources[config_key(configs[i])] = "analytic"
+        if not rows or not self.active:
+            return out
+        X = np.stack([self.features(configs[i]) for i in rows])
+        inside = self.learned.in_distribution(X, margin=self.ood_margin)
+        corrections = np.exp(self.learned.predict_features(X))
+        for row, i in enumerate(rows):
+            if not inside[row]:
+                self.num_fallbacks += 1
+                continue
+            self._sources[config_key(configs[i])] = "residual"
+            out[i] = CostEstimate(
+                throughput=float(base[i].throughput * corrections[row]),
+                fits=base[i].fits,
+                memory_bytes=base[i].memory_bytes)
+        return out
+
+    def estimate(self, config: dict) -> CostEstimate:
+        return self._corrected([config],
+                               [self.analytic.estimate(config)])[0]
+
+    def predict_many(self, configs: Sequence[dict]) -> list[CostEstimate]:
+        return self._corrected(configs,
+                               self.analytic.predict_many(configs))
+
+    def rank_source(self, config: dict) -> str:
+        """Which model ranked this config in the last estimate of it."""
+        return self._sources.get(config_key(config), "analytic")

@@ -63,6 +63,9 @@ class Trial:
     lost: bool = False
     #: loss reason from the measurement pool
     error: str | None = None
+    #: which cost model ranked this trial ("analytic", "residual", ...);
+    #: None for trials no model scored (exhaustive, coordinate descent)
+    ranked_by: str | None = None
 
 
 @dataclass
@@ -95,18 +98,36 @@ class TuneReport:
     exhaustive_seconds: float = 0.0
     #: (predicted, measured) throughput pairs for cost-model-guided trials
     predictions: list[tuple[float, float]] = field(default_factory=list)
+    #: trials carrying no prediction (cache hits resolved before the
+    #: model priced them, unranked strategies) — excluded from
+    #: mean_relative_error, counted here so corpus-quality stats aren't
+    #: silently inflated by an error average over a subset of the run
+    num_unscored: int = 0
+    #: trial count per ranking source, e.g. {"analytic": 3, "residual": 11}
+    rankers: dict[str, int] = field(default_factory=dict)
+    #: name of the cost model the strategy ranked with (None if none)
+    cost_model: str | None = None
 
     @property
     def seconds_saved(self) -> float:
         return self.exhaustive_seconds - self.search_seconds
 
     @property
-    def mean_prediction_error(self) -> float:
-        """Mean relative |predicted − measured| / measured over valid trials."""
+    def mean_relative_error(self) -> float:
+        """Mean relative |predicted − measured| / measured over valid trials.
+
+        Covers only trials that carry a prediction; the excluded
+        remainder is exposed as :attr:`num_unscored`.
+        """
         pairs = [(p, m) for p, m in self.predictions if m > 0]
         if not pairs:
             return 0.0
         return sum(abs(p - m) / m for p, m in pairs) / len(pairs)
+
+    @property
+    def mean_prediction_error(self) -> float:
+        """Alias of :attr:`mean_relative_error` (pre-PR-9 name)."""
+        return self.mean_relative_error
 
 
 @dataclass
@@ -154,6 +175,9 @@ class AutoTuner:
         #: optional crash-isolated subprocess pool for measured trials
         self.pool = pool
         self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        #: memoized ResidualCostModel for cost_model="residual" runs
+        self._residual = None
         self._memo: dict[tuple, Trial] = {}
         self._trials: list[Trial] = []
         #: O(|space|) passes over the config list (construction counts one)
@@ -189,8 +213,8 @@ class AutoTuner:
         return (1, 0, repr(_trial_key(config)))
 
     # ------------------------------------------------------------------ #
-    def _evaluate(self, config: dict, predicted: float | None = None
-                  ) -> Trial:
+    def _evaluate(self, config: dict, predicted: float | None = None,
+                  ranked_by: str | None = None) -> Trial:
         key = _trial_key(config)
         if key in self._memo:
             return self._memo[key]
@@ -199,22 +223,27 @@ class AutoTuner:
             trial = Trial(config=dict(config),
                           throughput=cached_entry["throughput"],
                           valid=cached_entry["valid"],
-                          predicted=predicted, cached=True)
+                          predicted=predicted, cached=True,
+                          ranked_by=ranked_by)
         else:
             throughput = self.evaluate_fn(config)
             valid = throughput is not None and throughput > 0
             trial = Trial(config=dict(config),
                           throughput=float(throughput or 0.0), valid=valid,
-                          predicted=predicted)
+                          predicted=predicted, ranked_by=ranked_by)
             if self.cache is not None:
                 self.cache.put(config, trial.throughput, trial.valid)
         self._memo[key] = trial
         self._trials.append(trial)
         return trial
 
-    def _evaluate_many(self, pairs: list[tuple[dict, float | None]]
-                       ) -> list[Trial]:
-        """Evaluate a batch of ``(config, predicted)`` pairs.
+    @staticmethod
+    def _unpack(item) -> tuple[dict, float | None, str | None]:
+        config, predicted, *rest = item
+        return config, predicted, (rest[0] if rest else None)
+
+    def _evaluate_many(self, pairs: list[tuple]) -> list[Trial]:
+        """Evaluate a batch of ``(config, predicted[, ranked_by])`` tuples.
 
         Memo and cache hits are resolved inline; the remainder runs
         through the measurement ``pool`` when one is attached (crash
@@ -224,8 +253,9 @@ class AutoTuner:
         affected trials are forfeited — a clean rerun measures them.
         """
         trials: list[Trial | None] = [None] * len(pairs)
-        queue: list[tuple[int, dict, float | None]] = []
-        for i, (config, predicted) in enumerate(pairs):
+        queue: list[tuple[int, dict, float | None, str | None]] = []
+        for i, item in enumerate(pairs):
+            config, predicted, ranked_by = self._unpack(item)
             key = _trial_key(config)
             if key in self._memo:
                 trials[i] = self._memo[key]
@@ -236,28 +266,33 @@ class AutoTuner:
                 trial = Trial(config=dict(config),
                               throughput=cached_entry["throughput"],
                               valid=cached_entry["valid"],
-                              predicted=predicted, cached=True)
+                              predicted=predicted, cached=True,
+                              ranked_by=ranked_by)
                 self._memo[key] = trial
                 self._trials.append(trial)
                 trials[i] = trial
                 continue
-            queue.append((i, config, predicted))
+            queue.append((i, config, predicted, ranked_by))
         if not queue:
             return trials
         if self.pool is None:
-            for i, config, predicted in queue:
-                trials[i] = self._evaluate(config, predicted=predicted)
+            for i, config, predicted, ranked_by in queue:
+                trials[i] = self._evaluate(config, predicted=predicted,
+                                           ranked_by=ranked_by)
             return trials
-        outcomes = self.pool.run([config for _, config, _ in queue])
-        for (i, config, predicted), outcome in zip(queue, outcomes):
+        outcomes = self.pool.run([config for _, config, _, _ in queue])
+        for (i, config, predicted, ranked_by), outcome in zip(queue,
+                                                              outcomes):
             if outcome.lost:
                 trial = Trial(config=dict(config), throughput=0.0,
                               valid=False, predicted=predicted,
-                              lost=True, error=outcome.error)
+                              lost=True, error=outcome.error,
+                              ranked_by=ranked_by)
             else:
                 trial = Trial(config=dict(config),
                               throughput=outcome.throughput,
-                              valid=outcome.valid, predicted=predicted)
+                              valid=outcome.valid, predicted=predicted,
+                              ranked_by=ranked_by)
                 if self.cache is not None:
                     self.cache.put(config, trial.throughput, trial.valid)
                 self._memo[_trial_key(config)] = trial
@@ -270,7 +305,33 @@ class AutoTuner:
         return TuneReport(strategy=strategy, space_size=len(self.configs),
                           num_pruned=pruned, num_skipped=skipped)
 
-    def _score(self, configs: list[dict]
+    def _strategy_model(self, cost_model) -> CostModel | None:
+        """Resolve a strategy's ``cost_model=`` argument.
+
+        ``None`` keeps the tuner's own model; ``"analytic"`` likewise
+        (the tuner's model *is* the analytic oracle); ``"residual"``
+        wraps it in a :class:`.learned.ResidualCostModel` — memoized on
+        the tuner and refitted from the attached :class:`TrialCache`
+        before every run, so the correction sharpens as measurements
+        accumulate; anything else goes through :func:`as_cost_model`.
+        """
+        if cost_model is None or cost_model == "analytic":
+            return self.cost_model
+        if cost_model == "residual":
+            if self.cost_model is None:
+                raise ValueError(
+                    'cost_model="residual" needs an analytic model to '
+                    "correct; pass cost_model= to AutoTuner first")
+            if self._residual is None:
+                from .learned import ResidualCostModel
+                self._residual = ResidualCostModel(self.cost_model,
+                                                   seed=self._seed)
+            if self.cache is not None:
+                self._residual.fit_from_cache(self.cache)
+            return self._residual
+        return as_cost_model(cost_model)
+
+    def _score(self, configs: list[dict], model: CostModel | None = None
                ) -> tuple[list[tuple[float, dict]], list[dict]]:
         """Price ``configs`` with the cost model, whole list at once.
 
@@ -281,10 +342,11 @@ class AutoTuner:
         deterministically (predicted throughput descending, config key
         as the tiebreak) and the list of predicted-infeasible ones.
         """
+        model = self.cost_model if model is None else model
         scored: list[tuple[float, dict]] = []
         pruned: list[dict] = []
         for config, estimate in zip(configs,
-                                    self.cost_model.predict_many(configs)):
+                                    model.predict_many(configs)):
             if not estimate.fits or estimate.throughput <= 0:
                 pruned.append(config)
                 continue
@@ -316,6 +378,16 @@ class AutoTuner:
             report.predictions = [(t.predicted, t.throughput)
                                   for t in run_trials
                                   if t.predicted is not None]
+            # Trials with no prediction are excluded from the error
+            # average — count them so the stats can't silently shrink
+            # their denominator (e.g. cache hits served pre-ranking).
+            report.num_unscored = sum(1 for t in run_trials
+                                      if t.predicted is None)
+            report.rankers = {}
+            for t in run_trials:
+                if t.ranked_by is not None:
+                    report.rankers[t.ranked_by] = \
+                        report.rankers.get(t.ranked_by, 0) + 1
             # Exhaustive baseline from what is actually known: measured
             # configs at their observed cost (a cached hit would still
             # cost full price without the cache), predicted-infeasible
@@ -389,7 +461,8 @@ class AutoTuner:
         return self._result(self._report("coordinate_descent"), start)
 
     def simulator_guided(self, top_k: int | None = None,
-                         exploration: float = 0.05) -> TuneResult:
+                         exploration: float = 0.05,
+                         cost_model=None) -> TuneResult:
         """Measure only the cost model's best picks plus an exploration quota.
 
         Every config is priced by the cost model first (cheap — no trial):
@@ -397,15 +470,22 @@ class AutoTuner:
         ranked by predicted throughput.  The top ``top_k`` (default: 15% of
         the space) are measured, plus ``exploration`` × |space| random picks
         from the remainder to hedge against cost-model ranking errors.
+
+        ``cost_model`` overrides the ranking model for this run:
+        ``"residual"`` corrects the tuner's analytic model with a
+        :class:`.learned.ResidualCostModel` fitted from the attached
+        trial cache (see :meth:`_strategy_model`); the report then says
+        which model ranked each measured trial (``rankers``).
         """
-        if self.cost_model is None:
+        if self.cost_model is None and cost_model is None:
             raise ValueError(
                 "simulator_guided() needs a cost model; pass cost_model= "
                 "to AutoTuner (see slapo.tuner.cost_model)"
             )
+        model = self._strategy_model(cost_model)
         start = len(self._trials)
         self.space_scans += 1  # one oracle pass over the whole space
-        scored, pruned_configs = self._score(self.configs)
+        scored, pruned_configs = self._score(self.configs, model)
         pruned = len(pruned_configs)
         if top_k is None:
             top_k = max(1, math.ceil(0.15 * len(self.configs)))
@@ -415,16 +495,18 @@ class AutoTuner:
         if quota > 0:
             picks = self._rng.choice(len(rest), size=quota, replace=False)
             chosen += [rest[int(i)] for i in sorted(picks)]
-        self._evaluate_many([(config, predicted)
+        self._evaluate_many([(config, predicted,
+                              model.rank_source(config))
                              for predicted, config in chosen])
         skipped = len(scored) - len(chosen)
-        return self._result(
-            self._report("simulator_guided", pruned=pruned, skipped=skipped),
-            start)
+        report = self._report("simulator_guided", pruned=pruned,
+                              skipped=skipped)
+        report.cost_model = model.name
+        return self._result(report, start)
 
     def evolutionary(self, population: int = 12, generations: int = 8,
                      mutation_rate: float = 0.3, elite: int = 2,
-                     prefilter: float = 0.5) -> TuneResult:
+                     prefilter: float = 0.5, cost_model=None) -> TuneResult:
         """Evolutionary search over space coordinates.
 
         Each generation breeds ``population`` offspring by uniform
@@ -435,7 +517,10 @@ class AutoTuner:
         brood is ranked by predicted throughput with only the top
         ``prefilter`` fraction measured (the remainder count as budget
         skips).  Deterministic under a fixed construction seed.
+        ``cost_model`` overrides the fitness prefilter for this run,
+        same semantics as :meth:`simulator_guided`.
         """
+        model = self._strategy_model(cost_model)
         start = len(self._trials)
         # Distinct configs only: the same infeasible config can be bred
         # again in a later generation but is pruned once, not per brood.
@@ -449,24 +534,25 @@ class AutoTuner:
 
         def finish() -> TuneResult:
             skipped_keys.difference_update(self._memo)  # measured after all
-            return self._result(
-                self._report("evolutionary", pruned=len(pruned_keys),
-                             skipped=len(skipped_keys)),
-                start)
+            report = self._report("evolutionary", pruned=len(pruned_keys),
+                                  skipped=len(skipped_keys))
+            report.cost_model = None if model is None else model.name
+            return self._result(report, start)
 
         # -- seed population ------------------------------------------- #
         sample = min(len(self.configs),
-                     3 * pop_size if self.cost_model else pop_size)
+                     3 * pop_size if model else pop_size)
         picks = self._rng.choice(len(self.configs), size=sample,
                                  replace=False)
         seeds = [self.configs[int(i)] for i in sorted(picks)]
-        if self.cost_model is not None:
-            scored, seed_pruned = self._score(seeds)
+        if model is not None:
+            scored, seed_pruned = self._score(seeds, model)
             pruned_keys.update(_trial_key(c) for c in seed_pruned)
             skipped_keys.update(_trial_key(c)
                                 for _, c in scored[pop_size:])
-            current = self._evaluate_many([(c, p)
-                                           for p, c in scored[:pop_size]])
+            current = self._evaluate_many(
+                [(c, p, model.rank_source(c))
+                 for p, c in scored[:pop_size]])
         else:
             current = self._evaluate_many([(c, None) for c in seeds])
         if not current:  # cost model rejected the entire sample
@@ -491,14 +577,15 @@ class AutoTuner:
                 brood.append(child)
             if not brood:
                 break  # neighbourhood exhausted
-            if self.cost_model is not None:
-                scored, brood_pruned = self._score(brood)
+            if model is not None:
+                scored, brood_pruned = self._score(brood, model)
                 pruned_keys.update(_trial_key(c) for c in brood_pruned)
                 keep = max(1, math.ceil(prefilter * len(scored))) \
                     if scored else 0
                 skipped_keys.update(_trial_key(c) for _, c in scored[keep:])
-                offspring = self._evaluate_many([(c, p)
-                                                 for p, c in scored[:keep]])
+                offspring = self._evaluate_many(
+                    [(c, p, model.rank_source(c))
+                     for p, c in scored[:keep]])
             else:
                 offspring = self._evaluate_many([(c, None) for c in brood])
             # Generational replacement with elitism: the best `elite`

@@ -1,0 +1,387 @@
+"""Conformance grid for the learned cost model (learned.py).
+
+Pins the contracts the residual-correction design rests on: training is
+deterministic under its seed, weights round-trip through JSON
+byte-stably, the vectorized path is bit-exact with the scalar one, a
+thin/absent corpus degrades to pure-analytic behaviour, and held-out
+error improves monotonically as the corpus grows.  The featurize layer
+gets its own property tests (stable schema across every model family
+and cluster preset, permutation invariance, stale-version refusal),
+and the end-to-end tests seed a cache with deliberately *biased*
+measurements and check ``simulator_guided(cost_model="residual")``
+reorders the search and still lands on the true optimum.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributed.topology import (
+    P3DN_NODE,
+    a100_cluster,
+    h100_cluster,
+    p3dn_cluster,
+)
+from repro.models import MODEL_ZOO
+from repro.sim.memory import compute_model_stats
+from repro.slapo.tuner import (
+    AutoTuner,
+    CallableCostModel,
+    LearnedCostModel,
+    ResidualCostModel,
+    StaleWeightsError,
+    TrialCache,
+    featurize,
+    featurize_many,
+)
+from repro.slapo.tuner.cache import config_key
+from repro.slapo.tuner.learned import (
+    FEATURE_NAMES,
+    FEATURE_VERSION,
+    mean_relative_error,
+)
+
+
+def fig6_space(space):
+    bs = space.create_symbol("batch_size", range(104, 177, 8))
+    ratios = [0.67, 0.5, 0.34, 0.25]
+    if bs >= 120:
+        ratios += [1.0, 0.92, 0.84]
+    space.create_symbol("ckpt_ratio", ratios)
+    return space
+
+
+def analytic_rate(config: dict) -> float:
+    """A smooth, closed-form analytic surface over the Fig. 6 polygon."""
+    return 100.0 * (config["batch_size"] / 104.0) ** 0.5 \
+        / (1.0 + 0.4 * config["ckpt_ratio"])
+
+
+def bias(config: dict) -> float:
+    """The injected measurement bias the analytic surface knows nothing
+    about: recompute-heavy configs lose less than priced."""
+    return 1.0 - 0.25 * (1.0 - config["ckpt_ratio"])
+
+
+def measured_rate(config: dict) -> float:
+    return analytic_rate(config) * bias(config)
+
+
+def config_featurizer(config: dict) -> np.ndarray:
+    return featurize(config, None, None)
+
+
+def synthetic_corpus(n: int = 48, seed: int = 7):
+    """(X, y) over random Fig. 6-style configs, log-linear target."""
+    rng = np.random.default_rng(seed)
+    configs = [{"batch_size": int(rng.integers(64, 256)),
+                "ckpt_ratio": float(rng.choice([0.25, 0.5, 0.75, 1.0]))}
+               for _ in range(n)]
+    X = featurize_many(configs, None, None)
+    y = np.array([math.log(measured_rate(c)) for c in configs])
+    return configs, X, y
+
+
+# --------------------------------------------------------------------- #
+# LearnedCostModel conformance
+# --------------------------------------------------------------------- #
+class TestLearnedModel:
+    def test_deterministic_under_seed(self):
+        _, X, y = synthetic_corpus()
+        first = LearnedCostModel(seed=3).fit(X, y)
+        second = LearnedCostModel(seed=3).fit(X, y)
+        assert first.to_json() == second.to_json()
+        assert np.array_equal(first.predict_features(X),
+                              second.predict_features(X))
+
+    def test_json_roundtrip_byte_stable(self):
+        _, X, y = synthetic_corpus()
+        model = LearnedCostModel().fit(X, y)
+        text = model.to_json()
+        reloaded = LearnedCostModel.from_json(text)
+        assert reloaded.to_json() == text
+        again = LearnedCostModel.from_json(reloaded.to_json())
+        assert again.to_json() == text
+        assert np.array_equal(reloaded.predict_features(X),
+                              model.predict_features(X))
+
+    def test_predict_many_bit_exact_vs_scalar(self):
+        configs, X, y = synthetic_corpus()
+        model = LearnedCostModel(featurizer=config_featurizer).fit(X, y)
+        batch = model.predict_many(configs)
+        for config, estimate in zip(configs, batch):
+            assert estimate.throughput == \
+                model.estimate(config).throughput
+        # and the feature-matrix path row-for-row against 1-row calls
+        batch_rows = model.predict_features(X)
+        single_rows = np.array([model.predict_features(X[i][None])[0]
+                                for i in range(len(X))])
+        assert np.array_equal(batch_rows, single_rows)
+
+    def test_predictions_clamped_to_trained_range(self):
+        _, X, y = synthetic_corpus()
+        model = LearnedCostModel().fit(X, y)
+        wild = X.copy()
+        wild[:, 0] += 100.0  # far outside anything seen in training
+        out = model.predict_features(wild)
+        assert out.min() >= y.min() and out.max() <= y.max()
+
+    def test_refuses_stale_feature_schema(self):
+        _, X, y = synthetic_corpus()
+        model = LearnedCostModel().fit(X, y)
+        state = json.loads(model.to_json())
+        stale_version = dict(state, feature_version=FEATURE_VERSION + 1)
+        with pytest.raises(StaleWeightsError):
+            LearnedCostModel.from_state(stale_version)
+        renamed = dict(state,
+                       feature_names=["bogus"] + state["feature_names"][1:])
+        with pytest.raises(StaleWeightsError):
+            LearnedCostModel.from_state(renamed)
+
+    def test_unfitted_model_refuses_predictions(self):
+        model = LearnedCostModel()
+        assert not model.trained
+        with pytest.raises(ValueError):
+            model.predict_features(np.zeros((1, len(FEATURE_NAMES))))
+
+    def test_monotone_heldout_improvement_with_corpus_size(self):
+        """More corpus → better held-out error, strictly down the grid."""
+        configs, X, y = synthetic_corpus(n=96, seed=11)
+        held_X, held_y = X[64:], y[64:]
+        errors = []
+        for size in (8, 24, 64):
+            model = LearnedCostModel(boost_rounds=0)  # pure ridge
+            model.fit(X[:size], y[:size])
+            predicted = np.exp(model.predict_features(held_X,
+                                                      clamp=False))
+            errors.append(mean_relative_error(predicted,
+                                              np.exp(held_y)))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.02
+
+    def test_fit_pairs_permutation_invariant(self):
+        configs, _, _ = synthetic_corpus(n=24)
+        rates = [measured_rate(c) for c in configs]
+        forward = LearnedCostModel(featurizer=config_featurizer)
+        forward.fit_pairs(configs, rates)
+        backward = LearnedCostModel(featurizer=config_featurizer)
+        backward.fit_pairs(configs[::-1], rates[::-1])
+        assert forward.to_json() == backward.to_json()
+
+
+# --------------------------------------------------------------------- #
+# featurize schema properties
+# --------------------------------------------------------------------- #
+class TestFeaturize:
+    def test_stable_length_and_order(self):
+        base = featurize({"batch_size": 104, "ckpt_ratio": 0.5},
+                         None, None)
+        assert base.shape == (len(FEATURE_NAMES),)
+        # absent blocks are zero-filled, never dropped
+        assert featurize({}, None, None).shape == base.shape
+        # names are unique — the schema is an ordered set
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+
+    def test_stable_across_all_model_zoo_families(self):
+        lengths = set()
+        for family, (cls, config) in sorted(MODEL_ZOO.items()):
+            model = cls(config.tiny(), device="meta")
+            stats = compute_model_stats(model)
+            vector = featurize({"tp": 2, "batch_size": 32}, stats,
+                               P3DN_NODE)
+            lengths.add(vector.shape)
+            assert np.isfinite(vector).all(), family
+        assert lengths == {(len(FEATURE_NAMES),)}
+
+    def test_stable_across_flat_and_tiered_clusters(self):
+        clusters = [P3DN_NODE, p3dn_cluster(4), a100_cluster(2),
+                    h100_cluster(2)]
+        vectors = [featurize({"tp": 4, "dp": 2}, None, cluster)
+                   for cluster in clusters]
+        assert {v.shape for v in vectors} == {(len(FEATURE_NAMES),)}
+        # different interconnects produce different hardware features
+        assert not np.array_equal(vectors[1], vectors[2])
+
+    def test_config_coordinates_land_in_named_slots(self):
+        vector = featurize(
+            {"tp": 4, "dp": 2, "pp": 2, "ep": 1, "micro_batch": 8,
+             "zero_stage": 3, "ckpt_ratio": 0.5,
+             "pipeline_schedule": "1f1b", "placement": "tp,dp,pp",
+             "overlap_grad_sync": True, "overlap_bucket_mb": 25.0},
+            None, None)
+        names = list(FEATURE_NAMES)
+        assert vector[names.index("log_tp")] == 2.0
+        assert vector[names.index("log_dp")] == 1.0
+        assert vector[names.index("zero_stage")] == 3.0
+        assert vector[names.index("ckpt_ratio")] == 0.5
+        assert vector[names.index("has_ckpt_ratio")] == 1.0
+        assert vector[names.index("schedule_1f1b")] == 1.0
+        assert vector[names.index("schedule_gpipe")] == 0.0
+        assert vector[names.index("innermost_tp")] == 1.0
+        assert vector[names.index("overlap_grad_sync")] == 1.0
+
+
+# --------------------------------------------------------------------- #
+# ResidualCostModel: fallback + correction semantics
+# --------------------------------------------------------------------- #
+class TestResidualModel:
+    def make_residual(self, **kwargs):
+        analytic = CallableCostModel(analytic_rate)
+        kwargs.setdefault("featurizer", config_featurizer)
+        return ResidualCostModel(analytic, **kwargs)
+
+    def seeded_cache(self, tmp_path, configs):
+        cache = TrialCache(tmp_path / "trials.json")
+        for config in configs:
+            cache.put(config, measured_rate(config), True)
+        return cache
+
+    def test_residual_equals_analytic_on_empty_corpus(self, tmp_path):
+        residual = self.make_residual()
+        cache = TrialCache(tmp_path / "empty.json")
+        assert residual.fit_from_cache(cache) == 0
+        assert not residual.active
+        config = {"batch_size": 120, "ckpt_ratio": 0.5}
+        assert residual.estimate(config).throughput == \
+            analytic_rate(config)
+        assert residual.rank_source(config) == "analytic"
+
+    def test_residual_below_min_samples_is_identity(self, tmp_path):
+        residual = self.make_residual(min_samples=8)
+        cache = self.seeded_cache(tmp_path, [
+            {"batch_size": 104 + 8 * i, "ckpt_ratio": 0.5}
+            for i in range(4)])
+        assert residual.fit_from_cache(cache) == 4
+        assert not residual.active
+        config = {"batch_size": 120, "ckpt_ratio": 0.5}
+        assert residual.estimate(config).throughput == \
+            analytic_rate(config)
+
+    def test_correction_applies_in_distribution(self, tmp_path):
+        configs = [{"batch_size": batch, "ckpt_ratio": ratio}
+                   for batch in range(104, 177, 8)
+                   for ratio in (0.25, 0.5, 1.0)]
+        residual = self.make_residual(min_samples=8)
+        assert residual.fit_from_cache(
+            self.seeded_cache(tmp_path, configs)) == len(configs)
+        assert residual.active
+        probe = {"batch_size": 128, "ckpt_ratio": 0.5}
+        corrected = residual.estimate(probe).throughput
+        assert residual.rank_source(probe) == "residual"
+        truth = measured_rate(probe)
+        assert abs(corrected - truth) / truth < \
+            abs(analytic_rate(probe) - truth) / truth
+
+    def test_fit_from_cache_order_invariant(self, tmp_path):
+        configs = [{"batch_size": batch, "ckpt_ratio": ratio}
+                   for batch in range(104, 177, 8)
+                   for ratio in (0.25, 0.5, 1.0)]
+        one = self.make_residual()
+        one.fit_from_cache(self.seeded_cache(tmp_path / "a", configs))
+        two = self.make_residual()
+        two.fit_from_cache(self.seeded_cache(tmp_path / "b",
+                                             configs[::-1]))
+        assert one.learned.to_json() == two.learned.to_json()
+
+    def test_out_of_distribution_falls_back(self, tmp_path):
+        configs = [{"batch_size": batch, "ckpt_ratio": 0.5}
+                   for batch in range(104, 177, 8)]
+        residual = self.make_residual(min_samples=4, ood_margin=0.25)
+        residual.fit_from_cache(self.seeded_cache(tmp_path, configs))
+        assert residual.active
+        alien = {"batch_size": 4096, "ckpt_ratio": 0.5}
+        assert residual.estimate(alien).throughput == \
+            analytic_rate(alien)
+        assert residual.rank_source(alien) == "analytic"
+        assert residual.num_fallbacks == 1
+
+    def test_context_filter_selects_matching_rows(self, tmp_path):
+        cache = TrialCache(tmp_path / "mixed.json")
+        for i, batch in enumerate(range(104, 177, 8)):
+            config = {"batch_size": batch, "ckpt_ratio": 0.5}
+            cache.put(config, measured_rate(config), True,
+                      context={"family": "A" if i % 2 else "B"})
+        residual = self.make_residual(min_samples=1)
+        fitted = residual.fit_from_cache(cache, context={"family": "A"})
+        assert fitted == 5
+        # context survives a save/load round trip
+        cache.save()
+        reloaded = TrialCache(tmp_path / "mixed.json")
+        again = self.make_residual(min_samples=1)
+        assert again.fit_from_cache(reloaded,
+                                    context={"family": "A"}) == 5
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: residual-guided tuning on a biased cache
+# --------------------------------------------------------------------- #
+def run_guided(tmp_path, cost_model, pool=None, name="trials"):
+    analytic = CallableCostModel(analytic_rate)
+    tuner = AutoTuner(fig6_space, measured_rate, seed=0,
+                      cost_model=analytic,
+                      cache=TrialCache(tmp_path / f"{name}.json"),
+                      pool=pool)
+    # make the residual featurizer config-only (no SimCostModel here)
+    tuner._residual = ResidualCostModel(analytic,
+                                        featurizer=config_featurizer)
+    return tuner, tuner.simulator_guided(cost_model=cost_model)
+
+
+class TestResidualGuidedSearch:
+    def true_best_key(self, tuner):
+        return max(tuner.configs, key=measured_rate)
+
+    def test_residual_reorders_and_finds_true_optimum(self, tmp_path):
+        # pass 1: analytic-guided, builds the biased corpus
+        tuner, first = run_guided(tmp_path, None)
+        best = max(tuner.configs, key=measured_rate)
+        assert first.report.cost_model == "callable"
+        assert first.report.rankers == {"callable":
+                                        first.report.num_trials}
+        analytic_order = [t.config for t in first.trials]
+
+        # pass 2: residual-guided over the shared cache
+        tuner2, second = run_guided(tmp_path, "residual")
+        assert second.report.cost_model == "residual"
+        assert second.report.rankers.get("residual", 0) > 0
+        residual_order = [t.config for t in second.trials]
+        assert second.best_config == best
+        # the learned correction must actually change the measured set
+        # or its order vs the analytic pass
+        assert [config_key(c) for c in residual_order] != \
+            [config_key(c) for c in analytic_order]
+        # and its predictions are sharper where it ranked
+        assert second.report.mean_relative_error < \
+            first.report.mean_relative_error
+
+    def test_num_unscored_counts_cache_hits(self, tmp_path):
+        _, first = run_guided(tmp_path, None)
+        assert first.report.num_unscored == 0
+        # exhaustive over the same cache: every trial is unscored (no
+        # model ranked it), several are cache hits — both visible now
+        tuner = AutoTuner(fig6_space, measured_rate, seed=0,
+                          cache=TrialCache(tmp_path / "trials.json"))
+        result = tuner.exhaustive()
+        assert result.report.num_unscored == result.report.num_trials
+        assert result.report.num_cache_hits == first.report.num_trials
+        assert result.report.mean_relative_error == 0.0
+
+    @pytest.mark.slow
+    def test_residual_guided_with_measurement_pool(self, tmp_path):
+        from repro.slapo.tuner import MeasurementPool
+
+        pool = MeasurementPool(measured_rate, num_workers=2)
+        try:
+            tuner, first = run_guided(tmp_path, None, pool=pool,
+                                      name="pooled")
+            assert first.report.num_measured > 0
+            tuner2, second = run_guided(tmp_path, "residual", pool=pool,
+                                        name="pooled")
+            assert second.best_config == \
+                max(tuner2.configs, key=measured_rate)
+            assert second.report.cost_model == "residual"
+            assert second.report.num_lost == 0
+        finally:
+            pool.close()
