@@ -217,6 +217,11 @@ class PlanService:
             if fitted is not None and fitted[0] == size:
                 residual = fitted[1]
             else:
+                # Refit into a fresh model and swap it in whole: callers
+                # predict outside this lock, and fit() mutates weights
+                # in place — another thread may be mid-predict on the
+                # previous residual.  The analytic model is reused (it
+                # is read-only after construction).
                 if fitted is None:
                     analytic = SimCostModel(
                         lambda _config, entry=(model, trace): entry,
@@ -224,10 +229,10 @@ class PlanService:
                         parallel=SimCostModel.parallel_fn(
                             request.world_size),
                         trace_key_fn=lambda _config: request.family)
-                    residual = ResidualCostModel(
-                        analytic, min_samples=self.min_corpus)
                 else:
-                    residual = fitted[1]
+                    analytic = fitted[1].analytic
+                residual = ResidualCostModel(
+                    analytic, min_samples=self.min_corpus)
                 residual.fit_from_cache(self.cache, context={
                     "family": request.family,
                     "world_size": request.world_size,

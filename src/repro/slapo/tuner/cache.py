@@ -144,11 +144,18 @@ class TrialCache:
             self._entries[config_key(config)] = entry
 
     def entries(self) -> list[dict]:
-        """Snapshot of all entries (copies — safe to mutate), sorted by
-        canonical config key so iteration order is deterministic."""
+        """Snapshot of all entries (copies — safe to mutate, including
+        the nested ``config``/``context`` dicts), sorted by canonical
+        config key so iteration order is deterministic."""
         with self._lock:
-            return [dict(self._entries[key])
-                    for key in sorted(self._entries)]
+            rows = []
+            for key in sorted(self._entries):
+                row = dict(self._entries[key])
+                row["config"] = dict(row["config"])
+                if "context" in row:
+                    row["context"] = dict(row["context"])
+                rows.append(row)
+            return rows
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -240,6 +240,10 @@ class LearnedCostModel(CostModel):
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty corpus")
         n = X.shape[0]
+        # Every fit starts from a clean model: unlike the scalar state
+        # below, the stump list accumulates by append, and stumps from a
+        # previous fit were built under that fit's standardization.
+        self._stumps = []
         self.num_samples = n
         self._lo = X.min(axis=0)
         self._hi = X.max(axis=0)
@@ -599,8 +603,11 @@ class ResidualCostModel(CostModel):
         out = list(base)
         rows = [i for i, estimate in enumerate(base)
                 if estimate.fits and estimate.throughput > 0]
-        for i, estimate in enumerate(base):
-            self._sources[config_key(configs[i])] = "analytic"
+        # Sources cover only the current batch (rank_source is consulted
+        # for just-ranked configs); retaining every config ever priced
+        # would grow without bound in a long-lived PlanService.
+        self._sources = {config_key(config): "analytic"
+                         for config in configs}
         if not rows or not self.active:
             return out
         X = np.stack([self.features(configs[i]) for i in rows])
@@ -626,5 +633,6 @@ class ResidualCostModel(CostModel):
                                self.analytic.predict_many(configs))
 
     def rank_source(self, config: dict) -> str:
-        """Which model ranked this config in the last estimate of it."""
+        """Which model ranked this config in the most recent prediction
+        batch (earlier batches are forgotten)."""
         return self._sources.get(config_key(config), "analytic")

@@ -96,6 +96,20 @@ class TestLearnedModel:
         assert np.array_equal(first.predict_features(X),
                               second.predict_features(X))
 
+    def test_refit_matches_fresh_fit(self):
+        """Refitting the same instance must not accumulate stale
+        boosting state: a second fit() on an identical corpus produces
+        byte-identical weights (the tuner and PlanService refit
+        long-lived models on every run)."""
+        _, X, y = synthetic_corpus()
+        fresh = LearnedCostModel().fit(X, y)
+        refit = LearnedCostModel()
+        refit.fit(X, y)
+        refit.fit(X, y)
+        assert refit.to_json() == fresh.to_json()
+        assert np.array_equal(refit.predict_features(X),
+                              fresh.predict_features(X))
+
     def test_json_roundtrip_byte_stable(self):
         _, X, y = synthetic_corpus()
         model = LearnedCostModel().fit(X, y)
