@@ -8,6 +8,7 @@ PYTHON ?= python
 test:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) scripts/validate_schedules.py
+	$(PYTHON) scripts/check_functional.py
 	$(MAKE) fuzz
 	$(PYTHON) scripts/check_bench.py
 
@@ -32,6 +33,7 @@ perf:
 	$(PYTHON) benchmarks/bench_planner.py
 	$(PYTHON) benchmarks/bench_topology.py
 	$(PYTHON) benchmarks/bench_learned.py
+	$(PYTHON) benchmarks/bench_fusion.py
 
 # Learned-cost-model training gate: fails if training is
 # nondeterministic, the weights JSON doesn't round-trip byte-stably, or

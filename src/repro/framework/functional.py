@@ -68,6 +68,46 @@ def traceable(fn):
     return wrapper
 
 
+def traceable_mutating(writes: tuple, is_mutating):
+    """Like :func:`traceable`, but calls that will mutate their arguments
+    trace to an explicit ``mutate`` marker node instead of a plain
+    ``call_function`` — the mutation stays visible to graph passes (see
+    :mod:`repro.fx.functionalize`).  ``writes`` names the mutated argument
+    positions; ``is_mutating(*args, **kwargs)`` decides per call site.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            proxy = _find_proxy(args, kwargs)
+            if proxy is not None:
+                if is_mutating(*args, **kwargs):
+                    from repro.fx.functionalize import mutate  # late: cycle
+                    return proxy.tracer.create_proxy(
+                        "call_function", mutate, (wrapper, *args),
+                        {**kwargs, "_writes": writes})
+                return proxy.tracer.create_proxy(
+                    "call_function", wrapper, args, kwargs)
+            return fn(*args, **kwargs)
+
+        wrapper.__wrapped_op__ = fn
+        wrapper.__mutates__ = writes
+        wrapper.__is_mutating__ = is_mutating
+        return wrapper
+
+    return decorate
+
+
+def _batch_norm_mutates(x, running_mean=None, running_var=None, weight=None,
+                        bias=None, training=False, momentum=0.1, eps=1e-5):
+    """Train-mode batch norm writes its running-stat buffers."""
+    if running_mean is None and running_var is None:
+        return False
+    if getattr(training, "is_fx_proxy", False):
+        return True  # not statically known at trace time: assume writes
+    return bool(training)
+
+
 def _any_meta(*tensors) -> bool:
     return any(t.is_meta for t in tensors if isinstance(t, Tensor))
 
@@ -498,6 +538,10 @@ def expand(x, shape):
 
 @traceable
 def getitem(x, index):
+    if isinstance(x, dict):
+        # Container passthrough: leaf modules may return pytree outputs
+        # (e.g. an MoE routing dict) that traced code indexes by key.
+        return x[index]
     x = astensor(x)
     if x.is_meta:
         # Infer the sliced shape with a zero-stride dummy array.
@@ -884,7 +928,7 @@ def rms_norm(x, weight, eps: float = 1e-6):
                      flops=6 * x.numel())
 
 
-@traceable
+@traceable_mutating(writes=(1, 2), is_mutating=_batch_norm_mutates)
 def batch_norm(x, running_mean, running_var, weight=None, bias=None,
                training: bool = False, momentum: float = 0.1,
                eps: float = 1e-5):

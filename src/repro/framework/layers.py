@@ -201,9 +201,12 @@ class BatchNorm2d(Module):
                              init.ones((num_features,), dtypes.float32, device))
 
     def forward(self, x):
-        return F.batch_norm(x, self._buffers["running_mean"],
-                            self._buffers["running_var"], self.weight,
-                            self.bias, self.training, self.momentum, self.eps)
+        # Attribute access (not ``self._buffers[...]``) so an inlined trace
+        # records get_attr nodes and resolves the running stats *live* at
+        # run time — a traced graph must never bake the buffer tensors.
+        return F.batch_norm(x, self.running_mean, self.running_var,
+                            self.weight, self.bias, self.training,
+                            self.momentum, self.eps)
 
 
 class MaxPool2d(Module):
@@ -324,6 +327,10 @@ class MoEFeedForward(Module):
         ])
         #: dropped (token, expert) assignments of the latest real forward
         self.last_dropped = 0
+        #: when True, forward returns ``{"output": y, "dropped": n}`` so a
+        #: traced graph carries routing stats through the dataflow instead
+        #: of callers scraping ``last_dropped`` off the module afterwards
+        self.emit_stats = False
 
     def extra_repr(self) -> str:
         return (f"num_experts={self.num_experts}, top_k={self.top_k}, "
@@ -413,11 +420,15 @@ class MoEFeedForward(Module):
             outs = [self.experts[e](dispatch[:, e]) for e in range(num)]
             slots = F.reshape(F.stack(outs, dim=1),
                               (batch, num * cap, hidden))
-            return self._combine(slots, probs, slot_expert, slot_pos,
-                                 valid, cap, batch, seq, hidden)
-        return self._forward_expert_parallel(
-            x_pad, probs, spec, token_for_slot, slot_expert, slot_pos,
-            valid, cap, batch, seq, hidden)
+            out = self._combine(slots, probs, slot_expert, slot_pos,
+                                valid, cap, batch, seq, hidden)
+        else:
+            out = self._forward_expert_parallel(
+                x_pad, probs, spec, token_for_slot, slot_expert, slot_pos,
+                valid, cap, batch, seq, hidden)
+        if self.emit_stats:
+            return {"output": out, "dropped": dropped}
+        return out
 
     def _forward_expert_parallel(self, x_pad, probs, spec, token_for_slot,
                                  slot_expert, slot_pos, valid, cap: int,

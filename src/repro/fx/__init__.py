@@ -1,5 +1,19 @@
 """repro.fx — symbolic tracing and static-graph IR (torch.fx substrate)."""
 
+from .functionalize import (
+    Effect,
+    FunctionalizationError,
+    assert_functional,
+    eliminate_common_subexpressions,
+    functionalize,
+    functionalize_model,
+    fuse_elementwise,
+    is_impure,
+    mutate,
+    sync_backward,
+    sync_forward,
+    sync_forward_pre,
+)
 from .graph import Graph
 from .graph_module import GraphModule
 from .interpreter import Interpreter, ShapeProp
@@ -19,6 +33,14 @@ from .rewriter import (
     replace_node_with_function,
     split_graph_module,
 )
+from .pytree import (
+    TreeSpec,
+    tree_flatten,
+    tree_leaves,
+    tree_map,
+    tree_structure,
+    tree_unflatten,
+)
 from .tracer import DEFAULT_LEAF_TYPES, Tracer, symbolic_trace
 
 __all__ = [
@@ -30,4 +52,10 @@ __all__ = [
     "extract_match_as_module", "replace_match_with_module",
     "replace_node_with_function", "split_graph_module",
     "iter_nodes", "map_arg",
+    "Effect", "FunctionalizationError", "assert_functional",
+    "eliminate_common_subexpressions", "functionalize",
+    "functionalize_model", "fuse_elementwise", "is_impure",
+    "mutate", "sync_backward", "sync_forward", "sync_forward_pre",
+    "TreeSpec", "tree_flatten", "tree_unflatten", "tree_leaves",
+    "tree_map", "tree_structure",
 ]

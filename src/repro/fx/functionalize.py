@@ -1,0 +1,573 @@
+"""Functionalization: lift hidden effects into explicit graph nodes.
+
+A traced :class:`GraphModule` can carry two kinds of out-of-band effects
+that ordinary graph passes cannot see:
+
+* **module hooks** — ``.sync()`` installs tensor-parallel collectives as
+  forward-pre / forward / backward hooks that fire around the interpreted
+  graph (``carry_hooks=True``), invisibly to any pass that reads only
+  ``gm.graph``;
+* **in-place mutation** — train-mode ``batch_norm`` updates its running
+  statistics through its buffer arguments, so erasing or deduplicating
+  the node silently changes module state.
+
+:func:`functionalize` rewrites both into explicit ``call_function`` nodes
+— :func:`sync_forward_pre`, :func:`sync_forward`, :func:`sync_backward`
+and :func:`mutate` — each annotated with an :class:`Effect` (a declared
+read/write set) in ``node.meta["effect"]``.  The result carries **no**
+hooks of its own (``carry_hooks`` bookkeeping becomes unnecessary on this
+path): extracting a fragment of a functionalized graph can no longer
+duplicate or drop a collective, because the collective is a node like any
+other.  Leaf ``call_module`` nodes whose submodule has hooks keep them
+internal (the hook belongs to the leaf's own boundary) but are annotated
+as effect **barriers** so passes refuse to reorder or erase them.
+
+On top of the functionalized form this module ships the passes the paper's
+progressive optimization needs to be safe by construction:
+
+* :func:`eliminate_common_subexpressions` — value-numbering CSE that skips
+  impure nodes and versions buffer reads across ``mutate`` writes;
+* :func:`fuse_elementwise` — effect-barrier-aware cross-layer fusion of
+  elementwise chains into :class:`~repro.kernels.compilers.FusedKernel`
+  regions the kernel cost model prices as one launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import Graph
+from .graph_module import GraphModule
+from .matcher import Match
+from .node import Node, map_arg
+
+
+class FunctionalizationError(RuntimeError):
+    """A graph pass was asked to run on a graph with hidden effects."""
+
+
+# ---------------------------------------------------------------------- #
+# Effect metadata
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Effect:
+    """Declared effect of one node: what it reads and writes out-of-band.
+
+    ``reads``/``writes`` name ``get_attr`` targets (dotted parameter or
+    buffer paths) when they are statically known; an empty ``writes`` on a
+    barrier-kind effect means "opaque, do not reorder across".
+    """
+
+    kind: str                     # sync_pre | sync | sync_bwd | mutate | barrier
+    reads: tuple = ()
+    writes: tuple = ()
+    detail: str = ""
+
+
+#: functions whose ``__name__`` marks a node impure even without effect
+#: metadata (randomness makes dedup / erasure unsound)
+_IMPURE_OP_NAMES = frozenset({"dropout"})
+
+
+# ---------------------------------------------------------------------- #
+# Marker targets (executable call_function nodes)
+# ---------------------------------------------------------------------- #
+def sync_forward_pre(values: tuple, *, hooks: tuple, module):
+    """Run forward-pre hooks over the packed input tuple; returns it
+    (possibly rewritten), mirroring ``Module.__call__`` semantics."""
+    values = tuple(values)
+    for hook in hooks:
+        result = hook(module, values)
+        if result is not None:
+            values = result if isinstance(result, tuple) else (result,)
+    return values
+
+
+def project(values, index: int):
+    """Split one element back out of a :func:`sync_forward_pre` tuple."""
+    return values[index]
+
+
+def sync_forward(output, values: tuple, *, hooks: tuple, module):
+    """Run forward hooks on the graph's output value."""
+    values = tuple(values)
+    for hook in hooks:
+        result = hook(module, values, output)
+        if result is not None:
+            output = result
+    return output
+
+
+def sync_backward(value, *, hooks: tuple, module):
+    """Identity in forward; runs backward hooks on the gradient.
+
+    The graph-node form of ``Module._attach_backward_hooks`` — e.g. the
+    grad all-reduce a row-parallel ``.sync(mode="backward")`` installs.
+    """
+    from repro.framework import autograd
+    from repro.framework.tensor import Tensor
+
+    if not isinstance(value, Tensor) or value.is_meta \
+            or not autograd.is_grad_enabled():
+        return value
+    if not (value.requires_grad or value.grad_fn is not None):
+        return value
+    out = Tensor(value.data)
+    out._dtype = value.dtype
+
+    def backward(grad):
+        for hook in hooks:
+            result = hook(module, grad)
+            if result is not None:
+                grad = result
+        return (grad,)
+
+    out.grad_fn = autograd.GradNode("sync_backward", (value,), backward)
+    out.requires_grad = True
+    return out
+
+
+def mutate(op, *args, _writes: tuple = (), **kwargs):
+    """Run ``op`` while declaring that it writes ``args[i]`` for every
+    ``i`` in ``_writes`` — mutation made visible to graph passes."""
+    return op(*args, **kwargs)
+
+
+_MARKER_TARGETS = (sync_forward_pre, sync_forward, sync_backward, mutate)
+
+
+# ---------------------------------------------------------------------- #
+# Purity queries (used by DCE / CSE / fusion)
+# ---------------------------------------------------------------------- #
+def node_effect(node: Node) -> Effect | None:
+    effect = node.meta.get("effect")
+    if effect is not None:
+        return effect
+    if node.op == "call_function":
+        if node.target in _MARKER_TARGETS:
+            return _effect_of_marker(node)
+        if _target_mutates(node):
+            # Un-functionalized mutating call: hidden effect.
+            return Effect("mutate", writes=("<unknown>",))
+    return None
+
+
+def is_impure(node: Node) -> bool:
+    """Nodes DCE must keep and CSE must not deduplicate."""
+    if node.op in ("placeholder", "output"):
+        return True
+    if node_effect(node) is not None:
+        return True
+    if node.op == "call_module":
+        # An opaque leaf may carry hooks or internal state (a train-mode
+        # BatchNorm updates its running statistics) the graph cannot see;
+        # erasing it is unsound without proof of purity.
+        return True
+    if node.op == "call_function":
+        name = getattr(node.target, "__name__", "")
+        if name in _IMPURE_OP_NAMES:
+            return True
+    return False
+
+
+def _target_mutates(node: Node) -> bool:
+    """Does this plain call_function node's target mutate its arguments?"""
+    predicate = getattr(node.target, "__is_mutating__", None)
+    if predicate is None:
+        return False
+    try:
+        return bool(predicate(*node.args, **node.kwargs))
+    except TypeError:
+        return True  # signature mismatch: assume the worst
+
+
+def _effect_of_marker(node: Node) -> Effect:
+    if node.target is mutate:
+        writes = []
+        for index in node.kwargs.get("_writes", ()):
+            arg = node.args[1 + index] if 1 + index < len(node.args) else None
+            writes.append(arg.target if isinstance(arg, Node)
+                          and arg.op == "get_attr" else "<unknown>")
+        reads = tuple(a.target for a in node.args[1:]
+                      if isinstance(a, Node) and a.op == "get_attr")
+        return Effect("mutate", reads=reads, writes=tuple(writes))
+    kind = {"sync_forward_pre": "sync_pre", "sync_forward": "sync",
+            "sync_backward": "sync_bwd"}[node.target.__name__]
+    return Effect(kind, detail=_describe_hooks(node.kwargs.get("hooks", ())))
+
+
+def _describe_hooks(hooks) -> str:
+    parts = []
+    for hook in hooks:
+        meta = getattr(hook, "_slapo_effect", None)
+        parts.append(f"{meta['kind']}:{meta['op']}" if meta
+                     else getattr(hook, "__name__", "hook"))
+    return ",".join(parts)
+
+
+def hidden_mutation_nodes(graph: Graph) -> list[Node]:
+    """call_function nodes that mutate state without a ``mutate`` marker."""
+    found = []
+    for node in graph:
+        if node.op == "call_function" and node.target not in _MARKER_TARGETS \
+                and _target_mutates(node):
+            found.append(node)
+    return found
+
+
+def assert_functional(gm: GraphModule, pass_name: str) -> None:
+    """Refuse to run an effect-unsafe pass on a graph with hidden effects.
+
+    ``scripts/check_functional.py`` exercises this guard: every pass that
+    erases, deduplicates or reorders nodes calls it first.
+    """
+    if gm._slapo_meta.get("functionalized"):
+        return
+    problems = []
+    if gm._forward_pre_hooks or gm._forward_hooks or gm._backward_hooks:
+        problems.append("module carries hooks outside the graph")
+    hidden = hidden_mutation_nodes(gm.graph)
+    if hidden:
+        problems.append(
+            "graph contains mutating targets without a mutate marker: "
+            + ", ".join(n.name for n in hidden))
+    if problems:
+        raise FunctionalizationError(
+            f"{pass_name} requires a functionalized graph; run "
+            f"fx.functionalize() first ({'; '.join(problems)})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# The functionalize pass
+# ---------------------------------------------------------------------- #
+def functionalize(gm: GraphModule, class_name: str | None = None
+                  ) -> GraphModule:
+    """Rewrite ``gm`` into an explicit-effect GraphModule.
+
+    The returned module carries **no hooks** (``carry_hooks=False``); the
+    hooks ``gm`` carried now live inside the graph as ``sync_*`` nodes, and
+    mutating calls are wrapped in ``mutate`` markers.  Parameter and
+    submodule identity is shared with ``gm`` as with any GraphModule.
+    """
+    new_graph, env = _copy_graph(gm.graph)
+    placeholders = [env[id(p)] for p in gm.graph.placeholders()]
+
+    hooked_args = list(placeholders)
+    if gm._forward_pre_hooks and placeholders:
+        hooked_args = _lift_forward_pre(new_graph, placeholders,
+                                        tuple(gm._forward_pre_hooks), gm)
+    if gm._backward_hooks and hooked_args:
+        hooked_args = _lift_backward(new_graph, hooked_args,
+                                     tuple(gm._backward_hooks), gm)
+    if gm._forward_hooks:
+        _lift_forward(new_graph, hooked_args, tuple(gm._forward_hooks), gm)
+
+    _wrap_mutating_calls(new_graph)
+    _annotate_barriers(new_graph, gm)
+
+    fgm = GraphModule(gm, new_graph,
+                      class_name=class_name or f"Functional{gm._class_name}",
+                      carry_hooks=False)
+    # A GraphModule mounts only graph-referenced paths, but ``gm`` may
+    # carry more (a replaced region's old submodules stay mounted so
+    # schedule paths and state_dict keys remain stable).  Preserve them.
+    _merge_missing_attrs(fgm, gm)
+    fgm._slapo_meta["functionalized"] = True
+    return fgm
+
+
+def _merge_missing_attrs(dst, src) -> None:
+    for name, child in src._modules.items():
+        if name not in dst._modules:
+            dst.add_module(name, child)
+        elif dst._modules[name] is not child:
+            _merge_missing_attrs(dst._modules[name], child)
+    for name, param in src._parameters.items():
+        if name not in dst._parameters:
+            dst.register_parameter(name, param)
+    for name, buf in src._buffers.items():
+        if name not in dst._buffers:
+            dst.register_buffer(name, buf)
+
+
+def _copy_graph(old: Graph) -> tuple[Graph, dict]:
+    new = Graph()
+    new.in_specs = dict(getattr(old, "in_specs", {}))
+    env: dict[int, Node] = {}
+
+    def lookup(n: Node) -> Node:
+        return env[id(n)]
+
+    for node in old:
+        copied = new.create_node(
+            node.op, node.target,
+            map_arg(node.args, lookup), map_arg(node.kwargs, lookup),
+            name=node.name)
+        copied.meta.update(node.meta)
+        env[id(node)] = copied
+    return new, env
+
+
+def _replace_uses_except(value: Node, new: Node, keep: set[int]) -> None:
+    for user in list(value.users):
+        if id(user) not in keep:
+            user.replace_input_with(value, new)
+
+
+def _lift_forward_pre(graph: Graph, placeholders: list[Node], hooks: tuple,
+                      module) -> list[Node]:
+    last_ph = placeholders[-1]
+    with graph.inserting_after(last_ph):
+        packed = graph.call_function(
+            sync_forward_pre, (tuple(placeholders),),
+            {"hooks": hooks, "module": module})
+        packed.meta["effect"] = Effect(
+            "sync_pre", detail=_describe_hooks(hooks))
+        projected = []
+        for index, ph in enumerate(placeholders):
+            proj = graph.call_function(project, (packed, index))
+            projected.append(proj)
+    for ph, proj in zip(placeholders, projected):
+        _replace_uses_except(ph, proj, {id(packed)})
+    return projected
+
+
+def _lift_backward(graph: Graph, values: list[Node], hooks: tuple,
+                   module) -> list[Node]:
+    wrapped = []
+    for value in values:
+        with graph.inserting_after(value):
+            node = graph.call_function(
+                sync_backward, (value,), {"hooks": hooks, "module": module})
+            node.meta["effect"] = Effect(
+                "sync_bwd", detail=_describe_hooks(hooks))
+        _replace_uses_except(value, node, {id(node)})
+        wrapped.append(node)
+    return wrapped
+
+
+def _lift_forward(graph: Graph, hooked_args: list[Node], hooks: tuple,
+                  module) -> None:
+    output = graph.output_node
+    with graph.inserting_before(output):
+        node = graph.call_function(
+            sync_forward, (output.args[0], tuple(hooked_args)),
+            {"hooks": hooks, "module": module})
+        node.meta["effect"] = Effect("sync", detail=_describe_hooks(hooks))
+    output.args = (node,)
+
+
+def _wrap_mutating_calls(graph: Graph) -> None:
+    for node in hidden_mutation_nodes(graph):
+        writes = getattr(node.target, "__mutates__", ())
+        with graph.inserting_before(node):
+            wrapped = graph.call_function(
+                mutate, (node.target, *node.args),
+                {**node.kwargs, "_writes": tuple(writes)})
+        wrapped.meta.update(node.meta)
+        wrapped.meta["effect"] = _effect_of_marker(wrapped)
+        node.replace_all_uses_with(wrapped)
+        graph.erase_node(node)
+
+
+def _annotate_barriers(graph: Graph, gm: GraphModule) -> None:
+    """Leaf submodules with hooks stay opaque but become effect barriers."""
+    for node in graph:
+        if node.op != "call_module" or "effect" in node.meta:
+            continue
+        try:
+            sub = gm.get_submodule(node.target)
+        except AttributeError:
+            continue
+        hooks = (tuple(sub._forward_pre_hooks) + tuple(sub._forward_hooks)
+                 + tuple(sub._backward_hooks))
+        if hooks:
+            node.meta["effect"] = Effect(
+                "barrier", detail=_describe_hooks(hooks))
+    # Annotate mutate markers that arrived pre-wrapped from tracing.
+    for node in graph.find_nodes(op="call_function", target=mutate):
+        if "effect" not in node.meta:
+            node.meta["effect"] = _effect_of_marker(node)
+
+
+def functionalize_model(module, cse: bool = False):
+    """Recursively functionalize every GraphModule under ``module``.
+
+    Returns the (possibly replaced) module; submodule replacement happens
+    in place on the parents.  With ``cse=True`` each functionalized graph
+    also gets common-subexpression elimination.
+    """
+    for name, child in list(module._modules.items()):
+        if child is not None:
+            module._modules[name] = functionalize_model(child, cse=cse)
+    if isinstance(module, GraphModule) \
+            and not module._slapo_meta.get("functionalized"):
+        new = functionalize(module)
+        if cse:
+            eliminate_common_subexpressions(new)
+        return new
+    return module
+
+
+# ---------------------------------------------------------------------- #
+# Common-subexpression elimination
+# ---------------------------------------------------------------------- #
+def eliminate_common_subexpressions(gm: GraphModule) -> int:
+    """Value-numbering CSE over a functionalized graph.
+
+    Two nodes merge when they have the same opcode, target and argument
+    key.  Buffer reads are *versioned*: a ``mutate`` node that declares a
+    write to a ``get_attr`` target bumps that target's version, so uses
+    on either side of the write never merge.  Impure nodes (effects,
+    randomness) are never candidates.  Returns the number of erased nodes.
+    """
+    assert_functional(gm, "eliminate_common_subexpressions")
+    graph = gm.graph
+    versions: dict[str, int] = {}
+    seen: dict[tuple, Node] = {}
+    erased = 0
+    for node in list(graph):
+        effect = node_effect(node)
+        if effect is not None:
+            for target in effect.writes:
+                versions[target] = versions.get(target, 0) + 1
+            if "<unknown>" in effect.writes:
+                seen.clear()  # opaque write: nothing may merge across it
+            continue
+        if is_impure(node) or node.op == "call_module":
+            continue
+        key = _node_key(node, versions)
+        if key is None:
+            continue
+        twin = seen.get(key)
+        if twin is None:
+            seen[key] = node
+            continue
+        node.replace_all_uses_with(twin)
+        graph.erase_node(node)
+        erased += 1
+    if erased:
+        gm.recompile()
+    return erased
+
+
+def _node_key(node: Node, versions: dict[str, int]) -> tuple | None:
+    try:
+        args = _value_key(node.args, versions)
+        kwargs = tuple(sorted(
+            (k, _value_key(v, versions)) for k, v in node.kwargs.items()))
+    except TypeError:
+        return None  # unhashable constant: leave the node alone
+    target = node.target if isinstance(node.target, str) else id(node.target)
+    return (node.op, target, args, kwargs)
+
+
+def _value_key(value, versions: dict[str, int]):
+    if isinstance(value, Node):
+        if value.op == "get_attr":
+            return ("node", id(value), versions.get(value.target, 0))
+        return ("node", id(value))
+    if isinstance(value, (tuple, list)):
+        return (type(value).__name__,) + tuple(
+            _value_key(v, versions) for v in value)
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            (k, _value_key(v, versions)) for k, v in value.items())
+    if isinstance(value, slice):
+        return ("slice", _value_key(value.start, versions),
+                _value_key(value.stop, versions),
+                _value_key(value.step, versions))
+    hash(value)  # raises TypeError for unhashable constants
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Effect-barrier-aware elementwise fusion
+# ---------------------------------------------------------------------- #
+#: ops cheap enough that fusing them into one kernel launch always pays
+_ELEMENTWISE_OPS = frozenset({
+    "add", "sub", "mul", "div", "neg", "pow", "gelu", "relu", "silu",
+    "tanh", "sigmoid", "exp", "sqrt", "cast", "apply_causal_mask",
+    "masked_fill", "where",
+})
+
+
+def _is_fusable(node: Node) -> bool:
+    if node.op != "call_function" or node_effect(node) is not None:
+        return False
+    name = getattr(node.target, "__name__", "")
+    return name in _ELEMENTWISE_OPS and name not in _IMPURE_OP_NAMES
+
+
+def fuse_elementwise(gm: GraphModule, compiler: str = "TorchInductor",
+                     name: str = "ew", min_nodes: int = 2) -> int:
+    """Fuse chains of elementwise ops into :class:`FusedKernel` regions.
+
+    Chains grow through single-use edges across layer boundaries and stop
+    at effect barriers: a chain never spans a node with an
+    :class:`Effect` (sync collectives, mutation markers, hooked leaf
+    modules), so reordering the chain's execution point to the splice
+    site cannot move a read across a write.  Returns the region count.
+    """
+    from repro.kernels.compilers import compile_subgraph
+    from .rewriter import order_matches_for_rewrite, \
+        extract_match_as_module, replace_match_with_module
+
+    assert_functional(gm, "fuse_elementwise")
+    graph = gm.graph
+    position = {id(n): i for i, n in enumerate(graph)}
+    effect_positions = sorted(
+        position[id(n)] for n in graph if node_effect(n) is not None)
+
+    def barrier_between(a: Node, b: Node) -> bool:
+        lo, hi = position[id(a)], position[id(b)]
+        return any(lo < p < hi for p in effect_positions)
+
+    claimed: set[int] = set()
+    regions: list[list[Node]] = []
+    for node in graph:
+        if id(node) in claimed or not _is_fusable(node):
+            continue
+        chain = [node]
+        current = node
+        while True:
+            users = list(current.users)
+            if len(users) != 1:
+                break
+            nxt = users[0]
+            if id(nxt) in claimed or not _is_fusable(nxt) \
+                    or barrier_between(current, nxt):
+                break
+            chain.append(nxt)
+            current = nxt
+        if len(chain) >= min_nodes:
+            claimed.update(id(n) for n in chain)
+            regions.append(chain)
+
+    matches = [_chain_match(chain) for chain in regions]
+    fused = 0
+    for match in order_matches_for_rewrite(graph, matches):
+        extracted = extract_match_as_module(
+            gm, match, class_name=f"Fused_{name}")
+        kernel = compile_subgraph(extracted, name=f"{name}{fused}",
+                                  backend=compiler)
+        replace_match_with_module(gm, match, kernel, name)
+        fused += 1
+    if fused:
+        gm.recompile()
+    return fused
+
+
+def _chain_match(chain: list[Node]) -> Match:
+    """Package a chain as a matcher Match so the rewriter can splice it."""
+    internal = {id(n) for n in chain}
+    bindings: list[Node] = []
+    bound: set[int] = set()
+    for node in chain:
+        for used in node.all_input_nodes:
+            if id(used) not in internal and id(used) not in bound:
+                bound.add(id(used))
+                bindings.append(used)
+    return Match(internal_nodes=list(chain), output_node=chain[-1],
+                 placeholder_bindings=bindings)

@@ -15,6 +15,8 @@ class Graph:
         self._nodes: list[Node] = []
         self._used_names: dict[str, int] = {}
         self._insert_index: int | None = None  # None = append
+        #: pytree specs of structured placeholders (arg name -> TreeSpec)
+        self.in_specs: dict = {}
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -34,8 +36,15 @@ class Graph:
         if candidate not in self._used_names:
             self._used_names[candidate] = 0
             return candidate
-        self._used_names[candidate] += 1
-        return f"{candidate}_{self._used_names[candidate]}"
+        # The counter alone can collide with an explicitly requested name
+        # (literal "x", "x" then "x_1"), so loop until genuinely fresh and
+        # claim the generated name too.
+        while True:
+            self._used_names[candidate] += 1
+            name = f"{candidate}_{self._used_names[candidate]}"
+            if name not in self._used_names:
+                self._used_names[name] = 0
+                return name
 
     def create_node(self, op: str, target, args: tuple = (),
                     kwargs: dict | None = None, name: str | None = None
@@ -152,8 +161,16 @@ class Graph:
                         f"{node.name} has a user {user.name} outside the graph"
                     )
 
-    def eliminate_dead_code(self) -> int:
-        """Erase unused side-effect-free nodes; returns how many died."""
+    def eliminate_dead_code(self, extra_impure=None) -> int:
+        """Erase unused side-effect-free nodes; returns how many died.
+
+        Effectful nodes (sync collectives, mutation markers, random ops —
+        see :func:`repro.fx.functionalize.is_impure`) survive even when
+        their value is unused.  ``extra_impure`` adds a caller predicate,
+        e.g. the GraphModule's hooked-leaf check.
+        """
+        from .functionalize import is_impure  # late import, avoids cycle
+
         erased = 0
         changed = True
         while changed:
@@ -161,10 +178,13 @@ class Graph:
             for node in reversed(self._nodes):
                 if node.op in ("output", "placeholder"):
                     continue
-                if not node.users:
-                    self.erase_node(node)
-                    erased += 1
-                    changed = True
+                if node.users or is_impure(node):
+                    continue
+                if extra_impure is not None and extra_impure(node):
+                    continue
+                self.erase_node(node)
+                erased += 1
+                changed = True
         return erased
 
     def print_tabular(self) -> str:

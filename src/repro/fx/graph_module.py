@@ -90,22 +90,7 @@ class GraphModule(Module):
 
     # ------------------------------------------------------------------ #
     def forward(self, *args, **kwargs):
-        env: dict[Node, object] = {}
-        placeholders = self.graph.placeholders()
-        if len(args) > len(placeholders):
-            raise TypeError(
-                f"{self._class_name} takes {len(placeholders)} inputs, "
-                f"got {len(args)}"
-            )
-        for node, value in zip(placeholders, args):
-            env[node] = value
-        for node in placeholders[len(args):]:
-            if node.name in kwargs:
-                env[node] = kwargs[node.name]
-            elif "default" in node.meta:
-                env[node] = node.meta["default"]
-            else:
-                raise TypeError(f"missing input {node.name!r}")
+        env: dict[Node, object] = self._bind_inputs(args, kwargs)
 
         def lookup(n: Node):
             return env[n]
@@ -133,6 +118,84 @@ class GraphModule(Module):
                 raise RuntimeError(f"unknown opcode {node.op}")
             env[node] = value
         return result
+
+    def _bind_inputs(self, args, kwargs) -> dict:
+        """Bind call values to placeholders with Python call semantics.
+
+        Placeholders produced from a pytree-structured argument (see
+        ``Tracer.trace(structured_args=...)``) form one *logical* input:
+        the caller passes the nested container, which is flattened here
+        against the recorded TreeSpec.  Unknown keywords and values bound
+        both positionally and by name raise ``TypeError``, matching a
+        plain Python call.
+        """
+        from .pytree import tree_flatten
+
+        env: dict[Node, object] = {}
+        specs = getattr(self.graph, "in_specs", {})
+        logical: list[tuple] = []  # (name, [nodes], spec | None)
+        for node in self.graph.placeholders():
+            parent = node.meta.get("pytree_parent")
+            if parent is not None and parent in specs:
+                if logical and logical[-1][0] == parent:
+                    logical[-1][1].append(node)
+                else:
+                    logical.append((parent, [node], specs[parent]))
+            else:
+                logical.append((node.name, [node], None))
+        names = [entry[0] for entry in logical]
+        if len(args) > len(logical):
+            raise TypeError(
+                f"{self._class_name} takes {len(logical)} inputs, "
+                f"got {len(args)}"
+            )
+        bound = dict(zip(names, args))
+        for key, value in kwargs.items():
+            if key in bound:
+                raise TypeError(
+                    f"{self._class_name}() got multiple values for "
+                    f"argument {key!r}"
+                )
+            if key not in names:
+                raise TypeError(
+                    f"{self._class_name}() got an unexpected keyword "
+                    f"argument {key!r}"
+                )
+            bound[key] = value
+        for name, nodes, spec in logical:
+            if name not in bound:
+                for node in nodes:
+                    if "default" not in node.meta:
+                        raise TypeError(f"missing input {name!r}")
+                    env[node] = node.meta["default"]
+                continue
+            value = bound[name]
+            if spec is None:
+                env[nodes[0]] = value
+                continue
+            leaves, _ = tree_flatten(value)
+            if len(leaves) != len(nodes):
+                raise TypeError(
+                    f"structured input {name!r} has {len(leaves)} leaves, "
+                    f"expected {len(nodes)} for spec {spec!r}"
+                )
+            for node, leaf in zip(nodes, leaves):
+                env[node] = leaf
+        return env
+
+    def eliminate_dead_code(self) -> int:
+        """Module-aware DCE: hooked leaf submodules are never erased."""
+        def hooked_leaf(node) -> bool:
+            if node.op != "call_module":
+                return False
+            try:
+                sub = self.get_submodule(node.target)
+            except AttributeError:
+                return True  # unresolvable target: do not touch
+            return bool(sub._forward_pre_hooks or sub._forward_hooks
+                        or sub._backward_hooks)
+
+        return self.graph.eliminate_dead_code(extra_impure=hooked_leaf)
 
     def _resolve_attr(self, target: str):
         module_path, _, name = target.rpartition(".")

@@ -1,0 +1,122 @@
+"""Pytrees: nested dict/tuple/list containers flattened to leaf lists.
+
+The tracer and GraphModule use pytrees so traced modules can take and
+return structured values natively — a batch dict in, a routing dict out —
+without hand-rolled pack/unpack code at every boundary.  The shape of a
+container is captured in a :class:`TreeSpec`; ``tree_flatten`` splits a
+value into ``(leaves, spec)`` and ``tree_unflatten`` is its exact inverse.
+
+Only ``dict`` (insertion-ordered), ``tuple`` and ``list`` are containers;
+everything else — tensors, ints, ``None``, strings — is a leaf.  An empty
+container is a container with zero leaves, not a leaf, so round-trips
+preserve it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: container kinds a TreeSpec can describe
+_CONTAINER_TYPES = (dict, tuple, list)
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Structure of one pytree level: a container kind plus child specs.
+
+    ``kind`` is ``"dict"``, ``"tuple"``, ``"list"`` or ``"leaf"``.  For a
+    dict, ``keys`` records the key order the leaves were emitted in.
+    """
+
+    kind: str
+    keys: tuple = ()
+    children: tuple = ()
+
+    @property
+    def num_leaves(self) -> int:
+        if self.kind == "leaf":
+            return 1
+        return sum(child.num_leaves for child in self.children)
+
+    def is_leaf(self) -> bool:
+        return self.kind == "leaf"
+
+    def __repr__(self) -> str:  # compact, for error messages
+        if self.kind == "leaf":
+            return "*"
+        inner = ", ".join(
+            f"{k!r}: {c!r}" for k, c in zip(self.keys, self.children)
+        ) if self.kind == "dict" else ", ".join(repr(c) for c in self.children)
+        braces = {"dict": "{}", "tuple": "()", "list": "[]"}[self.kind]
+        return f"{braces[0]}{inner}{braces[1]}"
+
+
+LEAF_SPEC = TreeSpec("leaf")
+
+
+def tree_flatten(value) -> tuple[list, TreeSpec]:
+    """Split ``value`` into its leaves (depth-first) and a TreeSpec."""
+    leaves: list = []
+    spec = _flatten_into(value, leaves)
+    return leaves, spec
+
+
+def _flatten_into(value, leaves: list) -> TreeSpec:
+    if isinstance(value, dict):
+        children = tuple(_flatten_into(v, leaves) for v in value.values())
+        return TreeSpec("dict", keys=tuple(value.keys()), children=children)
+    if isinstance(value, tuple):
+        return TreeSpec(
+            "tuple", children=tuple(_flatten_into(v, leaves) for v in value))
+    if isinstance(value, list):
+        return TreeSpec(
+            "list", children=tuple(_flatten_into(v, leaves) for v in value))
+    leaves.append(value)
+    return LEAF_SPEC
+
+
+def tree_unflatten(leaves, spec: TreeSpec):
+    """Rebuild the value ``tree_flatten`` decomposed; exact inverse."""
+    leaves = list(leaves)
+    if len(leaves) != spec.num_leaves:
+        raise ValueError(
+            f"tree_unflatten got {len(leaves)} leaves for a spec with "
+            f"{spec.num_leaves}: {spec!r}"
+        )
+    value, rest = _unflatten_from(leaves, spec)
+    assert not rest, "internal error: leaves left over after unflatten"
+    return value
+
+
+def _unflatten_from(leaves: list, spec: TreeSpec):
+    if spec.kind == "leaf":
+        return leaves[0], leaves[1:]
+    values = []
+    for child in spec.children:
+        value, leaves = _unflatten_from(leaves, child)
+        values.append(value)
+    if spec.kind == "dict":
+        return dict(zip(spec.keys, values)), leaves
+    if spec.kind == "tuple":
+        return tuple(values), leaves
+    return values, leaves
+
+
+def tree_leaves(value) -> list:
+    """Just the leaves of ``value``, in flattening order."""
+    return tree_flatten(value)[0]
+
+
+def tree_map(fn, value):
+    """Apply ``fn`` to every leaf, preserving the container structure."""
+    leaves, spec = tree_flatten(value)
+    return tree_unflatten([fn(leaf) for leaf in leaves], spec)
+
+
+def tree_structure(value) -> TreeSpec:
+    """The TreeSpec of ``value`` without materializing its leaves."""
+    return tree_flatten(value)[1]
+
+
+def specs_equal(a: TreeSpec, b: TreeSpec) -> bool:
+    return a == b

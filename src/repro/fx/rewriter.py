@@ -176,8 +176,14 @@ def split_graph_module(gm: GraphModule, boundary_nodes: list[Node]
     for stage_idx, body in enumerate(ranges):
         stage_graph = Graph()
         env: dict[int, Node] = {}
+        if stage_idx == 0:
+            # Stage 0 keeps the model's input signature, including any
+            # pytree-structured placeholder groups.
+            stage_graph.in_specs = dict(getattr(gm.graph, "in_specs", {}))
         for value in live[stage_idx]:
             ph = stage_graph.placeholder(value.name)
+            if value.op == "placeholder":
+                ph.meta.update(value.meta)
             env[id(value)] = ph
 
         def lookup(n: Node):

@@ -21,6 +21,7 @@ from repro.framework.module import Module
 from .graph import Graph
 from .node import Node
 from .proxy import Proxy, TraceError
+from .pytree import tree_flatten, tree_unflatten
 
 #: Module types that are never traced into (framework primitives).
 DEFAULT_LEAF_TYPES = (
@@ -89,7 +90,8 @@ class Tracer:
         return bool(module._slapo_meta.get("is_leaf", False))
 
     def trace(self, root: Module, concrete_args: dict | None = None,
-              include_defaults: tuple = ()) -> Graph:
+              include_defaults: tuple = (),
+              structured_args: dict | None = None) -> Graph:
         self.graph = Graph()
         self.root = root
         self._get_attr_cache: dict[str, Proxy] = {}
@@ -100,11 +102,25 @@ class Tracer:
         proxies = []
         kwproxies = {}
         concrete_args = concrete_args or {}
+        structured_args = structured_args or {}
         for name, param in signature.parameters.items():
             if name in concrete_args:
                 kwproxies[name] = concrete_args[name]
                 continue
             if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                continue
+            if name in structured_args:
+                # Pytree-structured input: one placeholder per leaf of the
+                # example structure; forward sees the nested container of
+                # proxies, GraphModule.forward re-flattens by the spec.
+                _, spec = tree_flatten(structured_args[name])
+                group = []
+                for index in range(spec.num_leaves):
+                    node = self.graph.placeholder(f"{name}_{index}")
+                    node.meta["pytree_parent"] = name
+                    group.append(Proxy(node, self))
+                self.graph.in_specs[name] = spec
+                proxies.append(tree_unflatten(group, spec))
                 continue
             if param.default is not inspect.Parameter.empty \
                     and name not in include_defaults:
@@ -173,11 +189,13 @@ class Tracer:
 def symbolic_trace(module: Module, leaves: tuple = (),
                    concrete_args: dict | None = None,
                    leaf_types: tuple | None = None,
-                   include_defaults: tuple = ()):
+                   include_defaults: tuple = (),
+                   structured_args: dict | None = None):
     """Trace ``module`` and return an executable :class:`GraphModule`."""
     from .graph_module import GraphModule
 
     tracer = Tracer(leaves=leaves, leaf_types=leaf_types)
     graph = tracer.trace(module, concrete_args=concrete_args,
-                         include_defaults=include_defaults)
+                         include_defaults=include_defaults,
+                         structured_args=structured_args)
     return GraphModule(module, graph, class_name=type(module).__name__)

@@ -42,7 +42,13 @@ class MoEGPTBlock(fw.Module):
         hidden_states = hidden_states + self.attn(self.ln_1(hidden_states))
         # Dropped tokens contribute zero from the expert path and ride
         # this residual through unchanged (Switch Transformer semantics).
-        return hidden_states + self.moe(self.ln_2(hidden_states))
+        moe_out = self.moe(self.ln_2(hidden_states))
+        if self.moe.emit_stats:
+            # Routing stats travel the dataflow as a dict — the traced
+            # graph indexes the leaf's pytree output, no module scraping.
+            return {"hidden_states": hidden_states + moe_out["output"],
+                    "dropped": moe_out["dropped"]}
+        return hidden_states + moe_out
 
 
 class MoEGPTModel(fw.Module):
@@ -64,9 +70,19 @@ class MoEGPTModel(fw.Module):
     def forward(self, input_ids):
         positions = F.position_ids(input_ids)
         x = self.drop(self.wte(input_ids) + self.wpe(positions))
+        dropped = ()
         for block in self.h:
-            x = block(x)
-        return self.ln_f(x)
+            out = block(x)
+            if isinstance(out, dict):
+                x = out["hidden_states"]
+                dropped = (*dropped, out["dropped"])
+            else:
+                x = out
+        x = self.ln_f(x)
+        if dropped:
+            return {"hidden_states": x,
+                    "routing": {"dropped_per_layer": dropped}}
+        return x
 
 
 class MoEGPTLMHeadModel(fw.Module):
@@ -81,4 +97,8 @@ class MoEGPTLMHeadModel(fw.Module):
             self.lm_head.weight = self.transformer.wte.weight
 
     def forward(self, input_ids):
-        return self.lm_head(self.transformer(input_ids))
+        out = self.transformer(input_ids)
+        if isinstance(out, dict):
+            return {"logits": self.lm_head(out["hidden_states"]),
+                    "routing": out["routing"]}
+        return self.lm_head(out)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from .events import ModelTrace, _save_factor
+from .kernel_cost import fused_efficiency
 
 #: dtypes whose outputs participate in activation/backward accounting
 _ACT_DTYPES = ("float16", "float32", "float64")
@@ -47,6 +48,8 @@ class CompiledTrace:
     is_fp16: np.ndarray
     is_gemm: np.ndarray
     is_flash: np.ndarray
+    #: backend efficiency of compiler-fused kernels (1.0 for plain ops)
+    fused_eff: np.ndarray
     #: output dtype participates in activation accounting (fp16/32/64)
     is_float_act: np.ndarray
     in_checkpoint: np.ndarray
@@ -126,6 +129,7 @@ class CompiledTrace:
         is_fp16 = np.empty(n, dtype=bool)
         is_gemm = np.empty(n, dtype=bool)
         is_flash = np.empty(n, dtype=bool)
+        fused_eff = np.ones(n)
         is_float_act = np.empty(n, dtype=bool)
         in_checkpoint = np.empty(n, dtype=bool)
         checkpoint_boundary = np.empty(n, dtype=bool)
@@ -138,6 +142,8 @@ class CompiledTrace:
             is_fp16[i] = op.dtype_name == "float16"
             is_gemm[i] = op.kernel == "gemm"
             is_flash[i] = op.kernel == "flash_attention"
+            if op.kernel.startswith("fused:"):
+                fused_eff[i] = fused_efficiency(op.kernel)
             is_float_act[i] = op.dtype_name in _ACT_DTYPES
             in_checkpoint[i] = op.in_checkpoint
             checkpoint_boundary[i] = op.checkpoint_boundary
@@ -163,7 +169,8 @@ class CompiledTrace:
         return cls(
             flops=flops, bytes_moved=bytes_moved, out_bytes=out_bytes,
             save_factor=save_factor, is_fp16=is_fp16, is_gemm=is_gemm,
-            is_flash=is_flash, is_float_act=is_float_act,
+            is_flash=is_flash, fused_eff=fused_eff,
+            is_float_act=is_float_act,
             in_checkpoint=in_checkpoint,
             checkpoint_boundary=checkpoint_boundary,
             comm_totals=comm_totals,

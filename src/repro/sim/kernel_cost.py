@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.distributed.topology import GPUSpec
+from repro.kernels.compilers import SUPPORTED_COMPILERS
 
 from .events import ModelTrace, OpEvent
 
@@ -32,6 +33,20 @@ FRAMEWORK_GEMM_EFF = {
     "slapo": 0.57,
     "hf": 0.50,
 }
+
+
+def fused_efficiency(kernel: str) -> float:
+    """Relative bandwidth efficiency of a compiler-generated fused kernel.
+
+    Fused elementwise regions record ``kernel="fused:{backend}"`` (see
+    ``events.fused_region``); the backend's code-quality factor from
+    :data:`~repro.kernels.compilers.SUPPORTED_COMPILERS` scales how close
+    the generated kernel gets to the streaming roofline.  Plain kernels
+    (and unknown backends) price at 1.0.
+    """
+    if not kernel.startswith("fused:"):
+        return 1.0
+    return SUPPORTED_COMPILERS.get(kernel.split(":", 1)[1], 1.0)
 
 
 def cost_model_for(framework: str, gpu: GPUSpec | None = None
@@ -79,8 +94,10 @@ class KernelCostModel:
             compute = flops / (peak * self.flash_eff)
             stream = bytes_moved / (self.gpu.memory_bandwidth * self.hbm_eff)
             return max(compute, stream) + launch
-        # bandwidth-bound kernels
-        stream = bytes_moved / (self.gpu.memory_bandwidth * self.hbm_eff)
+        # bandwidth-bound kernels; compiler-fused regions stream closer to
+        # the roofline by the backend's code-quality factor
+        stream = bytes_moved / (self.gpu.memory_bandwidth * self.hbm_eff
+                                * fused_efficiency(op.kernel))
         return stream + launch
 
     def _op_time_vector(self, compiled, batch_scale: float) -> np.ndarray:
@@ -88,7 +105,9 @@ class KernelCostModel:
         flops = compiled.flops * batch_scale
         stream = (compiled.bytes_moved * batch_scale
                   / (self.gpu.memory_bandwidth * self.hbm_eff))
-        times = stream + self.gpu.kernel_launch_overhead
+        # fused_eff is 1.0 everywhere except compiler-fused bandwidth
+        # kernels, which never carry the gemm/flash tags overridden below.
+        times = stream / compiled.fused_eff + self.gpu.kernel_launch_overhead
         peak = np.where(compiled.is_fp16, self.gpu.peak_fp16_flops,
                         self.gpu.peak_fp32_flops)
         if compiled.is_gemm.any():

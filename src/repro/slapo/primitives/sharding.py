@@ -246,6 +246,8 @@ class ShardExpertsPrimitive(Primitive):
                         param.grad.data.dtype)
             return group.all_reduce(grad)
 
+        combine._slapo_effect = {"kind": "sync", "op": "all_reduce"}
+        grad_sync._slapo_effect = {"kind": "sync_bwd", "op": "all_reduce"}
         mod.register_forward_hook(combine)
         mod.register_backward_hook(grad_sync)
         return sch
@@ -309,15 +311,27 @@ class SyncPrimitive(Primitive):
 
         if callable(sync_op_or_fn):
             custom = sync_op_or_fn
+            custom_op = getattr(custom, "__name__", "custom")
             if mode == "fwd_pre":
-                mod.register_forward_pre_hook(
-                    lambda m, args: custom(m, args, group))
+                def custom_pre(m, args):
+                    return custom(m, args, group)
+
+                custom_pre._slapo_effect = {"kind": "sync_pre",
+                                            "op": custom_op}
+                mod.register_forward_pre_hook(custom_pre)
             elif mode in ("fwd_post", "forward"):
-                mod.register_forward_hook(
-                    lambda m, args, out: custom(m, out, group))
+                def custom_post(m, args, out):
+                    return custom(m, out, group)
+
+                custom_post._slapo_effect = {"kind": "sync", "op": custom_op}
+                mod.register_forward_hook(custom_post)
             else:
-                mod.register_backward_hook(
-                    lambda m, grad: custom(m, grad, group))
+                def custom_bwd(m, grad):
+                    return custom(m, grad, group)
+
+                custom_bwd._slapo_effect = {"kind": "sync_bwd",
+                                            "op": custom_op}
+                mod.register_backward_hook(custom_bwd)
             return sch
 
         if sync_op_or_fn == "all_gather":
@@ -329,15 +343,25 @@ class SyncPrimitive(Primitive):
         else:
             op = group.reduce_scatter
         if mode == "fwd_pre":
-            mod.register_forward_pre_hook(
-                lambda m, args: (group.copy_to_group(args[0]),) + args[1:])
+            def scatter_inputs(m, args):
+                return (group.copy_to_group(args[0]),) + args[1:]
+
+            scatter_inputs._slapo_effect = {"kind": "sync_pre",
+                                            "op": "copy_to_group"}
+            mod.register_forward_pre_hook(scatter_inputs)
         elif mode in ("fwd_post", "forward"):
             def aggregate(m, args, out):
                 reduced = op(out)
                 deferred = m._slapo_meta.get("deferred_bias")
                 return reduced if deferred is None else reduced + deferred
 
+            aggregate._slapo_effect = {"kind": "sync", "op": sync_op_or_fn}
             mod.register_forward_hook(aggregate)
         else:  # bwd_post / backward: aggregate input gradients
-            mod.register_backward_hook(lambda m, grad: op(grad))
+            def grad_aggregate(m, grad):
+                return op(grad)
+
+            grad_aggregate._slapo_effect = {"kind": "sync_bwd",
+                                            "op": sync_op_or_fn}
+            mod.register_backward_hook(grad_aggregate)
         return sch

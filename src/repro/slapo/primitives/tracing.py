@@ -8,8 +8,11 @@ from __future__ import annotations
 
 from repro.fx import (
     GraphModule,
+    eliminate_common_subexpressions,
     find_matches,
     find_nodes_by_regex,
+    functionalize,
+    fuse_elementwise,
     symbolic_trace,
 )
 from repro.fx.rewriter import (
@@ -57,6 +60,54 @@ class TracePrimitive(Primitive):
               tracer: str = "default", include_defaults: tuple = ()) -> None:
         if not callable(getattr(sch.mod, "forward", None)):
             raise SchedulingError(f"{sch.path!r} has no forward() to trace")
+
+
+@register_primitive()
+class FunctionalizePrimitive(Primitive):
+    """``.functionalize(cse=True, fuse=False, compiler="TorchInductor")``.
+
+    Rewrites a traced module into explicit-effect form (hooks become
+    ``sync_*`` graph nodes, mutation becomes ``mutate`` markers — see
+    :mod:`repro.fx.functionalize`), then optionally runs common-
+    subexpression elimination and effect-barrier-aware elementwise fusion
+    on the now-safe graph.  Semantics-preserving, so the schedule fuzzer
+    samples it like any other primitive.
+    """
+
+    name = "functionalize"
+    requires_static_graph = True
+    dialect = "static"
+    fuzzable = True
+
+    @staticmethod
+    def check(sch, cse: bool = True, fuse: bool = False,
+              compiler: str = "TorchInductor") -> None:
+        sch.require_traced("functionalize")
+
+    @staticmethod
+    def apply(sch, cse: bool = True, fuse: bool = False,
+              compiler: str = "TorchInductor"):
+        gm: GraphModule = sch.mod
+        if gm._slapo_meta.get("functionalized"):
+            return sch
+        fgm = functionalize(gm)
+        if cse:
+            eliminate_common_subexpressions(fgm)
+        if fuse:
+            fuse_elementwise(fgm, compiler=compiler)
+        if sch.path:
+            sch.replace_self(fgm)
+        else:
+            sch.context.root = fgm
+        return sch
+
+    @staticmethod
+    def fuzz_candidates(sch) -> list[tuple[tuple, dict]]:
+        mod = sch.mod
+        if isinstance(mod, GraphModule) \
+                and not mod._slapo_meta.get("functionalized"):
+            return [((), {"cse": True})]
+        return []
 
 
 @register_primitive()

@@ -340,7 +340,7 @@ def _zero_step_cross_check(run_model: Module, mesh: DeviceMesh,
 def _run_scheduled(model_factory, schedule_fn, inputs_factory, parallel,
                    seed: int, mesh: DeviceMesh, check_grads: bool,
                    check_step: bool, zero_stage: int,
-                   train_mode: bool) -> dict:
+                   train_mode: bool, functionalize: bool = False) -> dict:
     """One rank's work: build, schedule, forward, backward, step.
 
     Returns plain-numpy payloads; comparison happens on the caller so a
@@ -359,6 +359,14 @@ def _run_scheduled(model_factory, schedule_fn, inputs_factory, parallel,
     schedule_fn(sch)
     built = build(sch)
     run_model = built.model
+    if functionalize:
+        # Differential coverage for the explicit-effect rewrite: every
+        # traced submodule the schedule produced (including hook-carrying
+        # ones from .sync()/.shard_experts()) is functionalized + CSE'd,
+        # and must still match the vanilla model bit-for-tolerance.
+        from repro.fx import functionalize_model
+
+        run_model = functionalize_model(run_model, cse=True)
 
     inputs = tuple(inputs_factory())
     dp = mesh.config.dp
@@ -514,7 +522,8 @@ def verify(model_factory: Callable[[], Module],
            tolerance: TolerancePolicy | None = None,
            check_grads: bool = True,
            check_step: bool = True,
-           zero_stage: int = 0) -> VerifyReport:
+           zero_stage: int = 0,
+           functionalize: bool = False) -> VerifyReport:
     """Differential-test a schedule against the unscheduled model.
 
     ``model_factory`` must build identical models when the global seed is
@@ -542,6 +551,12 @@ def verify(model_factory: Callable[[], Module],
     :meth:`TolerancePolicy.default`), resolved per tensor dtype; explicit
     ``rtol``/``atol`` override every stage uniformly (the legacy knobs).
     Returns a :class:`VerifyReport` describing what was checked.
+
+    With ``functionalize=True`` every GraphModule the built model contains
+    is additionally rewritten by :func:`repro.fx.functionalize` (hooks
+    lifted into explicit ``sync_*`` nodes, mutation wrapped in ``mutate``
+    markers) and CSE'd before any of the three stages run — differential
+    coverage for the explicit-effect IR itself.
     """
     policy = (tolerance or TolerancePolicy.default()).override(rtol, atol)
     parallel = parallel or ParallelConfig(tp=world_size)
@@ -567,7 +582,7 @@ def verify(model_factory: Callable[[], Module],
         payloads = [_run_scheduled(model_factory, schedule_fn,
                                    inputs_factory, parallel, seed, mesh,
                                    check_grads, check_step, zero_stage,
-                                   train_mode)]
+                                   train_mode, functionalize)]
     else:
         cluster = LocalCluster(world_size)
 
@@ -576,7 +591,7 @@ def verify(model_factory: Callable[[], Module],
             return _run_scheduled(model_factory, schedule_fn,
                                   inputs_factory, parallel, seed, mesh,
                                   check_grads, check_step, zero_stage,
-                                  train_mode)
+                                  train_mode, functionalize)
 
         payloads = cluster.run(run_rank)
 

@@ -211,7 +211,14 @@ def sample_spec(family: str, world_size: int, seed: int,
             for prim in in_place:
                 if rng.random() >= 0.15:
                     continue
-                for args, kwargs in prim.fuzz_candidates(node_sch):
+                try:
+                    candidates = prim.fuzz_candidates(node_sch)
+                except (SchedulingError, AttributeError):
+                    # An earlier accepted step (a module-replacing
+                    # primitive like .functionalize()) can strand a
+                    # snapshot path; skip it, the rng stream is unchanged.
+                    continue
+                for args, kwargs in candidates:
                     dry.try_step(prim.name, node_path,
                                  tuple(args), dict(kwargs))
                     break
@@ -470,6 +477,7 @@ def run_fuzz(num_schedules: int,
              out_dir: str | Path | None = "scripts/repros",
              check_sim: bool = True,
              shrink_failures: bool = True,
+             functionalize: bool = False,
              progress=None) -> FuzzResult:
     """Sample and differentially verify ``num_schedules`` schedules.
 
@@ -478,6 +486,11 @@ def run_fuzz(num_schedules: int,
     form when ``shrink_failures``) and collected in the returned
     :class:`FuzzResult`; harness errors (a sampler or cluster bug) abort
     immediately — they are bugs in the fuzzer, not findings.
+
+    ``functionalize=True`` additionally rewrites every built GraphModule
+    through :func:`repro.fx.functionalize` (+ CSE) before verification, so
+    the whole corpus doubles as a differential test of the explicit-effect
+    IR (see :func:`repro.slapo.verify.core.verify`).
     """
     rng = np.random.default_rng(seed)
     result = FuzzResult()
@@ -489,7 +502,7 @@ def run_fuzz(num_schedules: int,
         if progress is not None:
             progress(index, spec)
         try:
-            report = replay(spec)
+            report = replay(spec, functionalize=functionalize)
             if check_sim:
                 check_sim_invariants(spec)
         except Exception as error:  # noqa: BLE001 - classified below

@@ -1,0 +1,373 @@
+"""The explicit-effect IR: functionalize, CSE, fusion, and the guard rails."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro import fx
+from repro.framework import functional as F
+from repro.framework.tensor import Tensor
+from repro.fx import (
+    Effect,
+    FunctionalizationError,
+    Graph,
+    assert_functional,
+    eliminate_common_subexpressions,
+    functionalize,
+    functionalize_model,
+    fuse_elementwise,
+    mutate,
+    sync_backward,
+    sync_forward,
+    sync_forward_pre,
+)
+
+
+def _tensor(shape=(2, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+class SmallNet(fw.Module):
+    def __init__(self, hidden=8):
+        super().__init__()
+        self.fc1 = fw.Linear(hidden, hidden)
+        self.fc2 = fw.Linear(hidden, hidden)
+
+    def forward(self, x):
+        # Deliberate duplicate subexpression for the CSE tests.
+        h = self.fc1(x)
+        return self.fc2(F.gelu(h) + F.gelu(h))
+
+
+class TestHookLifting:
+    def _hooked_gm(self, log):
+        model = SmallNet()
+        gm = fx.symbolic_trace(model)
+
+        def pre(m, args):
+            log.append("pre")
+            return (args[0] * 2,) + args[1:]
+
+        def post(m, args, out):
+            log.append("post")
+            return out + 1
+
+        def bwd(m, grad):
+            log.append("bwd")
+            return grad
+
+        gm.register_forward_pre_hook(pre)
+        gm.register_forward_hook(post)
+        gm.register_backward_hook(bwd)
+        return gm
+
+    def test_hooks_become_graph_nodes(self):
+        gm = self._hooked_gm([])
+        fgm = functionalize(gm)
+        targets = [n.target for n in fgm.graph
+                   if n.op == "call_function"]
+        assert sync_forward_pre in targets
+        assert sync_forward in targets
+        assert sync_backward in targets
+        # The functionalized module itself carries no hooks.
+        assert not fgm._forward_pre_hooks
+        assert not fgm._forward_hooks
+        assert not fgm._backward_hooks
+        assert fgm._slapo_meta["functionalized"] is True
+
+    def test_lifted_hooks_still_fire_and_match(self):
+        log = []
+        gm = self._hooked_gm(log)
+        x = _tensor()
+        want = gm(x).numpy()
+        log.clear()
+        fgm = functionalize(gm)
+        got = fgm(x).numpy()
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+        assert "pre" in log and "post" in log
+
+    def test_backward_hook_fires_in_functional_form(self):
+        log = []
+        gm = self._hooked_gm(log)
+        fgm = functionalize(gm)
+        x = _tensor()
+        x.requires_grad = True  # hook gating mirrors Module.__call__
+        out = fgm(x)
+        out.mean().backward()
+        assert "bwd" in log
+
+    def test_effect_metadata_annotated(self):
+        gm = self._hooked_gm([])
+        fgm = functionalize(gm)
+        kinds = {n.meta["effect"].kind for n in fgm.graph
+                 if isinstance(n.meta.get("effect"), Effect)}
+        assert {"sync_pre", "sync", "sync_bwd"} <= kinds
+
+    def test_functionalize_model_recurses_and_replaces(self):
+        outer = fw.Module()
+        outer.add_module("inner", fx.symbolic_trace(SmallNet()))
+        outer.inner.register_forward_hook(lambda m, a, out: out)
+        result = functionalize_model(outer)
+        assert result is outer
+        assert result.inner._slapo_meta["functionalized"]
+
+    def test_idempotent(self):
+        gm = fx.symbolic_trace(SmallNet())
+        fgm = functionalize(gm)
+        assert functionalize_model(fgm) is fgm
+
+    def test_unreferenced_submodules_survive(self):
+        # A replaced region's modules stay mounted on the source gm; the
+        # functional copy must keep them (stable paths / state_dict).
+        gm = fx.symbolic_trace(SmallNet())
+        gm.add_module("orphan", fw.Linear(4, 4))
+        fgm = functionalize(gm)
+        assert fgm.get_submodule("orphan") is gm.get_submodule("orphan")
+
+
+class TestMutationMarkers:
+    def test_traced_train_batchnorm_emits_mutate(self):
+        bn = fw.BatchNorm2d(3)
+        bn.train()
+        gm = fx.symbolic_trace(bn, leaves=())
+        markers = [n for n in gm.graph
+                   if n.op == "call_function" and n.target is mutate]
+        assert len(markers) == 1
+        assert markers[0].kwargs["_writes"] == (1, 2)
+
+    def test_eval_batchnorm_has_no_marker(self):
+        bn = fw.BatchNorm2d(3)
+        bn.eval()
+        gm = fx.symbolic_trace(bn, leaves=())
+        assert not [n for n in gm.graph
+                    if n.op == "call_function" and n.target is mutate]
+
+    def test_running_stats_update_through_graph(self):
+        bn = fw.BatchNorm2d(3)
+        bn.train()
+        gm = fx.symbolic_trace(bn, leaves=())
+        before = bn.running_mean.numpy().copy()
+        gm(_tensor((2, 3, 4, 4), seed=5))
+        after = bn.running_mean.numpy()
+        assert not np.allclose(before, after)
+
+    def test_marker_effect_names_written_buffers(self):
+        bn = fw.BatchNorm2d(3)
+        bn.train()
+        fgm = functionalize(fx.symbolic_trace(bn, leaves=()))
+        effects = [n.meta.get("effect") for n in fgm.graph
+                   if n.op == "call_function" and n.target is mutate]
+        assert effects and effects[0].kind == "mutate"
+        assert "running_mean" in effects[0].writes
+        assert "running_var" in effects[0].writes
+
+
+class TestAssertFunctional:
+    def test_rejects_hooked_graph(self):
+        gm = fx.symbolic_trace(SmallNet())
+        gm.register_forward_hook(lambda m, a, out: out)
+        with pytest.raises(FunctionalizationError):
+            assert_functional(gm, "some_pass")
+
+    def test_accepts_clean_graph(self):
+        assert_functional(fx.symbolic_trace(SmallNet()), "some_pass")
+
+    def test_accepts_functionalized_graph(self):
+        gm = fx.symbolic_trace(SmallNet())
+        gm.register_forward_hook(lambda m, a, out: out)
+        assert_functional(functionalize(gm), "some_pass")
+
+    def test_cse_refuses_hooked_graph(self):
+        gm = fx.symbolic_trace(SmallNet())
+        gm.register_forward_hook(lambda m, a, out: out)
+        with pytest.raises(FunctionalizationError):
+            eliminate_common_subexpressions(gm)
+
+
+class TestCSE:
+    def test_duplicate_subexpression_merged(self):
+        gm = fx.symbolic_trace(SmallNet())
+        fgm = functionalize(gm)
+        x = _tensor()
+        want = fgm(x).numpy()
+        erased = eliminate_common_subexpressions(fgm)
+        assert erased >= 1
+        np.testing.assert_allclose(fgm(x).numpy(), want, rtol=1e-6)
+
+    def test_mutation_blocks_merging_across_write(self):
+        # read(buf); mutate writes buf; read(buf) — the two reads must
+        # NOT merge.
+        bn = fw.BatchNorm2d(3)
+        bn.train()
+        fgm = functionalize(fx.symbolic_trace(bn, leaves=()))
+        reads_before = len(fgm.graph.find_nodes(op="get_attr"))
+        eliminate_common_subexpressions(fgm)
+        x = _tensor((2, 3, 4, 4), seed=5)
+        mean_after_one = None
+        fgm(x)
+        mean_after_one = bn.running_mean.numpy().copy()
+        fgm(x)
+        # Stats keep moving: the mutate was preserved, not CSE'd away.
+        assert not np.allclose(mean_after_one, bn.running_mean.numpy())
+        assert len(fgm.graph.find_nodes(op="get_attr")) <= reads_before
+
+    def test_dropout_never_merged(self):
+        class WithDropout(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = fw.Linear(8, 8)
+
+            def forward(self, x):
+                h = self.fc(x)
+                return F.dropout(h, p=0.5, training=True) + \
+                    F.dropout(h, p=0.5, training=True)
+
+        fgm = functionalize(fx.symbolic_trace(WithDropout(), leaves=()))
+        n_dropout = sum(
+            1 for n in fgm.graph if n.op == "call_function"
+            and getattr(n.target, "__name__", "") == "dropout")
+        eliminate_common_subexpressions(fgm)
+        after = sum(
+            1 for n in fgm.graph if n.op == "call_function"
+            and getattr(n.target, "__name__", "") == "dropout")
+        assert after == n_dropout == 2
+
+
+class TestFusion:
+    class Chain(fw.Module):
+        def __init__(self):
+            super().__init__()
+            self.fc = fw.Linear(8, 8)
+
+        def forward(self, x):
+            h = self.fc(x)
+            return F.gelu(h * 2 + 1)
+
+    def test_elementwise_chain_fused(self):
+        fgm = functionalize(fx.symbolic_trace(self.Chain()))
+        x = _tensor()
+        want = fgm(x).numpy()
+        n = fuse_elementwise(fgm)
+        assert n >= 1
+        fused = [node for node in fgm.graph if node.op == "call_module"
+                 and "ew" in str(node.target)]
+        assert fused
+        np.testing.assert_allclose(fgm(x).numpy(), want, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_fusion_requires_functional_graph(self):
+        gm = fx.symbolic_trace(self.Chain())
+        gm.register_forward_hook(lambda m, a, out: out)
+        with pytest.raises(FunctionalizationError):
+            fuse_elementwise(gm)
+
+    def test_barrier_stops_chain(self):
+        class AcrossMutate(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = fw.BatchNorm2d(3)
+
+            def forward(self, x):
+                return F.relu(self.bn(x * 2) + 1)
+
+        model = AcrossMutate()
+        model.train()
+        fgm = functionalize(fx.symbolic_trace(model, leaf_types=()))
+        fuse_elementwise(fgm)
+        # mutate marker survives fusion
+        assert [n for n in fgm.graph
+                if n.op == "call_function" and n.target is mutate]
+        x = _tensor((2, 3, 4, 4), seed=7)
+        before = model.bn.running_mean.numpy().copy()
+        fgm(x)
+        assert not np.allclose(before, model.bn.running_mean.numpy())
+
+
+class TestDCEEffectSafety:
+    def test_dce_keeps_effectful_nodes(self):
+        gm = fx.symbolic_trace(SmallNet())
+        gm.register_forward_pre_hook(lambda m, args: args)
+        fgm = functionalize(gm)
+        syncs = len([n for n in fgm.graph if n.op == "call_function"
+                     and n.target is sync_forward_pre])
+        fgm.graph.eliminate_dead_code()
+        after = len([n for n in fgm.graph if n.op == "call_function"
+                     and n.target is sync_forward_pre])
+        assert syncs == after == 1
+
+    def test_dce_keeps_mutate(self):
+        bn = fw.BatchNorm2d(3)
+        bn.train()
+
+        class UsesBN(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = bn
+
+            def forward(self, x):
+                self.bn(x)  # result unused: only the side effect matters
+                return x * 1.0
+
+        gm = fx.symbolic_trace(UsesBN(), leaf_types=())
+        gm.graph.eliminate_dead_code()
+        assert [n for n in gm.graph
+                if n.op == "call_function" and n.target is mutate]
+
+    def test_dce_keeps_opaque_leaf_modules(self):
+        # An un-inlined BatchNorm leaf hides its stat mutation inside the
+        # module; DCE must treat call_module conservatively.
+        class UsesBN(fw.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = fw.BatchNorm2d(3)
+
+            def forward(self, x):
+                self.bn(x)
+                return x * 1.0
+
+        model = UsesBN()
+        model.train()
+        gm = fx.symbolic_trace(model)
+        gm.graph.eliminate_dead_code()
+        assert gm.graph.find_nodes(op="call_module", target="bn")
+
+
+class TestGraphNameCollision:
+    def test_duplicate_then_explicit_suffix(self):
+        """Regression: x, x, then explicit x_1 used to collide."""
+        graph = Graph()
+        a = graph.placeholder("x")
+        b = graph.placeholder("x")
+        c = graph.placeholder("x_1")
+        names = [a.name, b.name, c.name]
+        assert len(set(names)) == 3, names
+
+    def test_explicit_suffix_then_duplicates(self):
+        graph = Graph()
+        a = graph.placeholder("x_1")
+        b = graph.placeholder("x")
+        c = graph.placeholder("x")
+        names = [a.name, b.name, c.name]
+        assert len(set(names)) == 3, names
+
+
+class TestForwardBinding:
+    def _gm(self):
+        return fx.symbolic_trace(SmallNet())
+
+    def test_unknown_kwarg_raises_typeerror(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            self._gm()(_tensor(), bogus=1)
+
+    def test_double_bind_raises_typeerror(self):
+        with pytest.raises(TypeError, match="multiple values"):
+            self._gm()(_tensor(), x=_tensor())
+
+    def test_too_many_positionals_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            self._gm()(_tensor(), _tensor())
+
+    def test_missing_input_raises_typeerror(self):
+        with pytest.raises(TypeError, match="missing"):
+            self._gm()()

@@ -1,0 +1,174 @@
+"""Pytree flatten/unflatten and structured (nested-container) tracing."""
+
+import numpy as np
+import pytest
+
+from repro import framework as fw
+from repro import fx
+from repro.framework import functional as F
+from repro.framework.tensor import Tensor
+from repro.fx.pytree import (
+    LEAF_SPEC,
+    TreeSpec,
+    specs_equal,
+    tree_flatten,
+    tree_leaves,
+    tree_map,
+    tree_structure,
+    tree_unflatten,
+)
+
+
+def _rng_trees(seed=0, count=50):
+    """Deterministic stream of random nested dict/tuple/list structures."""
+    rng = np.random.default_rng(seed)
+
+    def grow(depth):
+        kind = rng.integers(4 if depth < 3 else 1)
+        if kind == 0:
+            return float(rng.standard_normal())
+        if kind == 1:
+            return {f"k{i}": grow(depth + 1)
+                    for i in range(rng.integers(1, 4))}
+        if kind == 2:
+            return tuple(grow(depth + 1)
+                         for _ in range(rng.integers(1, 4)))
+        return [grow(depth + 1) for _ in range(rng.integers(1, 4))]
+
+    return [grow(0) for _ in range(count)]
+
+
+class TestRoundTrip:
+    def test_random_trees_round_trip(self):
+        for tree in _rng_trees():
+            leaves, spec = tree_flatten(tree)
+            assert spec.num_leaves == len(leaves)
+            assert tree_unflatten(leaves, spec) == tree
+
+    def test_leaf(self):
+        leaves, spec = tree_flatten(3.5)
+        assert leaves == [3.5]
+        assert specs_equal(spec, LEAF_SPEC)
+        assert tree_unflatten(leaves, spec) == 3.5
+
+    def test_empty_containers(self):
+        for tree in ({}, (), []):
+            leaves, spec = tree_flatten(tree)
+            assert leaves == []
+            assert tree_unflatten([], spec) == tree
+
+    def test_dict_key_order_preserved(self):
+        tree = {"b": 1, "a": 2}
+        leaves, spec = tree_flatten(tree)
+        assert leaves == [1, 2]
+        assert list(tree_unflatten(leaves, spec)) == ["b", "a"]
+
+    def test_leaf_count_mismatch_raises(self):
+        _, spec = tree_flatten({"a": 1, "b": 2})
+        with pytest.raises(ValueError):
+            tree_unflatten([1], spec)
+
+    def test_tree_map_and_leaves(self):
+        tree = {"a": (1, 2), "b": [3]}
+        assert tree_leaves(tree) == [1, 2, 3]
+        doubled = tree_map(lambda x: x * 2, tree)
+        assert doubled == {"a": (2, 4), "b": [6]}
+
+    def test_tree_structure_distinguishes_kinds(self):
+        assert not specs_equal(tree_structure((1, 2)), tree_structure([1, 2]))
+        assert specs_equal(tree_structure({"x": 1}),
+                           tree_structure({"x": 99}))
+
+    def test_spec_is_hashable_and_reprs(self):
+        spec = tree_structure({"a": (1, [2])})
+        assert isinstance(hash(spec), int)
+        assert isinstance(repr(spec), str)
+        assert isinstance(spec, TreeSpec)
+
+
+class DictConsumer(fw.Module):
+    def __init__(self, hidden=8):
+        super().__init__()
+        self.proj = fw.Linear(hidden, hidden)
+
+    def forward(self, batch):
+        k, v = batch["kv"]
+        return self.proj(batch["x"]) + k * v
+
+
+class TestStructuredTracing:
+    def _batch(self):
+        rng = np.random.default_rng(3)
+        t = lambda: Tensor(rng.standard_normal((2, 8)).astype(np.float32))
+        return {"x": t(), "kv": (t(), t())}
+
+    def test_trace_through_nested_dict(self):
+        batch = self._batch()
+        gm = fx.symbolic_trace(DictConsumer(),
+                               structured_args={"batch": batch})
+        phs = list(gm.graph.placeholders())
+        # One placeholder per leaf, grouped under the logical arg.
+        assert len(phs) == 3
+        assert all(p.meta["pytree_parent"] == "batch" for p in phs)
+        assert "batch" in gm.graph.in_specs
+
+    def test_traced_matches_eager_on_containers(self):
+        batch = self._batch()
+        model = DictConsumer()
+        gm = fx.symbolic_trace(model, structured_args={"batch": batch})
+        want = model(batch).numpy()
+        got = gm(batch).numpy()
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+
+    def test_mismatched_structure_raises(self):
+        batch = self._batch()
+        gm = fx.symbolic_trace(DictConsumer(),
+                               structured_args={"batch": batch})
+        bad = {"x": batch["x"], "kv": (batch["kv"][0],)}  # one leaf short
+        with pytest.raises((ValueError, TypeError, KeyError)):
+            gm(bad)
+
+
+class TestMoERoutingDict:
+    """The traced MoE-GPT routing path returns a nested dict natively."""
+
+    def _model(self):
+        from repro.models import MODEL_ZOO
+
+        cls, config = MODEL_ZOO["MoE-GPT"]
+        cfg = config.tiny(num_heads=2, hidden_size=16,
+                          intermediate_size=32, num_layers=2)
+        model = cls(cfg)
+        for block in model.transformer.h:
+            block.moe.emit_stats = True
+        return model, cfg
+
+    def _input(self, cfg):
+        rng = np.random.default_rng(11)
+        from repro.framework.tensor import Tensor
+        return Tensor(rng.integers(0, cfg.vocab_size, (2, 6)).astype(
+            np.int64))
+
+    def test_eager_returns_routing_dict(self):
+        model, cfg = self._model()
+        out = model(self._input(cfg))
+        assert set(out) == {"logits", "routing"}
+        assert len(out["routing"]["dropped_per_layer"]) == 2
+
+    def test_traced_routing_dict_matches_eager(self):
+        model, cfg = self._model()
+        ids = self._input(cfg)
+        model.eval()
+        want = model(ids)
+        gm = fx.symbolic_trace(model)
+        got = gm(ids)
+        assert set(got) == {"logits", "routing"}
+        np.testing.assert_allclose(got["logits"].numpy(),
+                                   want["logits"].numpy(), rtol=1e-6)
+        def plain(value):
+            return value.numpy() if hasattr(value, "numpy") \
+                else np.asarray(value)
+
+        for got_d, want_d in zip(got["routing"]["dropped_per_layer"],
+                                 want["routing"]["dropped_per_layer"]):
+            np.testing.assert_allclose(plain(got_d), plain(want_d))

@@ -206,6 +206,39 @@ class TestCompiledAggregates:
         assert (cost, 2.0) in trace.compiled()._time_cache
 
 
+class TestFusedKernelPricing:
+    """``fused:{backend}`` kernels price against the backend's efficiency."""
+
+    def _op(self, kernel):
+        from repro.sim.events import OpEvent
+
+        return OpEvent(name="x", kernel=kernel, flops=1e6, bytes_moved=1e7,
+                       out_bytes=1e6, out_shape=(4,), dtype_name="float32")
+
+    def test_inductor_fusion_beats_plain_streaming(self):
+        from repro.sim.kernel_cost import fused_efficiency
+
+        cost = KernelCostModel(P3DN_NODE.gpu)
+        plain = cost.op_time(self._op("elementwise"))
+        script = cost.op_time(self._op("fused:TorchScript"))
+        inductor = cost.op_time(self._op("fused:TorchInductor"))
+        assert fused_efficiency("fused:TorchInductor") > 1.0
+        assert inductor < plain
+        assert script == pytest.approx(plain)  # TorchScript eff is 1.0
+
+    def test_vector_path_matches_scalar_on_fused(self):
+        from repro.sim.events import ModelTrace
+
+        ops = [self._op(k) for k in
+               ("elementwise", "fused:TorchInductor", "gemm",
+                "flash_attention", "fused:TorchScript")]
+        trace = ModelTrace(ops=ops, comms=[], ref_batch=1)
+        cost = KernelCostModel(P3DN_NODE.gpu)
+        vec = cost._op_time_vector(trace.compiled(), 1.0)
+        for got, op in zip(vec, ops):
+            assert got == pytest.approx(cost.op_time(op), rel=1e-12)
+
+
 class TestModelStatsCaching:
     def test_trace_model_attaches_stats(self, bert_traced):
         model, trace = bert_traced

@@ -19,15 +19,22 @@ CORPUS_SIZE = 225
 # rare ep×tp mix), all four pipeline tick programs, and grad-sync
 # overlap (alone, × ZeRO, × ep) — re-search with
 # scripts/fuzz_schedules.py when the sampling stream changes shape
-CORPUS_SEED = 17
+# (17 before .functionalize() joined the fuzzable registry)
+CORPUS_SEED = 20
 WORLD_SIZES = (1, 2, 4, 8)
 
 
 @pytest.mark.slow
 def test_seeded_corpus_passes(tmp_path):
+    # functionalize=True: every built GraphModule is additionally pushed
+    # through the explicit-effect rewrite + CSE before verification, so
+    # the corpus differentially tests the functionalize pass itself
+    # (hook lifting must reproduce .sync()/.shard_experts() semantics
+    # exactly — the PR 4 hook-carrying regression class, structurally).
     result = run_fuzz(CORPUS_SIZE, families=DEFAULT_FAMILIES,
                       world_sizes=WORLD_SIZES, seed=CORPUS_SEED,
-                      out_dir=tmp_path, check_sim=True)
+                      out_dir=tmp_path, check_sim=True,
+                      functionalize=True)
     details = "\n".join(
         f"{f.spec.family} tp={f.spec.tp} dp={f.spec.dp} pp={f.spec.pp} "
         f"ep={f.spec.ep} zero={f.spec.zero_stage} [{f.kind}] {f.error}"
